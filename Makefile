@@ -1,0 +1,30 @@
+# Convenience targets for the CRISP branch-folding reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench eval report examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+eval:
+	$(PYTHON) -m repro.eval.cli all
+
+report:
+	$(PYTHON) -m repro.eval.cli report
+
+examples:
+	@for example in examples/*.py; do \
+		echo "== $$example =="; \
+		$(PYTHON) $$example || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks build *.egg-info

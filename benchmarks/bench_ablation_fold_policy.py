@@ -1,0 +1,78 @@
+"""Ablation: fold policy — none vs CRISP vs fold-everything.
+
+The paper: "CRISP does not try to fold all branch instructions, only
+those that occur with the greatest frequency ... Doing the remaining
+cases significantly increases the amount of hardware required, with only
+a marginal increase in performance." This bench quantifies that: the
+CRISP policy captures nearly all of fold-everything's cycle win because
+~95% of dynamic branches are one-parcel.
+"""
+
+import pytest
+
+from conftest import record
+from repro.core import FoldPolicy
+from repro.lang import CompilerOptions, compile_source
+from repro.sim import CpuConfig
+from repro.sim.cpu import run_cycle_accurate
+from repro.workloads import FIGURE3, get_workload
+
+POLICIES = {
+    "none": FoldPolicy.none(),
+    "crisp": FoldPolicy.crisp(),
+    "fold_all": FoldPolicy.fold_all(),
+}
+
+
+def run_policy(source, policy_name):
+    program = compile_source(source, CompilerOptions(spreading=True))
+    config = CpuConfig(fold_policy=POLICIES[policy_name])
+    return run_cycle_accurate(program, config).stats
+
+
+@pytest.fixture(scope="module")
+def figure3_results():
+    return {name: run_policy(FIGURE3, name) for name in POLICIES}
+
+
+def test_fold_policy_sweep(benchmark, figure3_results):
+    results = benchmark.pedantic(
+        lambda: figure3_results, rounds=1, iterations=1)
+    print()
+    for name, stats in results.items():
+        print(f"  {name:<10} cycles={stats.cycles:6d} "
+              f"folded={stats.folded_branches:5d} "
+              f"issued={stats.issued_instructions}")
+        record(benchmark, **{f"{name}_cycles": stats.cycles,
+                             f"{name}_folded": stats.folded_branches})
+    assert results["crisp"].cycles < results["none"].cycles
+    assert results["fold_all"].cycles <= results["crisp"].cycles
+
+
+def test_crisp_policy_captures_most_of_the_win(figure3_results, benchmark):
+    """The marginal gain of folding everything beyond the CRISP policy
+    must be small relative to the none→CRISP gain."""
+    def marginal_fraction():
+        none = figure3_results["none"].cycles
+        crisp = figure3_results["crisp"].cycles
+        everything = figure3_results["fold_all"].cycles
+        return (crisp - everything) / (none - crisp)
+
+    fraction = benchmark.pedantic(marginal_fraction, rounds=1, iterations=1)
+    record(benchmark, marginal_gain_fraction=round(fraction, 3))
+    assert fraction < 0.25  # "only a marginal increase in performance"
+
+
+def test_policy_on_call_heavy_workload(benchmark):
+    """fold_all also folds calls and long branches; a call-heavy program
+    shows the largest (still modest) marginal benefit."""
+    def run():
+        return {name: run_policy(get_workload("dhry_like").source, name)
+                for name in POLICIES}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, stats in results.items():
+        record(benchmark, **{f"dhry_{name}_cycles": stats.cycles})
+    assert results["crisp"].cycles < results["none"].cycles
+    assert results["fold_all"].folded_branches \
+        >= results["crisp"].folded_branches

@@ -1,0 +1,82 @@
+"""Ablation: Decoded Instruction Cache size.
+
+The paper: "true zero delay for branches can only occur if the
+instruction cache has a hit" — and CRISP shipped 32 entries. This bench
+sweeps the cache size over a working set that fits comfortably, barely,
+and not at all.
+"""
+
+import pytest
+
+from conftest import record
+from repro.asm import assemble
+from repro.sim import CpuConfig, CrispCpu
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def looping_program(body_instructions: int) -> str:
+    body = "\n".join(f"        add *{hex(0x8100 + 4 * (i % 8))}, $1"
+                     for i in range(body_instructions))
+    return f"""
+        .word i, 0
+loop:
+{body}
+        add i, $1
+        cmp.s< i, $50
+        iftjmpy loop
+        halt
+    """
+
+
+def run_size(entries: int, body: int):
+    cpu = CrispCpu(assemble(looping_program(body)),
+                   CpuConfig(icache_entries=entries))
+    cpu.run()
+    return cpu.stats
+
+
+@pytest.mark.parametrize("entries", SIZES)
+def test_small_loop_fits_everywhere(benchmark, entries):
+    stats = benchmark.pedantic(run_size, args=(entries, 4),
+                               rounds=1, iterations=1)
+    record(benchmark, entries=entries, cycles=stats.cycles,
+           hit_rate=round(stats.icache_hit_rate, 4))
+    if entries >= 16:
+        assert stats.icache_hit_rate > 0.95
+
+
+def test_capacity_cliff(benchmark):
+    """A loop body larger than the cache thrashes: hit rate and cycles
+    degrade sharply below the working-set size."""
+    def sweep():
+        return {entries: run_size(entries, 40) for entries in SIZES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for entries, stats in results.items():
+        print(f"  {entries:4d} entries: cycles={stats.cycles:7d} "
+              f"hit={stats.icache_hit_rate:.3f}")
+        record(benchmark, **{f"cycles_{entries}": stats.cycles,
+                             f"hit_{entries}": round(stats.icache_hit_rate, 3)})
+    assert results[128].cycles < results[8].cycles
+    assert results[128].icache_hit_rate > results[8].icache_hit_rate
+    # monotone (non-strict) improvement with size
+    cycles = [results[s].cycles for s in SIZES]
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+
+
+def test_zero_delay_needs_hits(benchmark):
+    """Folding's zero-time branches require cache hits: with a thrashing
+    cache, folded branches still exist but cycles balloon."""
+    def compare():
+        small = run_size(8, 40)
+        large = run_size(128, 40)
+        return small, large
+
+    small, large = benchmark.pedantic(compare, rounds=1, iterations=1)
+    record(benchmark, small_cycles=small.cycles, large_cycles=large.cycles,
+           small_folded=small.folded_branches,
+           large_folded=large.folded_branches)
+    assert small.folded_branches == large.folded_branches
+    assert small.cycles > large.cycles

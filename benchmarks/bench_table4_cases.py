@@ -1,0 +1,49 @@
+"""Table 4: execution statistics for cases A–E on the Figure-3 program.
+
+Regenerates the paper's headline table — cycles, instructions issued,
+relative performance and both CPI views for every combination of Branch
+Folding, Branch Prediction and Branch Spreading — and asserts the
+acceptance criteria from DESIGN.md (ordering and ratios, cycles within
+2 % of the paper's).
+"""
+
+import pytest
+
+from conftest import record
+from repro.eval.table4 import PAPER_TABLE4, format_table4, run_table4
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table4()
+
+
+def test_table4_full(benchmark, rows):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print()
+    print(format_table4(result))
+    for row in result:
+        paper_cycles = PAPER_TABLE4[row.case.name][0]
+        record(benchmark, **{
+            f"case_{row.case.name}_cycles": row.stats.cycles,
+            f"case_{row.case.name}_paper": paper_cycles,
+            f"case_{row.case.name}_relative":
+                round(row.relative_performance, 2),
+        })
+        assert abs(row.stats.cycles - paper_cycles) / paper_cycles < 0.02
+
+
+@pytest.mark.parametrize("case_name,max_ratio", [
+    ("B", 1.4), ("C", 1.7), ("D", 2.1), ("E", 1.6)])
+def test_case_speedups(rows, case_name, max_ratio, benchmark):
+    reference = rows[0].stats.cycles
+
+    def measure():
+        row = next(r for r in rows if r.case.name == case_name)
+        return reference / row.stats.cycles
+
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    paper_relative = PAPER_TABLE4[case_name][2]
+    record(benchmark, speedup=round(speedup, 2), paper=paper_relative)
+    assert speedup == pytest.approx(paper_relative, abs=0.1)
+    assert speedup < max_ratio

@@ -1,0 +1,80 @@
+"""Beyond Figure 3: folding gains across the whole workload suite.
+
+The paper: "The performance improvements shown for the example are meant
+to be illustrative ... The actual improvement is a function of the
+particular application being run." This bench quantifies that: the
+folding speedup tracks each program's dynamic branch fraction.
+"""
+
+import pytest
+
+from conftest import record
+from repro.eval.sweeps import fold_policy_sweep
+from repro.lang import compile_source
+from repro.sim.functional import run_program
+from repro.workloads import get_workload
+
+WORKLOADS = ["alternating", "strings", "matrix", "collatz", "sieve"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fold_policy_sweep(WORKLOADS)
+
+
+def test_folding_speedup_per_workload(benchmark, sweep):
+    def speedups():
+        table = sweep.cycles_table()
+        return {name: table[name]["none"] / table[name]["crisp"]
+                for name in WORKLOADS}
+
+    values = benchmark.pedantic(speedups, rounds=1, iterations=1)
+    print()
+    for name, speedup in values.items():
+        print(f"  {name:<12} folding speedup {speedup:.3f}x")
+        record(benchmark, **{f"{name}_speedup": round(speedup, 3)})
+    assert all(speedup > 1.0 for speedup in values.values())
+
+
+def test_speedup_tracks_branch_fraction(benchmark, sweep):
+    """More branches folded away -> bigger win: the rank correlation
+    between branch fraction and folding speedup must be positive."""
+    def correlate():
+        table = sweep.cycles_table()
+        rows = []
+        for name in WORKLOADS:
+            stats = run_program(
+                compile_source(get_workload(name).source)).stats
+            speedup = table[name]["none"] / table[name]["crisp"]
+            rows.append((stats.branch_fraction, speedup))
+        rows.sort()
+        fractions = [rank for rank, _ in enumerate(rows)]
+        by_speedup = sorted(range(len(rows)), key=lambda i: rows[i][1])
+        # Spearman-style: concordant pair excess
+        concordant = sum(
+            1 for i in range(len(rows)) for j in range(i + 1, len(rows))
+            if (rows[i][0] - rows[j][0]) * (rows[i][1] - rows[j][1]) > 0)
+        discordant = sum(
+            1 for i in range(len(rows)) for j in range(i + 1, len(rows))
+            if (rows[i][0] - rows[j][0]) * (rows[i][1] - rows[j][1]) < 0)
+        return rows, concordant, discordant
+
+    rows, concordant, discordant = benchmark.pedantic(
+        correlate, rounds=1, iterations=1)
+    for fraction, speedup in rows:
+        print(f"  branch fraction {fraction:.3f} -> speedup {speedup:.3f}x")
+    record(benchmark, concordant=concordant, discordant=discordant)
+    assert concordant > discordant
+
+
+def test_crisp_policy_near_fold_all_everywhere(benchmark, sweep):
+    def marginal():
+        table = sweep.cycles_table()
+        return {name: (table[name]["crisp"] - table[name]["all"])
+                / table[name]["crisp"] for name in WORKLOADS}
+
+    values = benchmark.pedantic(marginal, rounds=1, iterations=1)
+    record(benchmark, **{f"{k}_extra": round(v, 4)
+                         for k, v in values.items()})
+    # folding everything buys at most a few percent anywhere
+    assert all(value < 0.08 for value in values.values())

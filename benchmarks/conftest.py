@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, records the
+reproduced numbers in the benchmark's ``extra_info`` (so they land in the
+pytest-benchmark report), and prints them (visible with ``-s``).
+"""
+
+import pytest
+
+
+def record(benchmark, **info):
+    """Attach reproduced numbers to the benchmark report and print them."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+        print(f"  {key} = {value}")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (tables take seconds; we
+    want the regenerated numbers, not microsecond timing statistics)."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,78 @@
+"""Working below the compiler: assembly, encoding, and decoded entries.
+
+Shows the substrate layers directly — assemble a hand-written program,
+inspect the parcel encoding (1/3/5-parcel instructions, the 10-bit
+branch offsets), watch the folder build Decoded Instruction Cache
+entries with Next-PC / Alternate Next-PC fields, and single-step the
+cycle-accurate machine.
+
+Run:  python examples/assembler_playground.py
+"""
+
+from repro.asm import assemble, disassemble
+from repro.core import FoldPolicy, decode_entry
+from repro.isa.encoding import encode_instruction
+from repro.sim import CrispCpu
+from repro.sim.memory import Memory
+
+SOURCE = """
+        .entry main
+        .word counter, 0
+        .word limit, 12
+main:   enter 0
+loop:   add counter, $1
+        cmp.s< counter, limit
+        iftjmpy loop
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+
+    print("=== listing ===")
+    print(program.listing())
+
+    print()
+    print("=== parcel encodings ===")
+    for address, instruction in zip(program.addresses, program.instructions):
+        parcels = encode_instruction(instruction)
+        hexes = " ".join(f"{p:04x}" for p in parcels)
+        print(f"  {address:#06x}: {hexes:<16} {instruction} "
+              f"({len(parcels)} parcel{'s' if len(parcels) > 1 else ''})")
+
+    print()
+    print("=== disassembly round-trip ===")
+    image = program.parcel_image()
+    parcels = [image[a] for a in sorted(image)]
+    for line in disassemble(parcels, program.code_base):
+        print(f"  {line}")
+
+    print()
+    print("=== decoded instruction cache entries (with folding) ===")
+    memory = Memory()
+    memory.load_program(program)
+    for address in program.addresses:
+        entry = decode_entry(memory.read_parcel, address, FoldPolicy.crisp())
+        folded = "FOLDED " if entry.is_folded else "       "
+        print(f"  {folded}{entry}")
+
+    print()
+    print("=== single-stepping the pipeline ===")
+    cpu = CrispCpu(program)
+    for cycle in range(24):
+        cpu.step()
+        slot = cpu.eu.rr
+        executing = (str(slot.entry) if slot is not None and slot.valid
+                     else "(bubble)")
+        print(f"  cycle {cycle + 1:2d}: RR = {executing}")
+        if cpu.halted:
+            break
+    cpu.run()
+    print()
+    print(f"finished: {cpu.stats.summary()}")
+    print(f"counter = {cpu.read_symbol('counter')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Branch-prediction laboratory: measure every scheme on your program.
+
+The paper compared one static bit against 1/2/3 bits of dynamic history
+by instrumenting a compiler so all schemes measured a live run at once.
+This example does the same for a program of your choice, then adds the
+schemes the paper argues against (BTB, MU5 jump trace) — and shows the
+alternating-branch pathology that makes static beat dynamic.
+
+Run:  python examples/branch_prediction_lab.py
+"""
+
+from repro.lang import compile_source
+from repro.predict import (
+    BranchTargetBuffer,
+    CounterPredictor,
+    JumpTrace,
+    OptimalStaticPredictor,
+    PredictionStudy,
+)
+from repro.predict.harness import measure_predictors
+from repro.trace import TROFF_LIKE
+
+# a program with three kinds of branches: a predictable loop, a biased
+# guard, and an alternating condition
+SOURCE = """
+int hits; int misses; int toggles;
+
+int main()
+{
+    int i;
+    for (i = 0; i < 3000; i++) {
+        if (i % 100 == 99)      /* rare: strongly biased not-taken */
+            misses++;
+        else
+            hits++;
+        if (i & 1)              /* alternates every iteration */
+            toggles++;
+    }
+    return hits + misses + toggles;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+
+    print("=== paper line-up (optimal static, 1/2/3-bit dynamic) ===")
+    study = measure_predictors(program)
+    for name, accuracy in study.accuracies().items():
+        print(f"  {name:<16} {accuracy:6.1%}")
+    print(f"  ({study.events} dynamic conditional branches)")
+
+    print()
+    print("=== full zoo on the same program ===")
+    zoo = PredictionStudy([
+        OptimalStaticPredictor(),
+        CounterPredictor(1),
+        CounterPredictor(2),
+        BranchTargetBuffer(sets=128, ways=4),
+        BranchTargetBuffer(sets=4, ways=1),
+        JumpTrace(entries=8),
+    ])
+    from repro.trace import capture_trace
+    zoo.observe_all(capture_trace(program, conditional_only=True))
+    for name, accuracy in zoo.accuracies().items():
+        print(f"  {name:<16} {accuracy:6.1%}")
+
+    print()
+    print("=== the alternating-branch pathology (paper, Table 1) ===")
+    print("an if that flips every iteration: static gets exactly 50%,")
+    print("every dynamic scheme gets ~0%:")
+    pathological = PredictionStudy()
+    from repro.trace.events import BranchEvent
+    outcome = True
+    for _ in range(1000):
+        pathological.observe(BranchEvent(0x1000, outcome))
+        outcome = not outcome
+    for name, accuracy in pathological.accuracies().items():
+        print(f"  {name:<16} {accuracy:6.1%}")
+
+    print()
+    print("=== a synthetic 'large program' trace (troff-like) ===")
+    big = PredictionStudy()
+    big.observe_all(TROFF_LIKE.generate(50_000))
+    for name, accuracy in big.accuracies().items():
+        print(f"  {name:<16} {accuracy:6.1%}   "
+              f"(paper troff row: {TROFF_LIKE.paper_row})")
+        break  # header printed once; show whole row below
+    print(f"  all schemes: {[round(a, 3) for a in big.row()]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduction of *Branch Folding in the CRISP Microprocessor* (ISCA 1987).
+
+Subpackages
+-----------
+
+``repro.isa``
+    The CRISP-like instruction set: parcels, opcodes, operands, encoding.
+``repro.asm``
+    Two-pass assembler and disassembler.
+``repro.lang``
+    The mini-C compiler ("crispcc") with branch-spreading and static
+    prediction-bit passes.
+``repro.core``
+    The paper's contribution: decoded-instruction form, fold policy and the
+    Next-PC / Alternate Next-PC datapath.
+``repro.sim``
+    Functional (architectural) and cycle-accurate pipeline simulators.
+``repro.predict``
+    Branch-predictor zoo and the simultaneous-measurement harness.
+``repro.baselines``
+    VAX-like instruction-count baseline and a delayed-branch machine.
+``repro.trace``
+    Branch-trace capture and synthetic workload generators.
+``repro.workloads``
+    Mini-C benchmark programs, including the paper's Figure-3 loop.
+``repro.eval``
+    Harness that regenerates every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"

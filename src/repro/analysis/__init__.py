@@ -1,0 +1,33 @@
+"""Static program analysis over assembled Programs.
+
+Control-flow-graph construction (:mod:`repro.analysis.cfg`) and the
+static statistics (:mod:`repro.analysis.static_stats`) behind two of the
+paper's design arguments:
+
+* "basic block sizes in CRISP are typically short, on the order of 3
+  instructions, [so] branch prediction would be a better technique than
+  delayed branch" — measured by :func:`basic_block_profile`;
+* the fold policy's coverage: how many static branch sites the
+  1-/3-parcel-body × 1-parcel-branch rule captures
+  (:func:`fold_opportunity_profile`).
+"""
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.static_stats import (
+    StaticProfile,
+    basic_block_profile,
+    fold_opportunity_profile,
+    length_histogram,
+    static_profile,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "StaticProfile",
+    "basic_block_profile",
+    "fold_opportunity_profile",
+    "length_histogram",
+    "static_profile",
+]

@@ -1,0 +1,144 @@
+"""Control-flow graph construction from an assembled Program.
+
+Standard leader analysis at the machine level: a new basic block starts
+at the program entry, at every branch target, and after every
+control-transfer instruction. Edges follow the static transfers
+(fall-through, branch target, both for conditionals); calls edge to the
+callee *and* fall through (the return edge is implicit), and dynamic
+targets (returns, indirect jumps) end their block with no static
+successors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.isa.instructions import BranchMode, Instruction
+from repro.isa.opcodes import OpClass
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    start: int  #: byte address of the first instruction
+    instructions: list[Instruction] = field(default_factory=list)
+    addresses: list[int] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)  #: block start addrs
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Instruction count (the paper's basic-block-size metric)."""
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The control transfer ending the block, if any."""
+        if self.instructions and self.instructions[-1].is_branch:
+            return self.instructions[-1]
+        return None
+
+
+@dataclass
+class ControlFlowGraph:
+    """All basic blocks of a program, keyed by start address."""
+
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    entry: int = 0
+
+    def __iter__(self):
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block_sizes(self) -> list[int]:
+        return [block.size for block in self.blocks.values()]
+
+    def reachable_from_entry(self) -> set[int]:
+        """Block start addresses reachable over static edges."""
+        seen: set[int] = set()
+        work = [self.entry]
+        while work:
+            address = work.pop()
+            if address in seen or address not in self.blocks:
+                continue
+            seen.add(address)
+            work.extend(self.blocks[address].successors)
+        return seen
+
+    def to_dot(self) -> str:
+        """Graphviz rendering (block address + size per node)."""
+        lines = ["digraph cfg {", "  node [shape=box];"]
+        for block in self.blocks.values():
+            label = f"{block.start:#x}\\n{block.size} instr"
+            lines.append(f'  b{block.start:x} [label="{label}"];')
+            for successor in block.successors:
+                lines.append(f"  b{block.start:x} -> b{successor:x};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _static_target(instruction: Instruction, address: int) -> int | None:
+    spec = instruction.branch
+    if spec is None:
+        return None
+    if spec.mode is BranchMode.PC_RELATIVE:
+        return address + spec.value
+    if spec.mode is BranchMode.ABSOLUTE:
+        return spec.value
+    return None  # indirect
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Build the control-flow graph of ``program``."""
+    # pass 1: leaders
+    leaders: set[int] = {program.entry}
+    if program.addresses:
+        leaders.add(program.addresses[0])
+    for address, instruction in zip(program.addresses,
+                                    program.instructions):
+        if instruction.is_branch:
+            target = _static_target(instruction, address)
+            if target is not None:
+                leaders.add(target)
+            follower = address + instruction.length_bytes()
+            if program.index_of(follower) is not None:
+                leaders.add(follower)
+
+    # pass 2: carve blocks
+    cfg = ControlFlowGraph(entry=program.entry)
+    current: BasicBlock | None = None
+    for address, instruction in zip(program.addresses,
+                                    program.instructions):
+        if address in leaders or current is None:
+            current = BasicBlock(address)
+            cfg.blocks[address] = current
+        current.instructions.append(instruction)
+        current.addresses.append(address)
+        if instruction.is_branch:
+            current = None
+
+    # pass 3: edges
+    for block in cfg.blocks.values():
+        last_address = block.addresses[-1]
+        last = block.instructions[-1]
+        fall_through = last_address + last.length_bytes()
+        if not last.is_branch:
+            if fall_through in cfg.blocks:
+                block.successors.append(fall_through)
+            continue
+        cls = last.op_class
+        target = _static_target(last, last_address)
+        if target is not None and target in cfg.blocks:
+            block.successors.append(target)
+        if cls in (OpClass.CONDJMP, OpClass.CALL) \
+                and fall_through in cfg.blocks:
+            # conditional fall-through; call returns to the next block
+            block.successors.append(fall_through)
+    for block in cfg.blocks.values():
+        for successor in block.successors:
+            cfg.blocks[successor].predecessors.append(block.start)
+    return cfg

@@ -1,0 +1,98 @@
+"""Static program statistics behind the paper's design arguments."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.cfg import build_cfg
+from repro.asm.program import Program
+from repro.core.policy import FoldPolicy
+
+
+@dataclass(frozen=True)
+class StaticProfile:
+    """Static (code-layout) statistics of one program."""
+
+    instructions: int
+    length_histogram: dict[int, int]  #: parcels -> count
+    branch_sites: int
+    one_parcel_branch_sites: int
+    foldable_sites: int  #: branch sites the given policy folds
+    basic_blocks: int
+    mean_block_size: float
+    median_block_size: float
+
+    @property
+    def one_parcel_branch_fraction(self) -> float:
+        return (self.one_parcel_branch_sites / self.branch_sites
+                if self.branch_sites else 0.0)
+
+    @property
+    def fold_coverage(self) -> float:
+        """Fraction of static branch sites the policy folds away."""
+        return (self.foldable_sites / self.branch_sites
+                if self.branch_sites else 0.0)
+
+
+def length_histogram(program: Program) -> dict[int, int]:
+    """Static parcel-length mix (the 1/3/5 distribution)."""
+    histogram: Counter = Counter()
+    for instruction in program.instructions:
+        histogram[instruction.length_parcels()] += 1
+    return dict(histogram)
+
+
+def fold_opportunity_profile(program: Program,
+                             policy: FoldPolicy | None = None
+                             ) -> tuple[int, int]:
+    """(branch sites, sites the policy folds into their predecessor)."""
+    policy = policy or FoldPolicy.crisp()
+    branches = 0
+    foldable = 0
+    previous = None
+    for instruction in program.instructions:
+        if instruction.is_branch:
+            branches += 1
+            if previous is not None and policy.can_fold(previous,
+                                                        instruction):
+                foldable += 1
+        previous = instruction if not instruction.is_branch else None
+    return branches, foldable
+
+
+def basic_block_profile(program: Program) -> tuple[int, float, float]:
+    """(block count, mean size, median size) over the program's CFG.
+
+    The paper: "basic block sizes in CRISP are typically short, on the
+    order of 3 instructions" — the reason prediction beat delay slots.
+    """
+    sizes = sorted(build_cfg(program).block_sizes())
+    if not sizes:
+        return 0, 0.0, 0.0
+    mean = sum(sizes) / len(sizes)
+    middle = len(sizes) // 2
+    median = (sizes[middle] if len(sizes) % 2
+              else (sizes[middle - 1] + sizes[middle]) / 2)
+    return len(sizes), mean, float(median)
+
+
+def static_profile(program: Program,
+                   policy: FoldPolicy | None = None) -> StaticProfile:
+    """Compute the full static profile of a program."""
+    histogram = length_histogram(program)
+    branches, foldable = fold_opportunity_profile(program, policy)
+    one_parcel = sum(
+        1 for instruction in program.instructions
+        if instruction.is_branch and instruction.length_parcels() == 1)
+    blocks, mean, median = basic_block_profile(program)
+    return StaticProfile(
+        instructions=len(program.instructions),
+        length_histogram=histogram,
+        branch_sites=branches,
+        one_parcel_branch_sites=one_parcel,
+        foldable_sites=foldable,
+        basic_blocks=blocks,
+        mean_block_size=mean,
+        median_block_size=median,
+    )

@@ -1,0 +1,26 @@
+"""Two-pass assembler and disassembler for the CRISP-like ISA.
+
+The assembler turns symbolic assembly text (the format used in the paper's
+Table 3 listings — ``add sum,i``, ``cmp.= Accum,0``, ``iftjmpy _5``) into a
+:class:`~repro.asm.program.Program`: a laid-out instruction image plus a
+symbol table and initialized data, ready to load into either simulator.
+
+Branch instructions are written with a single mnemonic per sense/prediction
+(``iftjmpy label``); the assembler picks the one-parcel PC-relative or the
+three-parcel absolute form automatically, iterating layout to a fixpoint
+(short branches shrink the program, which can bring more branches into the
+10-bit range).
+"""
+
+from repro.asm.assembler import AssemblyError, assemble
+from repro.asm.program import Program, DataItem
+from repro.asm.disassembler import disassemble, disassemble_one
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "Program",
+    "DataItem",
+    "disassemble",
+    "disassemble_one",
+]

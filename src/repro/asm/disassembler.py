@@ -1,0 +1,39 @@
+"""Disassembler: parcel streams back to readable assembly text."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.isa.encoding import decode_instruction
+from repro.isa.instructions import BranchMode, Instruction
+from repro.isa.parcels import PARCEL_BYTES
+
+
+def disassemble_one(parcels: Sequence[int], offset: int = 0,
+                    address: int | None = None) -> str:
+    """Disassemble one instruction; include its branch target address when
+    ``address`` (the instruction's own byte address) is supplied."""
+    instruction = decode_instruction(parcels, offset)
+    return format_instruction(instruction, address)
+
+
+def format_instruction(instruction: Instruction,
+                       address: int | None = None) -> str:
+    """Format an instruction, resolving PC-relative targets if possible."""
+    if (address is not None and instruction.branch is not None
+            and instruction.branch.mode is BranchMode.PC_RELATIVE):
+        target = address + instruction.branch.value
+        mnemonic = str(instruction).split()[0]
+        return f"{mnemonic} {target:#x}"
+    return str(instruction)
+
+
+def disassemble(parcels: Sequence[int], base_address: int = 0) -> list[str]:
+    """Disassemble a whole parcel stream into annotated lines."""
+    lines, offset = [], 0
+    while offset < len(parcels):
+        instruction = decode_instruction(parcels, offset)
+        address = base_address + offset * PARCEL_BYTES
+        lines.append(f"{address:#06x}  {format_instruction(instruction, address)}")
+        offset += instruction.length_parcels()
+    return lines

@@ -1,0 +1,22 @@
+"""Baseline machine models the paper compares against.
+
+* :mod:`repro.baselines.vax` — a VAX-like code-generation and dynamic
+  instruction-count model (Table 2 compares CRISP and VAX opcode
+  histograms for the Figure-3 program). It doubles as an independent
+  tree-walking interpreter of the mini-C language, used by the
+  differential tests as a second semantic reference.
+* :mod:`repro.baselines.delayed` — a delayed-branch pipeline cost model
+  (the paper's Case E and "Comparison to Other Schemes": with delayed
+  branches "the branch itself must still be executed; this requires at
+  least one clock cycle").
+"""
+
+from repro.baselines.vax import VaxRunResult, run_vax_model
+from repro.baselines.delayed import DelayedBranchModel, DelayedBranchResult
+
+__all__ = [
+    "VaxRunResult",
+    "run_vax_model",
+    "DelayedBranchModel",
+    "DelayedBranchResult",
+]

@@ -1,0 +1,486 @@
+"""VAX-like baseline: dynamic opcode counting for Table 2.
+
+Table 2 compares dynamic instruction mixes of the Figure-3 program
+compiled by "our standard compilers" for CRISP and for the VAX. We have
+no VAX compiler or hardware; what the table needs is only *which VAX
+instruction executes for each source construct, how many times*. This
+module therefore interprets the mini-C AST directly, counting the
+instructions a classic VAX code generator would select:
+
+* ``x = 0`` → ``clrl``; ``x = e`` → ``movl``; ``x++``/``x += 1`` →
+  ``incl`` (``decl`` for decrement); ``x op= e`` / ``x = x op e`` →
+  ``addl2``-family two-operand forms;
+* subexpressions → ``addl3``-family three-operand forms;
+* ``if (a < b)`` → ``cmpl`` + ``jgeq``-family (branch around on the
+  inverted condition); ``if (a & mask)`` → ``bitl`` + ``jeql``/``jneq``;
+  other conditions → ``tstl`` + ``jeql``/``jneq``;
+* loop back-edges and else-skips → ``jbr``; calls → ``pushl``/``calls``/
+  ``ret``.
+
+The interpreter also computes real results, making it an independent
+reference implementation of mini-C semantics for the differential tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.parcels import to_s32, to_u32
+from repro.lang import astnodes as ast
+from repro.lang.lexer import CompileError
+from repro.lang.parser import parse
+
+_BIN2 = {"+": "addl2", "-": "subl2", "*": "mull2", "/": "divl2",
+         "%": "reml2", "&": "bicl2", "|": "bisl2", "^": "xorl2",
+         "<<": "ashl", ">>": "ashl"}
+_BIN3 = {"+": "addl3", "-": "subl3", "*": "mull3", "/": "divl3",
+         "%": "reml3", "&": "bicl3", "|": "bisl3", "^": "xorl3",
+         "<<": "ashl", ">>": "ashl"}
+# branch-around mnemonics: the jump taken when the source condition FAILS
+_INVERTED_JUMP = {"==": "jneq", "!=": "jeql", "<": "jgeq", "<=": "jgtr",
+                  ">": "jleq", ">=": "jlss"}
+_JUMP = {"==": "jeql", "!=": "jneq", "<": "jlss", "<=": "jleq",
+         ">": "jgtr", ">=": "jgeq"}
+
+
+@dataclass
+class VaxRunResult:
+    """Outcome of a VAX-model run."""
+
+    opcode_counts: Counter = field(default_factory=Counter)
+    return_value: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.opcode_counts.values())
+
+    def table(self) -> list[tuple[str, int, float]]:
+        """(opcode, count, percent) rows, Table-2 style."""
+        total = self.total_instructions or 1
+        return [(name, count, 100.0 * count / total)
+                for name, count in self.opcode_counts.most_common()]
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class VaxModel:
+    """Tree-walking interpreter with VAX opcode accounting."""
+
+    def __init__(self, unit: ast.TranslationUnit,
+                 max_instructions: int = 50_000_000,
+                 info=None) -> None:
+        self.unit = unit
+        self.info = info  #: SemaInfo for unsigned-type inference (optional)
+        self.result = VaxRunResult()
+        self.globals: dict[str, int] = {}
+        self.arrays: dict[str, list[int]] = {}
+        self.functions = {f.name: f for f in unit.functions}
+        self.max_instructions = max_instructions
+        for var in unit.globals:
+            if var.array_size is not None:
+                self.arrays[var.name] = [0] * var.array_size
+            else:
+                self.globals[var.name] = to_u32(var.initializer)
+
+    # ---- accounting ----------------------------------------------------------
+
+    def _unsigned(self, *exprs: ast.Expr) -> bool:
+        if self.info is None:
+            return False
+        return any(self.info.expr_is_unsigned(expr) for expr in exprs)
+
+    def count(self, opcode: str) -> None:
+        self.result.opcode_counts[opcode] += 1
+        if self.result.total_instructions > self.max_instructions:
+            raise RuntimeError("VAX model instruction budget exhausted")
+
+    # ---- entry ------------------------------------------------------------------
+
+    def run(self, entry: str = "main") -> VaxRunResult:
+        self.result.return_value = self.call(entry, [])
+        return self.result
+
+    def call(self, name: str, args: list[int]) -> int:
+        function = self.functions[name]
+        for _ in args:
+            self.count("pushl")
+        self.count("calls")
+        frame = dict(zip(function.params, args))
+        try:
+            self._block(function.body, frame)
+        except _Return as ret:
+            self.count("ret")
+            return ret.value
+        self.count("ret")
+        return 0
+
+    # ---- lvalues -------------------------------------------------------------------
+
+    def _load(self, name: str, frame: dict[str, int]) -> int:
+        if name in frame:
+            return frame[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise CompileError(f"undefined variable {name!r}", 0)
+
+    def _store(self, name: str, frame: dict[str, int], value: int) -> None:
+        value = to_u32(value)
+        if name in frame:
+            frame[name] = value
+        else:
+            self.globals[name] = value
+
+    def _array_slot(self, expr: ast.ArrayIndex,
+                    frame: dict[str, int]) -> tuple[list[int], int]:
+        assert isinstance(expr.base, ast.VarRef)
+        array = self.arrays[expr.base.name]
+        index = to_s32(self._eval(expr.index, frame))
+        if not 0 <= index < len(array):
+            raise IndexError(
+                f"{expr.base.name}[{index}] out of range (line {expr.line})")
+        return array, index
+
+    # ---- statements -------------------------------------------------------------------
+
+    def _block(self, block: ast.Block, frame: dict[str, int]) -> None:
+        for stmt in block.statements:
+            self._statement(stmt, frame)
+
+    def _statement(self, stmt: ast.Stmt, frame: dict[str, int]) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt, frame)
+        elif isinstance(stmt, ast.Declaration):
+            if stmt.initializer is not None:
+                if (isinstance(stmt.initializer, ast.IntLiteral)
+                        and stmt.initializer.value == 0):
+                    self.count("clrl")
+                    frame[stmt.name] = 0
+                else:
+                    value = self._eval(stmt.initializer, frame)
+                    self.count("movl")
+                    frame[stmt.name] = to_u32(value)
+            else:
+                frame[stmt.name] = 0
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._eval_effect(stmt.expr, frame)
+        elif isinstance(stmt, ast.If):
+            taken = self._condition(stmt.condition, frame)
+            if taken:
+                self._statement(stmt.then_branch, frame)
+                if stmt.else_branch is not None:
+                    self.count("jbr")  # skip the else clause
+            elif stmt.else_branch is not None:
+                self._statement(stmt.else_branch, frame)
+        elif isinstance(stmt, ast.While):
+            self._loop(stmt.condition, stmt.body, None, frame,
+                       test_first=True)
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop(stmt.condition, stmt.body, None, frame,
+                       test_first=False)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._statement(stmt.init, frame)
+            self._loop(stmt.condition, stmt.body, stmt.step, frame,
+                       test_first=True)
+        elif isinstance(stmt, ast.Switch):
+            self._switch(stmt, frame)
+        elif isinstance(stmt, ast.Return):
+            value = 0
+            if stmt.value is not None:
+                value = self._eval(stmt.value, frame)
+                self.count("movl")  # result into r0
+            raise _Return(to_u32(value))
+        elif isinstance(stmt, ast.Break):
+            self.count("jbr")
+            raise _Break
+        elif isinstance(stmt, ast.Continue):
+            self.count("jbr")
+            raise _Continue
+        else:
+            raise CompileError(f"unhandled {type(stmt).__name__}", stmt.line)
+
+    def _switch(self, stmt: ast.Switch, frame: dict[str, int]) -> None:
+        # VAX has a real `casel` dispatch instruction
+        selector = to_s32(self._eval(stmt.selector, frame))
+        self.count("casel")
+        start = None
+        default = None
+        for index, clause in enumerate(stmt.clauses):
+            if selector in clause.values and start is None:
+                start = index
+            if clause.is_default:
+                default = index
+        if start is None:
+            start = default
+        if start is None:
+            return
+        try:
+            for clause in stmt.clauses[start:]:  # C fall-through
+                for inner in clause.statements:
+                    self._statement(inner, frame)
+        except _Break:
+            pass
+
+    def _loop(self, condition: ast.Expr | None, body: ast.Stmt,
+              step: ast.Expr | None, frame: dict[str, int],
+              test_first: bool) -> None:
+        # VAX-style test-at-top loop: cmp + conditional exit each
+        # iteration test, jbr for the back edge
+        first = True
+        while True:
+            if condition is not None and (test_first or not first):
+                if not self._condition(condition, frame):
+                    break
+            elif condition is not None and first and not test_first:
+                pass  # do-while: first iteration unconditional
+            first = False
+            try:
+                self._statement(body, frame)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if step is not None:
+                self._eval_effect(step, frame)
+            self.count("jbr")  # back edge
+        # loop exit: the failing conditional jump was already counted
+
+    # ---- conditions --------------------------------------------------------------------------
+
+    def _condition(self, condition: ast.Expr, frame: dict[str, int]) -> bool:
+        """Evaluate a branch condition, counting compare+jump the way a
+        VAX code generator emits them."""
+        if isinstance(condition, ast.Unary) and condition.op == "!":
+            return not self._condition(condition.operand, frame)
+        if isinstance(condition, ast.Logical):
+            left = self._condition(condition.left, frame)
+            if condition.op == "&&":
+                return self._condition(condition.right, frame) if left else False
+            return True if left else self._condition(condition.right, frame)
+        if isinstance(condition, ast.Binary) and condition.op in _JUMP:
+            unsigned = self._unsigned(condition.left, condition.right)
+            convert = to_u32 if unsigned else to_s32
+            left = convert(self._eval(condition.left, frame))
+            right = convert(self._eval(condition.right, frame))
+            self.count("cmpl")
+            self.count(_INVERTED_JUMP[condition.op])
+            return {"==": left == right, "!=": left != right,
+                    "<": left < right, "<=": left <= right,
+                    ">": left > right, ">=": left >= right}[condition.op]
+        if isinstance(condition, ast.Binary) and condition.op == "&":
+            value = self._eval(condition, frame, as_test=True)
+            self.count("bitl")
+            self.count("jeql")
+            return value != 0
+        value = self._eval(condition, frame)
+        self.count("tstl")
+        self.count("jeql")
+        return to_u32(value) != 0
+
+    # ---- expressions ------------------------------------------------------------------------------
+
+    def _eval_effect(self, expr: ast.Expr, frame: dict[str, int]) -> None:
+        if isinstance(expr, ast.IncDec):
+            self._incdec(expr, frame)
+            return
+        if isinstance(expr, ast.Assign):
+            self._assign(expr, frame)
+            return
+        if isinstance(expr, ast.Call):
+            self._call_expr(expr, frame)
+            return
+        self._eval(expr, frame)
+
+    def _incdec(self, expr: ast.IncDec, frame: dict[str, int]) -> int:
+        self.count("incl" if expr.op == "++" else "decl")
+        delta = 1 if expr.op == "++" else -1
+        if isinstance(expr.target, ast.VarRef):
+            old = self._load(expr.target.name, frame)
+            self._store(expr.target.name, frame, old + delta)
+        else:
+            array, index = self._array_slot(expr.target, frame)
+            old = array[index]
+            array[index] = to_u32(old + delta)
+        return to_u32(old + delta) if expr.is_prefix else old
+
+    def _assign(self, expr: ast.Assign, frame: dict[str, int]) -> int:
+        target = expr.target
+        if expr.op != "=":
+            op = expr.op[:-1]
+            left = self._read_lvalue(target, frame)
+            right = self._eval(expr.value, frame)
+            if op in ("+", "-") and isinstance(expr.value, ast.IntLiteral) \
+                    and expr.value.value == 1:
+                self.count("incl" if op == "+" else "decl")
+            else:
+                self.count(_BIN2[op])
+            value = _arith(op, left, right,
+                           self._unsigned(target, expr.value))
+            self._write_lvalue(target, frame, value)
+            return value
+        # plain assignment: recognize clrl / incl / two-operand forms
+        value_expr = expr.value
+        if isinstance(value_expr, ast.IntLiteral) and value_expr.value == 0:
+            self.count("clrl")
+            self._write_lvalue(target, frame, 0)
+            return 0
+        if (isinstance(value_expr, ast.Binary)
+                and value_expr.op in _BIN2
+                and _same_lvalue(target, value_expr.left)):
+            left = self._read_lvalue(target, frame)
+            right = self._eval(value_expr.right, frame)
+            if value_expr.op in ("+", "-") and isinstance(
+                    value_expr.right, ast.IntLiteral) \
+                    and value_expr.right.value == 1:
+                self.count("incl" if value_expr.op == "+" else "decl")
+            else:
+                self.count(_BIN2[value_expr.op])
+            value = _arith(value_expr.op, left, right,
+                           self._unsigned(target, value_expr.right))
+            self._write_lvalue(target, frame, value)
+            return value
+        value = self._eval(value_expr, frame)
+        self.count("movl")
+        self._write_lvalue(target, frame, value)
+        return to_u32(value)
+
+    def _read_lvalue(self, target: ast.Expr, frame: dict[str, int]) -> int:
+        if isinstance(target, ast.VarRef):
+            return self._load(target.name, frame)
+        array, index = self._array_slot(target, frame)
+        return array[index]
+
+    def _write_lvalue(self, target: ast.Expr, frame: dict[str, int],
+                      value: int) -> None:
+        if isinstance(target, ast.VarRef):
+            self._store(target.name, frame, value)
+        else:
+            array, index = self._array_slot(target, frame)
+            array[index] = to_u32(value)
+
+    def _call_expr(self, expr: ast.Call, frame: dict[str, int]) -> int:
+        args = [to_u32(self._eval(arg, frame)) for arg in expr.args]
+        return self.call(expr.name, args)
+
+    def _eval(self, expr: ast.Expr, frame: dict[str, int],
+              as_test: bool = False) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            return to_u32(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return self._load(expr.name, frame)
+        if isinstance(expr, ast.ArrayIndex):
+            array, index = self._array_slot(expr, frame)
+            return array[index]
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                self.count("mnegl")
+                return to_u32(-to_s32(value))
+            if expr.op == "~":
+                self.count("mcoml")
+                return to_u32(~value)
+            self.count("tstl")
+            return 0 if to_u32(value) else 1
+        if isinstance(expr, ast.IncDec):
+            return self._incdec(expr, frame)
+        if isinstance(expr, ast.Binary):
+            if expr.op in _JUMP:
+                unsigned = self._unsigned(expr.left, expr.right)
+                convert = to_u32 if unsigned else to_s32
+                left = convert(self._eval(expr.left, frame))
+                right = convert(self._eval(expr.right, frame))
+                self.count("cmpl")
+                self.count(_JUMP[expr.op])  # materialized via branch
+                return int({"==": left == right, "!=": left != right,
+                            "<": left < right, "<=": left <= right,
+                            ">": left > right, ">=": left >= right}[expr.op])
+            left = self._eval(expr.left, frame)
+            right = self._eval(expr.right, frame)
+            if not as_test:
+                self.count(_BIN3[expr.op])
+            return _arith(expr.op, left, right,
+                          self._unsigned(expr.left, expr.right))
+        if isinstance(expr, ast.Logical):
+            left = self._condition(expr.left, frame)
+            if expr.op == "&&":
+                result = self._condition(expr.right, frame) if left else False
+            else:
+                result = True if left else self._condition(expr.right, frame)
+            return int(result)
+        if isinstance(expr, ast.Conditional):
+            if self._condition(expr.condition, frame):
+                value = self._eval(expr.when_true, frame)
+                self.count("movl")
+                self.count("jbr")
+            else:
+                value = self._eval(expr.when_false, frame)
+                self.count("movl")
+            return to_u32(value)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr, frame)
+        if isinstance(expr, ast.Call):
+            return self._call_expr(expr, frame)
+        raise CompileError(f"unhandled {type(expr).__name__}", expr.line)
+
+
+def _same_lvalue(a: ast.Expr, b: ast.Expr) -> bool:
+    if isinstance(a, ast.VarRef) and isinstance(b, ast.VarRef):
+        return a.name == b.name
+    return False
+
+
+def _arith(op: str, left: int, right: int, unsigned: bool = False) -> int:
+    sl, sr = to_s32(left), to_s32(right)
+    if op == "+":
+        return to_u32(sl + sr)
+    if op == "-":
+        return to_u32(sl - sr)
+    if op == "*":
+        return to_u32(sl * sr)
+    if op == "/":
+        if unsigned:
+            return to_u32(left) // to_u32(right) if to_u32(right) else 0
+        return to_u32(int(sl / sr)) if sr else 0
+    if op == "%":
+        if unsigned:
+            return to_u32(left) % to_u32(right) if to_u32(right) else 0
+        return to_u32(sl - int(sl / sr) * sr) if sr else 0
+    if op == "&":
+        return to_u32(left & right)
+    if op == "|":
+        return to_u32(left | right)
+    if op == "^":
+        return to_u32(left ^ right)
+    if op == "<<":
+        return to_u32(left << (right & 31))
+    if unsigned:
+        return to_u32(left) >> (right & 31)
+    return to_u32(sl >> (right & 31))
+
+
+def run_vax_model(source: str,
+                  max_instructions: int = 50_000_000) -> VaxRunResult:
+    """Parse mini-C ``source`` and run the VAX count model.
+
+    The source is validated with the front end's semantic analysis first,
+    so the model only ever interprets well-formed programs (matching what
+    crispcc accepts).
+    """
+    from repro.lang.sema import analyze
+
+    unit = parse(source)
+    info = analyze(unit)
+    return VaxModel(unit, max_instructions, info).run()

@@ -1,0 +1,30 @@
+"""Branch Folding — the paper's primary contribution.
+
+The CRISP prefetch/decode unit rewrites the instruction stream into a
+*Decoded Instruction Cache* whose every entry carries a **Next-PC** field,
+effectively turning every instruction into a branch; a separate branch
+instruction that follows a non-branching instruction is therefore
+redundant and is *folded* into it at decode time
+(:mod:`repro.core.folder`). Conditional branches additionally carry an
+**Alternate Next-PC** holding the path not chosen by the static prediction
+bit (:mod:`repro.core.nextpc` mirrors the Figure-2 datapath that computes
+both fields, including the 2-bit *branch adjust* that re-bases a folded
+branch's PC-relative offset). :mod:`repro.core.policy` captures which
+instruction pairs CRISP folds (one- and three-parcel non-branching
+instructions with one-parcel branches) and the ablation variants.
+"""
+
+from repro.core.decoded import DecodedEntry
+from repro.core.policy import FoldPolicy
+from repro.core.folder import BranchFolder, decode_entry
+from repro.core.nextpc import branch_adjust, compute_next_pcs, fold_target
+
+__all__ = [
+    "DecodedEntry",
+    "FoldPolicy",
+    "BranchFolder",
+    "decode_entry",
+    "branch_adjust",
+    "compute_next_pcs",
+    "fold_target",
+]

@@ -1,0 +1,118 @@
+"""The canonical decoded-instruction form.
+
+On the real chip every Decoded Instruction Cache entry is a fixed 192-bit
+word — control fields, both operands, a 31-bit Next-PC and a 31-bit
+Alternate Next-PC — "similar to a horizontal microinstruction".
+:class:`DecodedEntry` is the behavioural analogue: the (possibly folded)
+instruction pair plus the two next-address fields and the control bits the
+execution unit consumes (the sets-CC bit is carried with each pipeline
+stage on the real machine; see the paper's "Practical Considerations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import BranchKind
+
+
+@dataclass(frozen=True)
+class DecodedEntry:
+    """One Decoded Instruction Cache entry.
+
+    Exactly one of these shapes holds:
+
+    * plain instruction — ``body`` set, ``branch`` None;
+    * standalone branch — ``body`` None, ``branch`` set;
+    * folded pair — both set (the paper's Branch Folding case).
+
+    ``next_pc`` is the address the EU fetches next when this entry follows
+    its selected path; ``alt_pc`` is the other path of a conditional branch
+    (carried down the pipeline for misprediction recovery) and None
+    otherwise. ``next_pc`` is None only for *dynamic* targets (returns and
+    indirect jumps), which cannot be precomputed at decode time.
+    """
+
+    address: int  #: byte address of the first parcel (the cache tag)
+    body: Instruction | None
+    branch: Instruction | None
+    next_pc: int | None
+    alt_pc: int | None
+    length_bytes: int  #: total parcels consumed, in bytes
+
+    def __post_init__(self) -> None:
+        if self.body is None and self.branch is None:
+            raise ValueError("decoded entry needs a body or a branch")
+        if self.body is not None and self.body.is_branch:
+            raise ValueError("entry body must be a non-branching instruction")
+
+    # ---- control bits read by the execution unit -------------------------
+
+    @property
+    def sets_cc(self) -> bool:
+        """True if executing this entry writes the condition-code flag."""
+        return self.body is not None and self.body.sets_flag
+
+    @property
+    def uses_cc(self) -> bool:
+        """True if this entry's next address depends on the flag."""
+        return (self.branch is not None
+                and self.branch.is_conditional_branch)
+
+    @property
+    def is_folded(self) -> bool:
+        """True when a branch was folded into a non-branch instruction."""
+        return self.body is not None and self.branch is not None
+
+    @property
+    def folds_compare_and_branch(self) -> bool:
+        """True for the d=0 case: a compare folded with the conditional
+        branch that consumes it (resolves only at the RR stage)."""
+        return self.sets_cc and self.uses_cc
+
+    @property
+    def dynamic_target(self) -> bool:
+        """True when the target is only known at execute time."""
+        return self.branch is not None and self.next_pc is None
+
+    @property
+    def predicted_taken(self) -> bool:
+        """Static prediction bit of the conditional branch."""
+        if not self.uses_cc:
+            raise ValueError("entry has no conditional branch")
+        assert self.branch is not None
+        return self.branch.predicted_taken
+
+    @property
+    def branch_sense(self) -> BranchKind:
+        """Sense of the branch (ALWAYS / IF_TRUE / IF_FALSE)."""
+        if self.branch is None:
+            raise ValueError("entry has no branch")
+        return self.branch.branch_sense
+
+    @property
+    def halts(self) -> bool:
+        """True if this entry stops the machine."""
+        from repro.isa.opcodes import Opcode
+        return self.body is not None and self.body.opcode is Opcode.HALT
+
+    def taken_when(self, flag: bool) -> bool:
+        """Would the branch transfer, given ``flag``?"""
+        sense = self.branch_sense
+        if sense is BranchKind.ALWAYS:
+            return True
+        if sense is BranchKind.IF_TRUE:
+            return flag
+        return not flag
+
+    def __str__(self) -> str:
+        parts = []
+        if self.body is not None:
+            parts.append(str(self.body))
+        if self.branch is not None:
+            parts.append(str(self.branch))
+        joined = " + ".join(parts) if self.is_folded else parts[0]
+        next_part = "dyn" if self.next_pc is None else f"{self.next_pc:#x}"
+        alt = f" alt={self.alt_pc:#x}" if self.alt_pc is not None else ""
+        return f"[{self.address:#x}: {joined} -> {next_part}{alt}]"

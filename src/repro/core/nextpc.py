@@ -1,0 +1,92 @@
+"""The Next-PC datapath (the paper's Figure 2).
+
+Three sources feed the Next-PC / Alternate Next-PC fields written into the
+Decoded Instruction Cache:
+
+1. **Sequential**: ``PDR.PC + ilen`` — the instruction's own address plus
+   its encoded length (for non-branches, and the fall-through path of a
+   conditional branch).
+2. **32-bit specifier**: a long branch's absolute address, taken directly
+   from the QB/QC parcels.
+3. **10-bit PC-relative offset** of a one-parcel branch, selected by the
+   ``tpcmx`` multiplexor from QA (unfolded), QB (folded after a one-parcel
+   instruction) or QD (folded after a three-parcel instruction), then added
+   to a **2-bit branch adjust** and to ``PDR.PC``. The adjust is needed
+   because the stored offset is relative to the *branch*, while a folded
+   entry's PC is the address of the instruction it folded into; the adjust
+   is simply the length of the instruction starting in the QA parcel.
+
+For conditional branches the static prediction bit decides which of the
+two computed addresses becomes Next-PC and which becomes the Alternate.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import BranchMode, Instruction
+from repro.isa.parcels import PARCEL_BYTES
+
+
+CRISP_ADJUST_BITS = 2
+"""Width of the branch-adjust field in CRISP silicon: folded bodies are 1
+or 3 parcels, so two bits suffice. The fold-everything ablation models
+hypothetical hardware with a wider field (part of the extra cost the
+paper declined to pay)."""
+
+
+def branch_adjust(body: Instruction | None,
+                  field_bits: int | None = None) -> int:
+    """The branch adjust, in parcels.
+
+    Zero for an unfolded branch (offset selected from QA, already relative
+    to the entry's own PC); otherwise the folded-into instruction's
+    length. Pass ``field_bits`` to enforce a hardware field width (CRISP's
+    is :data:`CRISP_ADJUST_BITS`).
+    """
+    if body is None:
+        return 0
+    adjust = body.length_parcels()
+    if field_bits is not None and adjust >= (1 << field_bits):
+        raise ValueError(
+            f"branch adjust {adjust} does not fit a {field_bits}-bit "
+            f"field; CRISP never folds after a five-parcel instruction")
+    return adjust
+
+
+def fold_target(entry_pc: int, body: Instruction | None,
+                branch: Instruction) -> int:
+    """Compute a static branch target for a (possibly folded) entry.
+
+    ``entry_pc`` is the cache entry's address — the folded-into
+    instruction's PC, or the branch's own PC when unfolded.
+    """
+    spec = branch.branch
+    assert spec is not None, "return has no decode-time target"
+    if spec.mode is BranchMode.PC_RELATIVE:
+        return entry_pc + branch_adjust(body) * PARCEL_BYTES + spec.value
+    if spec.mode is BranchMode.ABSOLUTE:
+        return spec.value
+    raise ValueError(f"{spec.mode} targets are dynamic")
+
+
+def compute_next_pcs(entry_pc: int, body: Instruction | None,
+                     branch: Instruction | None,
+                     length_bytes: int) -> tuple[int | None, int | None]:
+    """Compute the (Next-PC, Alternate Next-PC) pair for a decoded entry.
+
+    Returns ``(None, None)`` for dynamic targets (return / indirect), a
+    single sequential address for plain instructions, the branch target for
+    folded or standalone unconditional branches, and — for conditional
+    branches — the predicted path in Next-PC with the other path in the
+    Alternate field, per the static prediction bit.
+    """
+    sequential = entry_pc + length_bytes
+    if branch is None:
+        return sequential, None
+    if branch.branch is None or branch.branch.is_indirect:
+        return None, None  # return / indirect jump: resolved at execute
+    target = fold_target(entry_pc, body, branch)
+    if not branch.is_conditional_branch:
+        return target, None
+    if branch.predicted_taken:
+        return target, sequential
+    return sequential, target

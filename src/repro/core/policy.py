@@ -1,0 +1,79 @@
+"""Fold policy: which instruction pairs the decoder may fold.
+
+CRISP's shipping policy — the paper's "Implementation of Branch Folding"
+section — folds **one- and three-parcel non-branching instructions** with
+**one-parcel branches**; folding the remaining cases "significantly
+increases the amount of hardware required, with only a marginal increase
+in performance". The policy object makes that trade-off an explicit,
+sweepable parameter (see ``benchmarks/bench_ablation_fold_policy.py``).
+
+Only branches with decode-time-computable targets participate: returns and
+indirect jumps gain nothing from folding because their Next-PC cannot be
+placed in the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OpClass
+
+
+@dataclass(frozen=True)
+class FoldPolicy:
+    """Parameters deciding whether a (body, branch) pair folds."""
+
+    enabled: bool = True
+    body_lengths: frozenset[int] = frozenset({1, 3})
+    branch_lengths: frozenset[int] = frozenset({1})
+    fold_calls: bool = False  #: allow folding ``call`` (ablation only)
+    #: ablation of the decoded cache's *next-address field itself*: when
+    #: False, branch targets are not precomputed at decode — every branch
+    #: resolves only at the RR stage, like pre-BTB machines where "a
+    #: branch can interfere with program prefetching strategies"
+    next_address_fields: bool = True
+
+    @classmethod
+    def crisp(cls) -> "FoldPolicy":
+        """The policy implemented in CRISP silicon."""
+        return cls()
+
+    @classmethod
+    def none(cls) -> "FoldPolicy":
+        """Folding disabled — every branch occupies an EU pipeline slot
+        (the paper's cases A, B and E)."""
+        return cls(enabled=False)
+
+    @classmethod
+    def no_next_address(cls) -> "FoldPolicy":
+        """No Next-PC fields at all: the conventional machine the paper's
+        introduction describes, where branches break prefetching and
+        "performance would be reduced by a factor of three, unless
+        special precautions were taken" (the MU5 study)."""
+        return cls(enabled=False, next_address_fields=False)
+
+    @classmethod
+    def fold_all(cls) -> "FoldPolicy":
+        """Fold every foldable combination, including five-parcel bodies
+        and three-parcel branches — the hardware-expensive ablation the
+        paper declined to build."""
+        return cls(body_lengths=frozenset({1, 3, 5}),
+                   branch_lengths=frozenset({1, 3}), fold_calls=True)
+
+    def can_fold(self, body: Instruction, branch: Instruction) -> bool:
+        """May ``branch`` fold into the immediately preceding ``body``?"""
+        if not self.enabled:
+            return False
+        if body.is_branch or not branch.is_branch:
+            return False
+        cls = branch.op_class
+        if cls is OpClass.RETURN:
+            return False  # dynamic target: no Next-PC to precompute
+        if cls is OpClass.CALL and not self.fold_calls:
+            return False
+        if branch.branch is not None and branch.branch.is_indirect:
+            return False  # dynamic target
+        if body.length_parcels() not in self.body_lengths:
+            return False
+        return branch.length_parcels() in self.branch_lengths

@@ -1,0 +1,39 @@
+"""Evaluation harness: regenerates every table and figure in the paper.
+
+One module per exhibit:
+
+* :mod:`repro.eval.table1` — prediction-accuracy study (static vs 1/2/3
+  bits of dynamic history over six workloads);
+* :mod:`repro.eval.table2` — CRISP vs VAX dynamic opcode histograms for
+  the Figure-3 program;
+* :mod:`repro.eval.table3` — the Figure-3 loop before/after Branch
+  Spreading;
+* :mod:`repro.eval.table4` — execution statistics for cases A–E
+  (folding × prediction × spreading) on the cycle-accurate machine;
+* :mod:`repro.eval.figures` — the Figure-1 pipeline structure walk and
+  the Figure-2 Next-PC datapath exercise;
+* :mod:`repro.eval.branch_stats` — the in-text claims (one-parcel branch
+  fraction, dynamic branch frequency).
+
+``crisp-eval`` (see :mod:`repro.eval.cli`) prints any of them.
+"""
+
+from repro.eval.table1 import Table1Row, run_table1
+from repro.eval.table2 import Table2Result, run_table2
+from repro.eval.table3 import Table3Result, run_table3
+from repro.eval.table4 import CASE_DEFINITIONS, Table4Row, run_table4
+from repro.eval.branch_stats import BranchStatsRow, run_branch_stats
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "Table2Result",
+    "run_table2",
+    "Table3Result",
+    "run_table3",
+    "CASE_DEFINITIONS",
+    "Table4Row",
+    "run_table4",
+    "BranchStatsRow",
+    "run_branch_stats",
+]

@@ -1,0 +1,64 @@
+"""In-text claims: branch-format mix and dynamic branch frequency.
+
+The paper states that "around 95% of the branches executed are encoded in
+the one parcel instruction format" and that branches can be "as much as
+one third of all instructions executed". This module measures both over
+the workload suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import compile_source
+from repro.sim.functional import run_program
+from repro.workloads import SUITE, FIGURE3
+
+
+@dataclass(frozen=True)
+class BranchStatsRow:
+    """Branch statistics for one workload."""
+
+    program: str
+    instructions: int
+    branches: int
+    branch_fraction: float
+    one_parcel_fraction: float
+
+
+def run_branch_stats() -> list[BranchStatsRow]:
+    """Measure every suite program plus Figure 3."""
+    rows = []
+    sources = {"figure3": FIGURE3}
+    sources.update({name: wl.source for name, wl in SUITE.items()})
+    for name, source in sources.items():
+        stats = run_program(compile_source(source)).stats
+        rows.append(BranchStatsRow(
+            program=name,
+            instructions=stats.instructions,
+            branches=stats.branches,
+            branch_fraction=stats.branch_fraction,
+            one_parcel_fraction=stats.one_parcel_branch_fraction,
+        ))
+    return rows
+
+
+def aggregate_one_parcel_fraction(rows: list[BranchStatsRow]) -> float:
+    """Dynamic one-parcel fraction over all branches in all programs."""
+    total = sum(row.branches for row in rows)
+    one_parcel = sum(row.branches * row.one_parcel_fraction for row in rows)
+    return one_parcel / total if total else 0.0
+
+
+def format_branch_stats(rows: list[BranchStatsRow]) -> str:
+    lines = [f"{'Program':<12}{'Instrs':>10}{'Branches':>10}"
+             f"{'Branch %':>10}{'1-parcel %':>12}"]
+    for row in rows:
+        lines.append(
+            f"{row.program:<12}{row.instructions:>10}{row.branches:>10}"
+            f"{100 * row.branch_fraction:>9.1f}%"
+            f"{100 * row.one_parcel_fraction:>11.1f}%")
+    lines.append(f"aggregate one-parcel fraction: "
+                 f"{100 * aggregate_one_parcel_fraction(rows):.1f}% "
+                 f"(paper: ~95%)")
+    return "\n".join(lines)

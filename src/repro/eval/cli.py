@@ -1,0 +1,71 @@
+"""``crisp-eval``: print any reproduced table or figure."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-eval",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "exhibit",
+        choices=["table1", "table2", "table3", "table4", "figures",
+                 "branch-stats", "report", "all"],
+        help="which exhibit to regenerate ('report' renders everything "
+             "as markdown)")
+    parser.add_argument("--events", type=int, default=100_000,
+                        help="synthetic-trace length for table1")
+    args = parser.parse_args(argv)
+
+    if args.exhibit == "report":
+        from repro.eval.report import generate_report
+        print(generate_report(args.events))
+        return 0
+
+    wanted = (["table1", "table2", "table3", "table4", "figures",
+               "branch-stats"] if args.exhibit == "all" else [args.exhibit])
+
+    if "table1" in wanted:
+        from repro.eval.table1 import format_table1, run_table1
+        print("== Table 1: prediction accuracies ==")
+        print(format_table1(run_table1(args.events)))
+        print()
+    if "table2" in wanted:
+        from repro.eval.table2 import format_table2, run_table2
+        print("== Table 2: instruction counts (Figure-3 program) ==")
+        print(format_table2(run_table2()))
+        print()
+    if "table3" in wanted:
+        from repro.eval.table3 import format_table3, run_table3
+        print("== Table 3: loop before/after Branch Spreading ==")
+        print(format_table3(run_table3()))
+        print()
+    if "table4" in wanted:
+        from repro.eval.table4 import format_table4, run_table4
+        print("== Table 4: execution statistics, cases A-E ==")
+        print(format_table4(run_table4()))
+        print()
+    if "figures" in wanted:
+        from repro.eval.figures import nextpc_datapath_cases, pipeline_structure
+        print("== Figure 1: pipeline block activity ==")
+        for report in pipeline_structure():
+            print(f"  {report.block}: {report.activity}")
+        print("== Figure 2: Next-PC datapath cases ==")
+        for case in nextpc_datapath_cases():
+            next_text = ("dynamic" if case.next_pc is None
+                         else f"{case.next_pc:#x}")
+            alt_text = "" if case.alt_pc is None else f" alt={case.alt_pc:#x}"
+            print(f"  {case.description}: next={next_text}{alt_text} "
+                  f"(adjust {case.adjust_parcels})")
+        print()
+    if "branch-stats" in wanted:
+        from repro.eval.branch_stats import format_branch_stats, run_branch_stats
+        print("== In-text branch statistics ==")
+        print(format_branch_stats(run_branch_stats()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Figures 1 and 2: structural and datapath demonstrations.
+
+Figure 1 is the block diagram (PDU → Decoded Instruction Cache → EU);
+:func:`pipeline_structure` walks a short program through the simulator
+and reports what each block did — the reproducible content of a diagram.
+
+Figure 2 is the branch-folding datapath;
+:func:`nextpc_datapath_cases` exercises every Next-PC source the figure
+draws: sequential (PC + ilen), 32-bit specifier, and the 10-bit offset
+through the ``tpcmx`` mux with branch adjust 0 / 1 / 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm import assemble
+from repro.core.nextpc import branch_adjust, compute_next_pcs
+from repro.isa import BranchMode, BranchSpec, Instruction, Opcode, imm, sp_off
+from repro.isa.operands import absolute
+from repro.sim.cpu import CrispCpu
+
+
+@dataclass(frozen=True)
+class BlockReport:
+    """Activity of one Figure-1 block during a run."""
+
+    block: str
+    activity: dict
+
+
+def pipeline_structure(source: str | None = None) -> list[BlockReport]:
+    """Run a small program and report per-block activity (Figure 1)."""
+    if source is None:
+        source = """
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $7
+            iftjmpy loop
+            halt
+        """
+    cpu = CrispCpu(assemble(source))
+    cpu.run()
+    return [
+        BlockReport("Prefetch and Decode Unit", {
+            "memory_accesses": cpu.pdu.memory_accesses,
+            "entries_decoded": cpu.pdu.decoded_entries,
+        }),
+        BlockReport("Decoded Instruction Cache", {
+            "entries": cpu.icache.size,
+            "hits": cpu.icache.hits,
+            "misses": cpu.icache.misses,
+        }),
+        BlockReport("Execution Unit", {
+            "cycles": cpu.stats.cycles,
+            "issued": cpu.stats.issued_instructions,
+            "executed": cpu.stats.executed_instructions,
+            "folded_branches": cpu.stats.folded_branches,
+        }),
+    ]
+
+
+@dataclass(frozen=True)
+class NextPcCase:
+    """One exercised leg of the Figure-2 datapath."""
+
+    description: str
+    entry_pc: int
+    next_pc: int | None
+    alt_pc: int | None
+    adjust_parcels: int
+
+
+def nextpc_datapath_cases() -> list[NextPcCase]:
+    """Exercise every source of the Next-PC field (Figure 2)."""
+    pc = 0x1000
+    one_parcel = Instruction(Opcode.ADD, (sp_off(0), imm(1)))
+    three_parcel = Instruction(Opcode.ADD, (absolute(0x8000), imm(1)))
+    short_branch = Instruction(
+        Opcode.IFJMP_T_Y, (), BranchSpec(BranchMode.PC_RELATIVE, 0x20))
+    long_branch = Instruction(
+        Opcode.JMPL, (), BranchSpec(BranchMode.ABSOLUTE, 0x4000))
+
+    cases = []
+
+    next_pc, alt = compute_next_pcs(pc, one_parcel, None,
+                                    one_parcel.length_bytes())
+    cases.append(NextPcCase("sequential: PDR.PC + ilen",
+                            pc, next_pc, alt, 0))
+
+    next_pc, alt = compute_next_pcs(pc, None, long_branch,
+                                    long_branch.length_bytes())
+    cases.append(NextPcCase("32-bit specifier from QB:QC parcels",
+                            pc, next_pc, alt, 0))
+
+    next_pc, alt = compute_next_pcs(pc, None, short_branch,
+                                    short_branch.length_bytes())
+    cases.append(NextPcCase(
+        "10-bit offset from QA (unfolded, adjust 0)", pc, next_pc, alt, 0))
+
+    length = one_parcel.length_bytes() + short_branch.length_bytes()
+    next_pc, alt = compute_next_pcs(pc, one_parcel, short_branch, length)
+    cases.append(NextPcCase(
+        "10-bit offset from QB (folded after 1-parcel, adjust 1)",
+        pc, next_pc, alt, branch_adjust(one_parcel)))
+
+    length = three_parcel.length_bytes() + short_branch.length_bytes()
+    next_pc, alt = compute_next_pcs(pc, three_parcel, short_branch, length)
+    cases.append(NextPcCase(
+        "10-bit offset from QD (folded after 3-parcel, adjust 3)",
+        pc, next_pc, alt, branch_adjust(three_parcel)))
+
+    ret = Instruction(Opcode.RETURN)
+    next_pc, alt = compute_next_pcs(pc, None, ret, 2)
+    cases.append(NextPcCase(
+        "dynamic target (return: Next-PC from the stack at execute)",
+        pc, next_pc, alt, 0))
+    return cases

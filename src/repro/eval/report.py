@@ -1,0 +1,121 @@
+"""Full reproduction report: every exhibit, paper vs measured, as markdown.
+
+``crisp-eval report`` (or :func:`generate_report`) reruns the whole
+evaluation and emits a self-contained document — the machine-generated
+counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.eval.branch_stats import (
+    aggregate_one_parcel_fraction,
+    run_branch_stats,
+)
+from repro.eval.table1 import PAPER_TABLE1, run_table1
+from repro.eval.table2 import (
+    PAPER_CRISP_COUNTS,
+    PAPER_CRISP_TOTAL,
+    PAPER_VAX_COUNTS,
+    PAPER_VAX_TOTAL,
+    run_table2,
+)
+from repro.eval.table3 import run_table3
+from repro.eval.table4 import PAPER_TABLE4, run_table4
+
+
+def generate_report(synthetic_events: int = 60_000) -> str:
+    """Run every experiment and render a markdown report."""
+    sections = [
+        "# Reproduction report — Branch Folding in the CRISP "
+        "Microprocessor (ISCA 1987)\n",
+        _table1_section(synthetic_events),
+        _table2_section(),
+        _table3_section(),
+        _table4_section(),
+        _branch_stats_section(),
+    ]
+    return "\n".join(sections)
+
+
+def _table1_section(synthetic_events: int) -> str:
+    rows = run_table1(synthetic_events)
+    lines = ["## Table 1 — prediction accuracies\n",
+             "| program | static | 1-bit | 2-bit | 3-bit | paper "
+             "(static/1b/2b/3b) | source |",
+             "|---|---|---|---|---|---|---|"]
+    for row in rows:
+        paper = PAPER_TABLE1[row.program][:4]
+        lines.append(
+            f"| {row.program} | {row.static:.2f} | {row.dynamic1:.2f} | "
+            f"{row.dynamic2:.2f} | {row.dynamic3:.2f} | "
+            f"{'/'.join(f'{v:.2f}' for v in paper)} | {row.source} |")
+    checks = []
+    for row in rows:
+        if row.source == "mini-C run":
+            verdict = "yes" if row.static > row.dynamic1 else "NO"
+            checks.append(f"- static beats 1-bit on {row.program}: "
+                          f"**{verdict}**")
+    return "\n".join(lines + [""] + checks) + "\n"
+
+
+def _table2_section() -> str:
+    result = run_table2()
+    lines = ["## Table 2 — instruction counts (Figure-3 program)\n",
+             f"- CRISP total: **{result.crisp.instructions}** "
+             f"(paper {PAPER_CRISP_TOTAL})",
+             f"- VAX total: **{result.vax.total_instructions}** "
+             f"(paper {PAPER_VAX_TOTAL})\n",
+             "| CRISP opcode | measured | paper |", "|---|---|---|"]
+    grouped = result.crisp_grouped()
+    for name, paper_count in PAPER_CRISP_COUNTS.items():
+        lines.append(f"| {name} | {grouped.get(name, 0)} | {paper_count} |")
+    lines += ["", "| VAX opcode | measured | paper |", "|---|---|---|"]
+    for name, paper_count in PAPER_VAX_COUNTS.items():
+        lines.append(f"| {name} | "
+                     f"{result.vax.opcode_counts.get(name, 0)} | "
+                     f"{paper_count} |")
+    return "\n".join(lines) + "\n"
+
+
+def _table3_section() -> str:
+    result = run_table3()
+    return (
+        "## Table 3 — Branch Spreading\n\n"
+        f"- compare→branch gaps before: {result.unspread_gaps}\n"
+        f"- compare→branch gaps after: {result.spread_gaps}\n"
+        f"- if-compare spread distance: "
+        f"**{result.if_branch_spread_distance}** "
+        f"(paper moves 3 instructions)\n"
+    )
+
+
+def _table4_section() -> str:
+    rows = run_table4()
+    lines = ["## Table 4 — cases A–E\n",
+             "| case | cycles | paper | rel. perf | paper | issued CPI | "
+             "apparent CPI |", "|---|---|---|---|---|---|---|"]
+    for row in rows:
+        paper = PAPER_TABLE4[row.case.name]
+        lines.append(
+            f"| {row.case.name} | {row.stats.cycles} | {paper[0]} | "
+            f"{row.relative_performance:.2f} | {paper[2]} | "
+            f"{row.stats.issued_cpi:.2f} | {row.stats.apparent_cpi:.2f} |")
+    case_d = next(r for r in rows if r.case.name == "D")
+    lines.append("")
+    lines.append(f"Case D folds **{case_d.stats.folded_branches}** branches "
+                 f"into zero time ({case_d.stats.apparent_ipc:.2f} apparent "
+                 f"instructions per clock).")
+    return "\n".join(lines) + "\n"
+
+
+def _branch_stats_section() -> str:
+    rows = run_branch_stats()
+    fraction = aggregate_one_parcel_fraction(rows)
+    lines = ["## In-text claims\n",
+             f"- one-parcel branch fraction: **{100 * fraction:.1f}%** "
+             f"(paper: ~95%)",
+             f"- dynamic branch frequency band: "
+             f"{100 * min(r.branch_fraction for r in rows):.1f}%–"
+             f"{100 * max(r.branch_fraction for r in rows):.1f}% "
+             f"(paper cites studies up to ~33%)"]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,111 @@
+"""Design-space sweep framework.
+
+Runs a grid of (workload × machine configuration) on the cycle-accurate
+simulator and collects one row per point — the engine behind the
+ablation benches and the design-space example. Compiled programs are
+cached per (workload, compiler options), so a sweep recompiles nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.policy import FoldPolicy
+from repro.lang import CompilerOptions, compile_source
+from repro.sim.cpu import CpuConfig, run_cycle_accurate
+from repro.sim.stats import PipelineStats
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (workload, configuration) measurement."""
+
+    workload: str
+    label: str
+    config: CpuConfig
+    stats: PipelineStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+@dataclass
+class Sweep:
+    """A collection of sweep points with simple query helpers."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def for_workload(self, name: str) -> list[SweepPoint]:
+        return [p for p in self.points if p.workload == name]
+
+    def by_label(self, label: str) -> list[SweepPoint]:
+        return [p for p in self.points if p.label == label]
+
+    def cycles_table(self) -> dict[str, dict[str, int]]:
+        """{workload: {label: cycles}}."""
+        table: dict[str, dict[str, int]] = {}
+        for point in self.points:
+            table.setdefault(point.workload, {})[point.label] = point.cycles
+        return table
+
+    def format(self) -> str:
+        labels = sorted({p.label for p in self.points})
+        width = max(len(label) for label in labels) + 2
+        lines = ["workload".ljust(12)
+                 + "".join(label.rjust(width) for label in labels)]
+        for workload, row in sorted(self.cycles_table().items()):
+            lines.append(workload.ljust(12) + "".join(
+                str(row.get(label, "-")).rjust(width) for label in labels))
+        return "\n".join(lines)
+
+
+_program_cache: dict[tuple[str, bool], object] = {}
+
+
+def _compiled(workload: str, spreading: bool):
+    key = (workload, spreading)
+    if key not in _program_cache:
+        _program_cache[key] = compile_source(
+            get_workload(workload).source,
+            CompilerOptions(spreading=spreading))
+    return _program_cache[key]
+
+
+def run_grid(workloads: Iterable[str],
+             configs: dict[str, CpuConfig],
+             spreading: bool = True) -> Sweep:
+    """Run every workload under every named configuration."""
+    sweep = Sweep()
+    for workload in workloads:
+        program = _compiled(workload, spreading)
+        for label, config in configs.items():
+            stats = run_cycle_accurate(program, config).stats
+            sweep.points.append(SweepPoint(workload, label, config, stats))
+    return sweep
+
+
+def icache_sweep(workloads: Iterable[str],
+                 sizes: Iterable[int] = (8, 16, 32, 64, 128)) -> Sweep:
+    """Decoded-instruction-cache size sweep (paper shipped 32 entries)."""
+    return run_grid(workloads, {
+        f"i{size}": CpuConfig(icache_entries=size) for size in sizes})
+
+
+def latency_sweep(workloads: Iterable[str],
+                  latencies: Iterable[int] = (1, 2, 4, 8)) -> Sweep:
+    """Main-memory latency sweep (the decoded cache decouples the EU)."""
+    return run_grid(workloads, {
+        f"m{latency}": CpuConfig(mem_latency=latency)
+        for latency in latencies})
+
+
+def fold_policy_sweep(workloads: Iterable[str]) -> Sweep:
+    """The three fold policies over a set of workloads."""
+    return run_grid(workloads, {
+        "none": CpuConfig(fold_policy=FoldPolicy.none()),
+        "crisp": CpuConfig(fold_policy=FoldPolicy.crisp()),
+        "all": CpuConfig(fold_policy=FoldPolicy.fold_all()),
+    })

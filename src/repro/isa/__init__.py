@@ -1,0 +1,77 @@
+"""CRISP-like instruction set architecture.
+
+This package defines the instruction set used throughout the reproduction:
+
+* 16-bit instruction *parcels*; instructions are one, three or five parcels
+  long (:mod:`repro.isa.parcels`, :mod:`repro.isa.encoding`).
+* Separate ``cmp`` and conditional-branch instructions; a single
+  condition-code flag that only ``cmp`` may modify.
+* One-parcel branches with a 10-bit PC-relative offset (range −1024 … +1022
+  bytes) and three-parcel branches with a 32-bit specifier (absolute, or
+  indirect through an absolute address / stack offset).
+* A static branch-prediction bit in every conditional branch.
+* No instruction side effects before the final result write, so any
+  instruction can be squashed by clearing a pipeline valid bit.
+
+The exact binary encoding of CRISP was never fully published; the encoding
+here is self-consistent and preserves every property the paper's mechanisms
+depend on (see DESIGN.md, "Substitutions").
+"""
+
+from repro.isa.operands import AddrMode, Operand, acc, acc_ind, imm, absolute, sp_off
+from repro.isa.opcodes import (
+    BranchKind,
+    Condition,
+    Opcode,
+    OpClass,
+    ALU_FUNCTIONS,
+    opcode_class,
+    opcode_condition,
+)
+from repro.isa.instructions import Instruction, BranchSpec, BranchMode
+from repro.isa.encoding import (
+    EncodingError,
+    encode_instruction,
+    decode_instruction,
+    instruction_length,
+)
+from repro.isa.parcels import (
+    PARCEL_BYTES,
+    SHORT_BRANCH_MIN,
+    SHORT_BRANCH_MAX,
+    to_u16,
+    to_s32,
+    to_u32,
+    fits_short_branch,
+)
+
+__all__ = [
+    "AddrMode",
+    "Operand",
+    "acc",
+    "acc_ind",
+    "imm",
+    "absolute",
+    "sp_off",
+    "BranchKind",
+    "Condition",
+    "Opcode",
+    "OpClass",
+    "ALU_FUNCTIONS",
+    "opcode_class",
+    "opcode_condition",
+    "Instruction",
+    "BranchSpec",
+    "BranchMode",
+    "EncodingError",
+    "encode_instruction",
+    "decode_instruction",
+    "instruction_length",
+    "PARCEL_BYTES",
+    "SHORT_BRANCH_MIN",
+    "SHORT_BRANCH_MAX",
+    "to_u16",
+    "to_s32",
+    "to_u32",
+    "fits_short_branch",
+]

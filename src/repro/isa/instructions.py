@@ -1,0 +1,227 @@
+"""The architectural instruction: opcode + operands + branch specifier.
+
+An :class:`Instruction` is what the assembler produces and what both
+simulators execute. Its encoded length in parcels is fully determined by
+its contents (:meth:`Instruction.length_parcels`), which is what the branch
+folder keys on — CRISP folds only one- and three-parcel non-branching
+instructions with one-parcel branches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import (
+    BranchKind,
+    OpClass,
+    Opcode,
+    condjmp_predicted_taken,
+    condjmp_sense,
+    is_branch_opcode,
+    is_short_branch_opcode,
+    opcode_class,
+)
+from repro.isa.operands import Operand
+from repro.isa.parcels import PARCEL_BYTES, fits_short_branch, to_s32
+
+
+class BranchMode(enum.Enum):
+    """Target addressing mode of a branch instruction."""
+
+    PC_RELATIVE = "pcrel"  #: one-parcel form, 10-bit byte displacement
+    ABSOLUTE = "abs"  #: three-parcel form, 32-bit absolute address
+    INDIRECT_ABS = "ind_abs"  #: branch to M[absolute address]
+    INDIRECT_SP = "ind_sp"  #: branch to M[SP + 32-bit offset]
+
+
+@dataclass(frozen=True)
+class BranchSpec:
+    """Where a branch transfers control.
+
+    ``value`` is a byte displacement for :attr:`BranchMode.PC_RELATIVE`
+    (relative to the address of the branch instruction itself — when a
+    branch is folded, the hardware applies a *branch adjust* so the stored
+    displacement stays relative to the branch), an absolute address for
+    :attr:`BranchMode.ABSOLUTE` / :attr:`BranchMode.INDIRECT_ABS`, and a
+    stack offset for :attr:`BranchMode.INDIRECT_SP`.
+    """
+
+    mode: BranchMode
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.mode is BranchMode.PC_RELATIVE and not fits_short_branch(self.value):
+            raise ValueError(
+                f"PC-relative displacement {self.value} outside one-parcel "
+                f"branch range [-1024, +1022] or not parcel-aligned"
+            )
+
+    @property
+    def is_indirect(self) -> bool:
+        """True if the target comes from memory at branch time."""
+        return self.mode in (BranchMode.INDIRECT_ABS, BranchMode.INDIRECT_SP)
+
+    def __str__(self) -> str:
+        if self.mode is BranchMode.PC_RELATIVE:
+            return f".{self.value:+d}"
+        if self.mode is BranchMode.ABSOLUTE:
+            return f"{self.value:#x}"
+        if self.mode is BranchMode.INDIRECT_ABS:
+            return f"(*{self.value:#x})"
+        return f"({self.value}(sp))"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One architectural CRISP instruction.
+
+    ``operands`` carries the data operands (0, 1 or 2 of them, by opcode
+    class); ``branch`` carries the control-transfer specifier for branch
+    opcodes. ``label`` is optional symbolic metadata preserved by the
+    assembler for listings; it never affects semantics or encoding.
+    """
+
+    opcode: Opcode
+    operands: tuple[Operand, ...] = ()
+    branch: BranchSpec | None = None
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        cls = opcode_class(self.opcode)
+        expected = _OPERAND_COUNT[cls]
+        if len(self.operands) != expected:
+            raise ValueError(
+                f"{self.opcode.value} takes {expected} operand(s), "
+                f"got {len(self.operands)}"
+            )
+        if cls in (OpClass.ALU2,) and not self.operands[0].is_writable:
+            raise ValueError(f"{self.opcode.value} destination must be writable")
+        if is_branch_opcode(self.opcode) and cls is not OpClass.RETURN:
+            if self.branch is None:
+                raise ValueError(f"{self.opcode.value} requires a branch target")
+            if is_short_branch_opcode(self.opcode):
+                if self.branch.mode is not BranchMode.PC_RELATIVE:
+                    raise ValueError("short branches are PC-relative only")
+            elif self.branch.mode is BranchMode.PC_RELATIVE:
+                raise ValueError("long branches cannot be PC-relative")
+            if self.opcode is Opcode.CALL and self.branch.mode is BranchMode.PC_RELATIVE:
+                raise ValueError("call uses the three-parcel form")
+        elif self.branch is not None and not is_branch_opcode(self.opcode):
+            raise ValueError(f"{self.opcode.value} cannot carry a branch target")
+
+    # ---- classification ------------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        """Behavioural class of the opcode."""
+        return opcode_class(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-transfer instruction."""
+        return is_branch_opcode(self.opcode)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for branches conditioned on the flag."""
+        return self.op_class is OpClass.CONDJMP
+
+    @property
+    def sets_flag(self) -> bool:
+        """True if this instruction writes the condition-code flag.
+
+        Only compares may modify the flag — one of the three CRISP
+        instruction-set decisions the paper highlights.
+        """
+        return self.op_class is OpClass.CMP
+
+    @property
+    def branch_sense(self) -> BranchKind:
+        """ALWAYS / IF_TRUE / IF_FALSE for branch opcodes."""
+        if self.op_class is OpClass.CONDJMP:
+            return condjmp_sense(self.opcode)
+        if self.is_branch:
+            return BranchKind.ALWAYS
+        raise ValueError(f"{self.opcode.value} is not a branch")
+
+    @property
+    def predicted_taken(self) -> bool:
+        """The static branch-prediction bit (conditional branches only)."""
+        return condjmp_predicted_taken(self.opcode)
+
+    # ---- encoding geometry ----------------------------------------------
+
+    def length_parcels(self) -> int:
+        """Encoded length in 16-bit parcels (always 1, 3 or 5)."""
+        cls = self.op_class
+        if cls in (OpClass.RETURN, OpClass.NOP, OpClass.HALT):
+            return 1
+        if cls is OpClass.FRAME:
+            # ``enter`` has a dedicated 10-bit frame-size field in-parcel;
+            # the all-ones pattern marks the three-parcel extended form.
+            return 1 if 0 <= self.operands[0].value <= 1022 else 3
+        if self.is_branch:
+            return 1 if is_short_branch_opcode(self.opcode) else 3
+        extensions = sum(0 if op.fits_in_parcel else 1 for op in self.operands)
+        return 1 + 2 * extensions
+
+    def length_bytes(self) -> int:
+        """Encoded length in bytes."""
+        return self.length_parcels() * PARCEL_BYTES
+
+    # ---- presentation ----------------------------------------------------
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        if self.branch is not None:
+            parts.append(str(self.branch))
+        elif self.operands:
+            parts.append(",".join(str(op) for op in self.operands))
+        return " ".join(parts)
+
+
+_OPERAND_COUNT = {
+    OpClass.ALU2: 2,
+    OpClass.ALU3: 2,
+    OpClass.CMP: 2,
+    OpClass.JMP: 0,
+    OpClass.CONDJMP: 0,
+    OpClass.CALL: 0,
+    OpClass.RETURN: 0,
+    OpClass.FRAME: 1,
+    OpClass.NOP: 0,
+    OpClass.HALT: 0,
+}
+
+
+def nop() -> Instruction:
+    """A no-operation instruction."""
+    return Instruction(Opcode.NOP)
+
+
+def halt() -> Instruction:
+    """A halt instruction (stops the simulators)."""
+    return Instruction(Opcode.HALT)
+
+
+def resolve_target(instruction: Instruction, pc: int, sp: int,
+                   read_word) -> int:
+    """Compute a branch instruction's target address.
+
+    ``pc`` is the address of the *branch instruction itself* (displacements
+    are branch-relative; folding hardware compensates with the branch
+    adjust). ``read_word`` is a callable ``addr -> word`` used for the
+    indirect modes. ``return`` targets are resolved by the caller from the
+    stack, not here.
+    """
+    spec = instruction.branch
+    if spec is None:
+        raise ValueError(f"{instruction.opcode.value} has no branch target")
+    if spec.mode is BranchMode.PC_RELATIVE:
+        return pc + to_s32(spec.value)
+    if spec.mode is BranchMode.ABSOLUTE:
+        return spec.value
+    if spec.mode is BranchMode.INDIRECT_ABS:
+        return read_word(spec.value)
+    return read_word(sp + spec.value)

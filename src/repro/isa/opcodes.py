@@ -1,0 +1,321 @@
+"""Opcode definitions and per-opcode metadata.
+
+Opcode families:
+
+* **Two-operand ALU** (``dst, src``): ``dst = dst OP src`` (``mov``, ``not``
+  and ``neg`` are the unary exceptions: ``dst = OP(src)``).
+* **Three-operand ALU to the accumulator** (``src1, src2``):
+  ``Accum = src1 OP src2`` — the paper's ``and3 i,1`` form.
+* **Compare**: ``cmp.<cond> a, b`` sets the single condition-code flag.
+  Compares are the *only* instructions that can modify the flag, a CRISP
+  instruction-set decision the paper calls out explicitly.
+* **Branches**: unconditional ``jmp``, conditional ``ifjmp`` on the flag
+  being true or false, ``call``/``return``, and indirect forms. Short
+  (one-parcel) and long (three-parcel) branches have distinct opcodes.
+* **Frame / misc**: ``enter`` (allocate a stack frame), ``nop``, ``halt``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.isa.parcels import to_s32, to_u32
+
+
+class OpClass(enum.Enum):
+    """Coarse behavioural class of an opcode."""
+
+    ALU2 = "alu2"  #: two-operand ALU, writes first operand
+    ALU3 = "alu3"  #: three-operand ALU, writes the accumulator
+    CMP = "cmp"  #: compare, writes the condition-code flag
+    JMP = "jmp"  #: unconditional branch
+    CONDJMP = "condjmp"  #: conditional branch on the flag
+    CALL = "call"  #: subroutine call (branching, pushes return address)
+    RETURN = "return"  #: subroutine return (branching, pops return address)
+    FRAME = "frame"  #: stack-frame management (``enter``)
+    NOP = "nop"  #: no operation
+    HALT = "halt"  #: stop simulation
+
+
+class Condition(enum.Enum):
+    """Comparison condition for ``cmp`` opcodes.
+
+    Signed conditions carry an ``s`` prefix in assembly (``cmp.s<``),
+    unsigned a ``u`` prefix, matching the paper's ``cmp.s< i,1024``.
+    """
+
+    EQ = "="
+    NE = "!="
+    SLT = "s<"
+    SLE = "s<="
+    SGT = "s>"
+    SGE = "s>="
+    ULT = "u<"
+    ULE = "u<="
+    UGT = "u>"
+    UGE = "u>="
+
+
+class BranchKind(enum.Enum):
+    """How a branch decides whether it transfers control."""
+
+    ALWAYS = "always"
+    IF_TRUE = "if_true"  #: transfer when the flag is 1
+    IF_FALSE = "if_false"  #: transfer when the flag is 0
+
+
+class Opcode(enum.Enum):
+    """Every opcode in the CRISP-like instruction set."""
+
+    # two-operand ALU
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    UDIV = "udiv"
+    UREM = "urem"
+    NOT = "not"
+    NEG = "neg"
+    # three-operand ALU (accumulator destination)
+    ADD3 = "add3"
+    SUB3 = "sub3"
+    AND3 = "and3"
+    OR3 = "or3"
+    XOR3 = "xor3"
+    SHL3 = "shl3"
+    SHR3 = "shr3"
+    SAR3 = "sar3"
+    MUL3 = "mul3"
+    DIV3 = "div3"
+    REM3 = "rem3"
+    UDIV3 = "udiv3"
+    UREM3 = "urem3"
+    # compares (the only flag writers)
+    CMP_EQ = "cmp.="
+    CMP_NE = "cmp.!="
+    CMP_SLT = "cmp.s<"
+    CMP_SLE = "cmp.s<="
+    CMP_SGT = "cmp.s>"
+    CMP_SGE = "cmp.s>="
+    CMP_ULT = "cmp.u<"
+    CMP_ULE = "cmp.u<="
+    CMP_UGT = "cmp.u>"
+    CMP_UGE = "cmp.u>="
+    # branches — short (one parcel, 10-bit PC-relative)
+    JMP = "jmp"
+    IFJMP_T_Y = "iftjmpy"  #: if flag true, predicted taken
+    IFJMP_T_N = "iftjmpn"  #: if flag true, predicted not taken
+    IFJMP_F_Y = "iffjmpy"  #: if flag false, predicted taken
+    IFJMP_F_N = "iffjmpn"  #: if flag false, predicted not taken
+    # branches — long (three parcels, 32-bit specifier)
+    JMPL = "jmpl"
+    IFJMPL_T_Y = "iftjmply"
+    IFJMPL_T_N = "iftjmpln"
+    IFJMPL_F_Y = "iffjmply"
+    IFJMPL_F_N = "iffjmpln"
+    # call / return / frame
+    CALL = "call"
+    RETURN = "return"
+    RETI = "reti"  #: return from interrupt: pops saved PSW flag, then PC
+    ENTER = "enter"  #: allocate a stack frame: SP -= size
+    SPADD = "spadd"  #: deallocate: SP += size (function epilogues)
+    # misc
+    NOP = "nop"
+    HALT = "halt"
+
+
+def _sar(a: int, b: int) -> int:
+    return to_s32(a) >> (b & 31)
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero in simulated program")
+    return int(to_s32(a) / to_s32(b))  # C-style truncation toward zero
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("remainder by zero in simulated program")
+    sa, sb = to_s32(a), to_s32(b)
+    return sa - int(sa / sb) * sb
+
+
+def _udiv(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero in simulated program")
+    return to_u32(a) // to_u32(b)
+
+
+def _urem(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("remainder by zero in simulated program")
+    return to_u32(a) % to_u32(b)
+
+
+ALU_FUNCTIONS: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.MOV: lambda a, b: b,
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 31),
+    Opcode.SHR: lambda a, b: to_u32(a) >> (b & 31),
+    Opcode.SAR: _sar,
+    Opcode.MUL: lambda a, b: to_s32(a) * to_s32(b),
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.UDIV: _udiv,
+    Opcode.UREM: _urem,
+    Opcode.NOT: lambda a, b: ~b,
+    Opcode.NEG: lambda a, b: -b,
+    Opcode.ADD3: lambda a, b: a + b,
+    Opcode.SUB3: lambda a, b: a - b,
+    Opcode.AND3: lambda a, b: a & b,
+    Opcode.OR3: lambda a, b: a | b,
+    Opcode.XOR3: lambda a, b: a ^ b,
+    Opcode.SHL3: lambda a, b: a << (b & 31),
+    Opcode.SHR3: lambda a, b: to_u32(a) >> (b & 31),
+    Opcode.SAR3: _sar,
+    Opcode.MUL3: lambda a, b: to_s32(a) * to_s32(b),
+    Opcode.DIV3: _div,
+    Opcode.REM3: _rem,
+    Opcode.UDIV3: _udiv,
+    Opcode.UREM3: _urem,
+}
+"""ALU computation per opcode (inputs and result as Python ints, truncated
+to 32 bits by the caller)."""
+
+CONDITION_FUNCTIONS: dict[Condition, Callable[[int, int], bool]] = {
+    Condition.EQ: lambda a, b: to_u32(a) == to_u32(b),
+    Condition.NE: lambda a, b: to_u32(a) != to_u32(b),
+    Condition.SLT: lambda a, b: to_s32(a) < to_s32(b),
+    Condition.SLE: lambda a, b: to_s32(a) <= to_s32(b),
+    Condition.SGT: lambda a, b: to_s32(a) > to_s32(b),
+    Condition.SGE: lambda a, b: to_s32(a) >= to_s32(b),
+    Condition.ULT: lambda a, b: to_u32(a) < to_u32(b),
+    Condition.ULE: lambda a, b: to_u32(a) <= to_u32(b),
+    Condition.UGT: lambda a, b: to_u32(a) > to_u32(b),
+    Condition.UGE: lambda a, b: to_u32(a) >= to_u32(b),
+}
+"""Flag computation per compare condition."""
+
+_TWO_OP = {
+    Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SHL, Opcode.SHR, Opcode.SAR, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.UDIV, Opcode.UREM, Opcode.NOT, Opcode.NEG,
+}
+_THREE_OP = {
+    Opcode.ADD3, Opcode.SUB3, Opcode.AND3, Opcode.OR3, Opcode.XOR3,
+    Opcode.SHL3, Opcode.SHR3, Opcode.SAR3, Opcode.MUL3, Opcode.DIV3,
+    Opcode.REM3, Opcode.UDIV3, Opcode.UREM3,
+}
+_CMP_CONDITION = {
+    Opcode.CMP_EQ: Condition.EQ,
+    Opcode.CMP_NE: Condition.NE,
+    Opcode.CMP_SLT: Condition.SLT,
+    Opcode.CMP_SLE: Condition.SLE,
+    Opcode.CMP_SGT: Condition.SGT,
+    Opcode.CMP_SGE: Condition.SGE,
+    Opcode.CMP_ULT: Condition.ULT,
+    Opcode.CMP_ULE: Condition.ULE,
+    Opcode.CMP_UGT: Condition.UGT,
+    Opcode.CMP_UGE: Condition.UGE,
+}
+_SHORT_CONDJMP = {
+    Opcode.IFJMP_T_Y: (BranchKind.IF_TRUE, True),
+    Opcode.IFJMP_T_N: (BranchKind.IF_TRUE, False),
+    Opcode.IFJMP_F_Y: (BranchKind.IF_FALSE, True),
+    Opcode.IFJMP_F_N: (BranchKind.IF_FALSE, False),
+}
+_LONG_CONDJMP = {
+    Opcode.IFJMPL_T_Y: (BranchKind.IF_TRUE, True),
+    Opcode.IFJMPL_T_N: (BranchKind.IF_TRUE, False),
+    Opcode.IFJMPL_F_Y: (BranchKind.IF_FALSE, True),
+    Opcode.IFJMPL_F_N: (BranchKind.IF_FALSE, False),
+}
+_CONDJMP = {**_SHORT_CONDJMP, **_LONG_CONDJMP}
+
+
+def opcode_class(opcode: Opcode) -> OpClass:
+    """Return the behavioural class of ``opcode``."""
+    if opcode in _TWO_OP:
+        return OpClass.ALU2
+    if opcode in _THREE_OP:
+        return OpClass.ALU3
+    if opcode in _CMP_CONDITION:
+        return OpClass.CMP
+    if opcode in (Opcode.JMP, Opcode.JMPL):
+        return OpClass.JMP
+    if opcode in _CONDJMP:
+        return OpClass.CONDJMP
+    if opcode is Opcode.CALL:
+        return OpClass.CALL
+    if opcode in (Opcode.RETURN, Opcode.RETI):
+        return OpClass.RETURN
+    if opcode in (Opcode.ENTER, Opcode.SPADD):
+        return OpClass.FRAME
+    if opcode is Opcode.NOP:
+        return OpClass.NOP
+    return OpClass.HALT
+
+
+def opcode_condition(opcode: Opcode) -> Condition:
+    """Return the compare condition of a ``cmp`` opcode."""
+    return _CMP_CONDITION[opcode]
+
+
+def condjmp_sense(opcode: Opcode) -> BranchKind:
+    """Return whether a conditional branch transfers on flag true or false."""
+    return _CONDJMP[opcode][0]
+
+
+def condjmp_predicted_taken(opcode: Opcode) -> bool:
+    """Return the static prediction bit baked into a conditional-jump opcode."""
+    return _CONDJMP[opcode][1]
+
+
+def is_branch_opcode(opcode: Opcode) -> bool:
+    """True for every control-transfer opcode (jmp/ifjmp/call/return)."""
+    return opcode_class(opcode) in (
+        OpClass.JMP, OpClass.CONDJMP, OpClass.CALL, OpClass.RETURN,
+    )
+
+
+def is_short_branch_opcode(opcode: Opcode) -> bool:
+    """True for one-parcel (10-bit PC-relative) branch opcodes."""
+    return opcode is Opcode.JMP or opcode in _SHORT_CONDJMP
+
+
+def short_condjmp_opcode(sense: BranchKind, predicted_taken: bool) -> Opcode:
+    """Build the short conditional-jump opcode for a sense/prediction pair."""
+    for opcode, (kind, pred) in _SHORT_CONDJMP.items():
+        if kind is sense and pred is predicted_taken:
+            return opcode
+    raise ValueError(f"no short conditional jump for {sense}")
+
+
+def long_condjmp_opcode(sense: BranchKind, predicted_taken: bool) -> Opcode:
+    """Build the long conditional-jump opcode for a sense/prediction pair."""
+    for opcode, (kind, pred) in _LONG_CONDJMP.items():
+        if kind is sense and pred is predicted_taken:
+            return opcode
+    raise ValueError(f"no long conditional jump for {sense}")
+
+
+def cmp_opcode(condition: Condition) -> Opcode:
+    """Build the compare opcode for ``condition``."""
+    for opcode, cond in _CMP_CONDITION.items():
+        if cond is condition:
+            return opcode
+    raise ValueError(f"no compare opcode for {condition}")

@@ -1,0 +1,69 @@
+"""Parcel-level utilities.
+
+A *parcel* is a 16-bit instruction unit, the atom of CRISP instruction
+encoding. Instructions are aligned on parcel (16-bit) boundaries and are
+one, three or five parcels long. One-parcel branches carry a 10-bit signed
+PC-relative offset measured in bytes, giving the paper's −1024 … +1022 byte
+range (the offset is always even, so it is stored as a signed parcel count).
+"""
+
+from __future__ import annotations
+
+PARCEL_BYTES = 2
+"""Size of one instruction parcel in bytes."""
+
+WORD_BYTES = 4
+"""Size of a machine word (and of every data operand) in bytes."""
+
+SHORT_BRANCH_MIN = -1024
+"""Most negative byte displacement encodable by a one-parcel branch."""
+
+SHORT_BRANCH_MAX = 1022
+"""Most positive byte displacement encodable by a one-parcel branch."""
+
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+
+def to_u16(value: int) -> int:
+    """Truncate ``value`` to an unsigned 16-bit parcel."""
+    return value & MASK16
+
+
+def to_u32(value: int) -> int:
+    """Truncate ``value`` to an unsigned 32-bit word."""
+    return value & MASK32
+
+
+def to_s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed two's-complement word."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_s10(value: int) -> int:
+    """Interpret the low 10 bits of ``value`` as a signed two's-complement field."""
+    value &= 0x3FF
+    return value - 0x400 if value & 0x200 else value
+
+
+def fits_short_branch(displacement: int) -> bool:
+    """Return True if a byte displacement fits a one-parcel branch.
+
+    The displacement must be parcel-aligned (even) and within the 10-bit
+    signed parcel-offset range.
+    """
+    if displacement % PARCEL_BYTES != 0:
+        return False
+    return SHORT_BRANCH_MIN <= displacement <= SHORT_BRANCH_MAX
+
+
+def split_word(word: int) -> tuple[int, int]:
+    """Split a 32-bit word into (high parcel, low parcel)."""
+    word = to_u32(word)
+    return (word >> 16) & MASK16, word & MASK16
+
+
+def join_parcels(high: int, low: int) -> int:
+    """Join two 16-bit parcels into a 32-bit word (high parcel first)."""
+    return ((high & MASK16) << 16) | (low & MASK16)

@@ -1,0 +1,37 @@
+"""crispcc — a mini-C compiler targeting the CRISP-like ISA.
+
+The paper's results rest on "the application of compiler technology": the
+compiler emits *separate* compare and conditional-branch instructions, can
+perform **Branch Spreading** (code motion that puts ≥3 independent
+instructions between a compare and its branch so the condition code is
+architectural when the branch is fetched — zero misprediction cost), and
+sets the **static prediction bit** of every conditional branch, either by
+heuristic (backward: taken; forward: not taken) or from a profile run.
+
+The language is the integer subset of C used by the paper's evaluation
+program and our workload suite: ``int`` scalars and arrays (global and
+local), functions, full expression and control-flow syntax.
+
+Typical use::
+
+    from repro.lang import compile_source, CompilerOptions
+    program = compile_source(source, CompilerOptions(spreading=True))
+"""
+
+from repro.lang.compiler import (
+    CompileError,
+    CompilerOptions,
+    PredictionMode,
+    compile_source,
+    compile_to_assembly,
+    compile_unit,
+)
+
+__all__ = [
+    "CompileError",
+    "CompilerOptions",
+    "PredictionMode",
+    "compile_source",
+    "compile_to_assembly",
+    "compile_unit",
+]

@@ -1,0 +1,277 @@
+"""Assembly-level IR produced by the code generator.
+
+Functions are lists of :class:`AsmItem` — labels and instructions whose
+operands are assembler-syntax strings (plus late-bound stack references,
+resolved once the final frame size is known). The optimization passes
+(branch spreading, prediction-bit setting, peephole) operate on this IR;
+:func:`render_module` then emits assembler source text.
+
+The IR also provides the def/use analysis the spreading pass needs:
+:func:`instr_reads` / :func:`instr_writes` return the abstract locations
+an instruction touches (named globals, stack slots, the accumulator, and
+conservative wildcards for indirect access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.parser import BRANCH_MNEMONICS
+
+ACC = "%acc"
+FLAG = "%flag"
+MEMORY = "%memory"  #: wildcard: any memory (indirect accesses)
+STACK = "%stack"  #: wildcard: any stack slot
+
+CONDITIONAL_MNEMONICS = frozenset({
+    "iftjmpy", "iftjmpn", "iffjmpy", "iffjmpn",
+    "iftjmply", "iftjmpln", "iffjmply", "iffjmpln",
+})
+
+
+@dataclass(frozen=True)
+class StackRef:
+    """A stack operand whose byte offset is finalized with the frame size.
+
+    ``kind`` is ``local``/``temp`` (offset = slot offset + push adjustment)
+    or ``param`` (offset = frame size + 4 + slot offset). ``adjust`` is the
+    extra depth from outgoing-argument pushes active at the emission point.
+    """
+
+    kind: str
+    offset: int
+    adjust: int = 0
+
+    def render(self, frame_size: int) -> str:
+        if self.kind == "param":
+            return f"{frame_size + 4 + self.offset + self.adjust}(sp)"
+        return f"{self.offset + self.adjust}(sp)"
+
+
+@dataclass(frozen=True)
+class FrameSize:
+    """Placeholder for the function's final frame size (``enter``/``spadd``)."""
+
+    def render(self, frame_size: int) -> str:
+        return str(frame_size)
+
+
+Operand = "str | StackRef | FrameSize"
+
+
+@dataclass
+class AsmItem:
+    """One label or instruction."""
+
+    mnemonic: str  #: "" for labels
+    operands: list = field(default_factory=list)
+    label: str | None = None  #: set for label items
+    target: str | None = None  #: branch target label
+    indirect_sp: StackRef | None = None  #: jump through a stack slot
+
+    @property
+    def is_label(self) -> bool:
+        return self.label is not None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in BRANCH_MNEMONICS or self.mnemonic == "return"
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.mnemonic in CONDITIONAL_MNEMONICS
+
+    @property
+    def sets_flag(self) -> bool:
+        return self.mnemonic.startswith("cmp.")
+
+    def render(self, frame_size: int) -> str:
+        if self.is_label:
+            return f"{self.label}:"
+        if self.indirect_sp is not None:
+            return (f"        {self.mnemonic} "
+                    f"({self.indirect_sp.render(frame_size)})")
+        if self.target is not None:
+            return f"        {self.mnemonic} {self.target}"
+        if not self.operands:
+            return f"        {self.mnemonic}"
+        rendered = ", ".join(
+            op if isinstance(op, str) else op.render(frame_size)
+            for op in self.operands)
+        return f"        {self.mnemonic} {rendered}"
+
+
+def label(name: str) -> AsmItem:
+    """A label item."""
+    return AsmItem("", label=name)
+
+
+def instr(mnemonic: str, *operands) -> AsmItem:
+    """An instruction item with data operands."""
+    return AsmItem(mnemonic, list(operands))
+
+
+def branch(mnemonic: str, target: str) -> AsmItem:
+    """A branch instruction item."""
+    return AsmItem(mnemonic, [], target=target)
+
+
+def indirect_branch(mnemonic: str, slot: StackRef) -> AsmItem:
+    """A branch through a stack slot (``jmp (N(sp))``) — jump tables."""
+    return AsmItem(mnemonic, [], indirect_sp=slot)
+
+
+# ---- def/use analysis ----------------------------------------------------------
+
+def _operand_location(operand) -> str:
+    """Abstract location named by an operand (for dependence tests)."""
+    if isinstance(operand, StackRef):
+        return f"%sp:{operand.kind}:{operand.offset + operand.adjust}" \
+            if operand.kind != "param" else f"%sp:param:{operand.offset}"
+    if isinstance(operand, FrameSize):
+        return "%frame"
+    text = operand.strip()
+    if text.startswith("$") or text.lstrip("+-").isdigit() \
+            or text.lstrip("+-").startswith("0x"):
+        return ""  # immediate: no location
+    if text.lower() in ("accum", "acc"):
+        return ACC
+    if text.lower() in ("(accum)", "(acc)"):
+        return MEMORY
+    if text.endswith("(sp)"):
+        return f"%sp:raw:{text[:-4]}"
+    return text.split("+")[0].split("-")[0]  # global symbol (maybe offset)
+
+
+def _locations_conflict(a: str, b: str) -> bool:
+    """Conservative may-alias test between two abstract locations."""
+    if not a or not b:
+        return False
+    if a == b:
+        return True
+    if MEMORY in (a, b):
+        return True  # indirect access may touch anything
+    if a.startswith("%sp") and b.startswith("%sp"):
+        # hand-written (raw) sp offsets are treated conservatively; the
+        # code generator's static slots are distinct locations
+        return "raw" in (a.split(":")[1], b.split(":")[1])
+    return False
+
+
+def instr_reads(item: AsmItem) -> set[str]:
+    """Abstract locations an instruction reads."""
+    if item.is_label:
+        return set()
+    reads: set[str] = set()
+    mnemonic = item.mnemonic
+    operands = item.operands
+    if item.is_conditional:
+        reads.add(FLAG)
+        return reads
+    if item.is_branch:
+        if item.indirect_sp is not None:
+            reads.add(_operand_location(item.indirect_sp))
+        return reads
+    if mnemonic in ("nop", "halt", "enter", "spadd"):
+        return reads
+    if mnemonic in ("mov", "not", "neg"):
+        # dst = OP(src): only the source is read
+        sources = operands[1:]
+    else:
+        sources = operands
+    for operand in sources:
+        location = _operand_location(operand)
+        if location:
+            reads.add(location)
+        # an accumulator-indirect operand also reads the accumulator
+        if isinstance(operand, str) and operand.strip().lower() in (
+                "(accum)", "(acc)"):
+            reads.add(ACC)
+    return reads
+
+
+def instr_writes(item: AsmItem) -> set[str]:
+    """Abstract locations an instruction writes."""
+    if item.is_label or item.is_branch:
+        return set()
+    mnemonic = item.mnemonic
+    if mnemonic.startswith("cmp."):
+        return {FLAG}
+    if mnemonic in ("nop", "halt"):
+        return set()
+    if mnemonic in ("enter", "spadd"):
+        return {"%frame"}
+    if mnemonic.endswith("3"):  # three-operand ALU writes the accumulator
+        return {ACC}
+    location = _operand_location(item.operands[0])
+    return {location} if location else set()
+
+
+def items_conflict(a: AsmItem, b: AsmItem) -> bool:
+    """True when reordering ``a`` and ``b`` could change behaviour."""
+    a_reads, a_writes = instr_reads(a), instr_writes(a)
+    b_reads, b_writes = instr_reads(b), instr_writes(b)
+    for write in a_writes:
+        if any(_locations_conflict(write, other)
+               for other in b_reads | b_writes):
+            return True
+    for write in b_writes:
+        if any(_locations_conflict(write, other) for other in a_reads):
+            return True
+    return False
+
+
+# ---- functions and modules -------------------------------------------------------
+
+@dataclass
+class AsmFunction:
+    """One function's items plus its frame bookkeeping.
+
+    ``protected_labels`` are referenced from outside the instruction
+    stream (switch jump tables in the data segment) and must survive
+    dead-label elimination.
+    """
+
+    name: str
+    items: list[AsmItem] = field(default_factory=list)
+    frame_size: int = 0
+    protected_labels: set[str] = field(default_factory=set)
+
+    def render(self) -> list[str]:
+        return [item.render(self.frame_size) for item in self.items]
+
+    def instructions(self) -> list[AsmItem]:
+        """Items that are instructions (no labels), in order."""
+        return [item for item in self.items if not item.is_label]
+
+
+@dataclass
+class AsmModule:
+    """A compiled translation unit, pre-assembly."""
+
+    data_lines: list[str] = field(default_factory=list)
+    functions: list[AsmFunction] = field(default_factory=list)
+    entry_function: str = "main"
+
+    def render(self) -> str:
+        lines = [".entry __start"]
+        lines.extend(self.data_lines)
+        lines.append("__start:")
+        lines.append(f"        call {self.entry_function}")
+        lines.append("        halt")
+        for function in self.functions:
+            lines.append(f"{function.name}:")
+            lines.extend(function.render())
+        return "\n".join(lines) + "\n"
+
+    def instructions(self) -> list[AsmItem]:
+        """All instruction items in program order, including startup.
+
+        The startup stub contributes the leading ``call`` and ``halt``;
+        indices into this list line up with the assembled
+        :class:`~repro.asm.program.Program` instruction indices.
+        """
+        items = [branch("call", self.entry_function), instr("halt")]
+        for function in self.functions:
+            items.extend(function.instructions())
+        return items

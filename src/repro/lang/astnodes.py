@@ -1,0 +1,232 @@
+"""Abstract syntax tree for the mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---- expressions -----------------------------------------------------------
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    """A reference to a scalar variable or (undecorated) array name."""
+
+    name: str = ""
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """``base[index]``."""
+
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    """``-x``, ``!x``, ``~x``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``."""
+
+    op: str = "++"
+    target: Expr | None = None
+    is_prefix: bool = True
+
+
+@dataclass
+class Binary(Expr):
+    """Arithmetic / bitwise / comparison binary operators."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Logical(Expr):
+    """Short-circuit ``&&`` / ``||``."""
+
+    op: str = "&&"
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``c ? a : b``."""
+
+    condition: Expr | None = None
+    when_true: Expr | None = None
+    when_false: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target = value`` or compound ``target op= value``."""
+
+    target: Expr | None = None
+    value: Expr | None = None
+    op: str = "="  #: "=", "+=", "-=", ...
+
+
+@dataclass
+class Call(Expr):
+    """Function call."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# ---- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Declaration(Stmt):
+    """``int x;`` / ``int x = e;`` / ``int a[N];`` inside a function."""
+
+    name: str = ""
+    array_size: int | None = None
+    initializer: Expr | None = None
+    is_unsigned: bool = False
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+    scoped: bool = True  #: False for comma declaration groups (``int a, b;``)
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr | None = None
+    then_branch: Stmt | None = None
+    else_branch: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    condition: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None  #: ExprStmt or Declaration or None
+    condition: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class CaseClause:
+    """One arm of a switch: its case values (empty for ``default``) and
+    body statements. Falling off the end continues into the next clause
+    (C fall-through)."""
+
+    values: list[int] = field(default_factory=list)
+    is_default: bool = False
+    statements: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    """``switch`` over an int expression.
+
+    Dense value sets compile to a jump table dispatched through a
+    three-parcel *indirect* branch — the construct the paper says its
+    compiler occasionally generates indirect branches for.
+    """
+
+    selector: Expr | None = None
+    clauses: list[CaseClause] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---- top level --------------------------------------------------------------------
+
+@dataclass
+class GlobalVar:
+    """A file-scope variable or array."""
+
+    name: str
+    array_size: int | None = None
+    initializer: int = 0
+    is_unsigned: bool = False
+    line: int = 0
+
+
+@dataclass
+class Function:
+    """A function definition."""
+
+    name: str
+    params: list[str]
+    body: Block
+    returns_value: bool = True  #: False for ``void``
+    returns_unsigned: bool = False
+    param_unsigned: list[bool] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    """A whole source file."""
+
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)

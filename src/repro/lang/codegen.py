@@ -1,0 +1,715 @@
+"""Code generation: AST → assembly-level IR.
+
+The generator mirrors what the paper shows of the AT&T CRISP compiler's
+output (Table 3): memory-to-memory two-operand forms when the destination
+is also a source (``add sum,i``), three-operand accumulator forms for
+subexpressions (``and3 i,1``), an explicit compare before every
+conditional branch (``cmp.= Accum,0`` / ``cmp.s< i,1024``), and separate
+one-parcel conditional branches whose prediction bit a later pass sets.
+
+Conditional branches are emitted predicting *not taken* (the ``...n``
+mnemonics); :mod:`repro.lang.passes.predict` rewrites them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import astnodes as ast
+from repro.lang.asmir import (
+    AsmFunction,
+    AsmItem,
+    AsmModule,
+    FrameSize,
+    StackRef,
+    branch,
+    indirect_branch,
+    instr,
+    label,
+)
+from repro.lang.lexer import CompileError
+from repro.lang.sema import (
+    GlobalSym,
+    LocalSym,
+    ParamSym,
+    SemaInfo,
+    analyze,
+)
+
+_BINARY3 = {
+    "+": "add3", "-": "sub3", "*": "mul3", "/": "div3", "%": "rem3",
+    "&": "and3", "|": "or3", "^": "xor3", "<<": "shl3", ">>": "sar3",
+}
+_BINARY2 = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "sar",
+}
+_COMPARE = {
+    "==": "cmp.=", "!=": "cmp.!=",
+    "<": "cmp.s<", "<=": "cmp.s<=", ">": "cmp.s>", ">=": "cmp.s>=",
+}
+_UCOMPARE = {
+    "==": "cmp.=", "!=": "cmp.!=",
+    "<": "cmp.u<", "<=": "cmp.u<=", ">": "cmp.u>", ">=": "cmp.u>=",
+}
+_COMMUTATIVE = {"+", "*", "&", "|", "^"}
+_COMPOUND_OPS = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+@dataclass(frozen=True)
+class Place:
+    """Where a value lives: the operand the next instruction should use.
+
+    ``kind``: ``imm`` (value), ``imm_sym`` (address-of a global array),
+    ``global`` (name + byte offset), ``stack`` (a :class:`StackRef`),
+    ``acc`` or ``acc_ind``.
+    """
+
+    kind: str
+    value: int = 0
+    name: str = ""
+    ref: StackRef | None = None
+
+    @property
+    def uses_acc(self) -> bool:
+        """True if the place is invalidated by the next accumulator write."""
+        return self.kind in ("acc", "acc_ind")
+
+    @property
+    def is_imm(self) -> bool:
+        return self.kind in ("imm", "imm_sym")
+
+    def operand(self):
+        """Render as an assembly operand."""
+        if self.kind == "imm":
+            return f"${self.value}"
+        if self.kind == "imm_sym":
+            return f"${self.name}"
+        if self.kind == "global":
+            return self.name if self.value == 0 else f"{self.name}+{self.value}"
+        if self.kind == "stack":
+            assert self.ref is not None
+            return self.ref
+        if self.kind == "acc":
+            return "Accum"
+        return "(Accum)"
+
+
+def imm_place(value: int) -> Place:
+    return Place("imm", value)
+
+
+ACC_PLACE = Place("acc")
+ACC_IND_PLACE = Place("acc_ind")
+
+
+class _LoopContext:
+    """break/continue targets of an enclosing loop or switch.
+
+    ``is_switch`` marks switch contexts: ``break`` targets the innermost
+    context of either kind, while ``continue`` skips switches and targets
+    the innermost *loop*.
+    """
+
+    def __init__(self, break_label: str, continue_label: str | None,
+                 is_switch: bool = False) -> None:
+        self.break_label = break_label
+        self.continue_label = continue_label
+        self.is_switch = is_switch
+        self.break_used = False
+        self.continue_used = False
+
+
+class FunctionGenerator:
+    """Generates one function's assembly IR."""
+
+    def __init__(self, info: SemaInfo, function: ast.Function,
+                 label_prefix: str) -> None:
+        self.info = info
+        self.function = function
+        self.prefix = label_prefix
+        self.items: list[AsmItem] = []
+        self.locals_bytes = info.locals_bytes[function.name]
+        self.temps_in_use = 0
+        self.max_temps = 0
+        self.push_depth = 0
+        self.label_counter = 0
+        self.loops: list[_LoopContext] = []
+        self.switch_tables: list[tuple[str, list[str]]] = []
+
+    # ---- small helpers -----------------------------------------------------
+
+    def emit(self, item: AsmItem) -> None:
+        self.items.append(item)
+
+    def new_label(self, hint: str = "L") -> str:
+        self.label_counter += 1
+        return f"{self.prefix}.{hint}{self.label_counter}"
+
+    def alloc_temp(self) -> Place:
+        offset = self.locals_bytes + 4 * self.temps_in_use
+        self.temps_in_use += 1
+        self.max_temps = max(self.max_temps, self.temps_in_use)
+        return Place("stack", ref=StackRef("temp", offset, self.push_depth))
+
+    def release_temps(self, mark: int) -> None:
+        self.temps_in_use = mark
+
+    def stack_place(self, symbol) -> Place:
+        if isinstance(symbol, LocalSym):
+            return Place("stack",
+                         ref=StackRef("local", symbol.offset, self.push_depth))
+        assert isinstance(symbol, ParamSym)
+        return Place("stack",
+                     ref=StackRef("param", symbol.offset, self.push_depth))
+
+    def spill(self, place: Place) -> Place:
+        """Copy an accumulator-resident value into a temp slot."""
+        temp = self.alloc_temp()
+        self.emit(instr("mov", temp.operand(), place.operand()))
+        return temp
+
+    def _unsigned_pair(self, left: ast.Expr, right: ast.Expr) -> bool:
+        """C's usual arithmetic conversions: unsigned wins."""
+        return (self.info.expr_is_unsigned(left)
+                or self.info.expr_is_unsigned(right))
+
+    def _binary3_mnemonic(self, op: str, left: ast.Expr,
+                          right: ast.Expr) -> str:
+        if op == ">>":
+            return "shr3" if self._unsigned_pair(left, right) else "sar3"
+        if op == "/":
+            return "udiv3" if self._unsigned_pair(left, right) else "div3"
+        if op == "%":
+            return "urem3" if self._unsigned_pair(left, right) else "rem3"
+        return _BINARY3[op]
+
+    def _binary2_mnemonic(self, op: str, target: ast.Expr,
+                          value: ast.Expr) -> str:
+        if op == ">>":
+            return "shr" if self._unsigned_pair(target, value) else "sar"
+        if op == "/":
+            return "udiv" if self._unsigned_pair(target, value) else "div"
+        if op == "%":
+            return "urem" if self._unsigned_pair(target, value) else "rem"
+        return _BINARY2[op]
+
+    def _compare_mnemonic(self, op: str, left: ast.Expr,
+                          right: ast.Expr) -> str:
+        table = _UCOMPARE if self._unsigned_pair(left, right) else _COMPARE
+        return table[op]
+
+    @staticmethod
+    def is_leaf(expr: ast.Expr) -> bool:
+        """True when generating the expression emits no instructions."""
+        if isinstance(expr, (ast.IntLiteral, ast.VarRef)):
+            return True
+        return (isinstance(expr, ast.ArrayIndex)
+                and isinstance(expr.index, ast.IntLiteral))
+
+    # ---- function body -----------------------------------------------------------
+
+    def run(self) -> AsmFunction:
+        self.emit(instr("enter", FrameSize()))
+        self._block(self.function.body)
+        if not (self.items and self.items[-1].mnemonic == "return"):
+            self._emit_epilogue()
+        result = AsmFunction(self.function.name, self.items)
+        result.frame_size = self.locals_bytes + 4 * self.max_temps
+        for _, entries in self.switch_tables:
+            result.protected_labels.update(entries)
+        return result
+
+    def _emit_epilogue(self) -> None:
+        self.emit(instr("spadd", FrameSize()))
+        self.emit(instr("return"))
+
+    # ---- statements ------------------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.Stmt) -> None:
+        mark = self.temps_in_use
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.Declaration):
+            if stmt.initializer is not None:
+                symbol = self.info.resolve(stmt)
+                self._assign_simple(self.stack_place(symbol), stmt.initializer)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._expr_for_effect(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                place = self.gen_expr(stmt.value)
+                if place.kind != "acc":
+                    self.emit(instr("mov", "Accum", place.operand()))
+            self._emit_epilogue()
+        elif isinstance(stmt, ast.Switch):
+            self._switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.loops[-1].break_used = True
+            self.emit(branch("jmp", self.loops[-1].break_label))
+        elif isinstance(stmt, ast.Continue):
+            loop = next(context for context in reversed(self.loops)
+                        if not context.is_switch)
+            loop.continue_used = True
+            assert loop.continue_label is not None
+            self.emit(branch("jmp", loop.continue_label))
+        else:
+            raise CompileError(f"cannot generate {type(stmt).__name__}",
+                               stmt.line)
+        self.release_temps(mark)
+
+    def _if(self, stmt: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        target = else_label if stmt.else_branch is not None else end_label
+        self.gen_branch(stmt.condition, target, False)
+        self._statement(stmt.then_branch)
+        if stmt.else_branch is not None:
+            self.emit(branch("jmp", end_label))
+            self.emit(label(else_label))
+            self._statement(stmt.else_branch)
+        self.emit(label(end_label))
+
+    def _loop(self, condition: ast.Expr | None, body: ast.Stmt,
+              step: ast.Expr | None, test_first: bool) -> None:
+        body_label = self.new_label("body")
+        test_label = self.new_label("test")
+        context = _LoopContext(self.new_label("brk"), self.new_label("cont"))
+        self.loops.append(context)
+        if test_first and condition is not None:
+            self.emit(branch("jmp", test_label))
+        self.emit(label(body_label))
+        self._statement(body)
+        if context.continue_used:
+            self.emit(label(context.continue_label))
+        if step is not None:
+            self._expr_for_effect(step)
+        if condition is not None:
+            self.emit(label(test_label))
+            self.gen_branch(condition, body_label, True)
+        else:
+            self.emit(branch("jmp", body_label))
+        self.loops.pop()
+        if context.break_used:
+            self.emit(label(context.break_label))
+
+    # dense-table heuristic: table entries allowed per case value
+    SWITCH_TABLE_DENSITY = 3
+    SWITCH_TABLE_MIN_CASES = 3
+
+    def _switch(self, stmt: ast.Switch) -> None:
+        end_label = self.new_label("swend")
+        clause_labels = [self.new_label("case") for _ in stmt.clauses]
+        default_label = end_label
+        for label_name, clause in zip(clause_labels, stmt.clauses):
+            if clause.is_default:
+                default_label = label_name
+
+        selector = self.gen_expr(stmt.selector)
+        if selector.uses_acc:
+            selector = self.spill(selector)
+
+        cases = [(value, clause_labels[i])
+                 for i, clause in enumerate(stmt.clauses)
+                 for value in clause.values]
+        if self._switch_is_dense(cases):
+            self._switch_dispatch_table(selector, cases, default_label)
+        else:
+            self._switch_dispatch_chain(selector, cases, default_label)
+
+        context = _LoopContext(end_label, None, is_switch=True)
+        self.loops.append(context)
+        for label_name, clause in zip(clause_labels, stmt.clauses):
+            self.emit(label(label_name))
+            for inner in clause.statements:
+                self._statement(inner)
+        self.loops.pop()
+        self.emit(label(end_label))
+
+    def _switch_is_dense(self, cases: list[tuple[int, str]]) -> bool:
+        if len(cases) < self.SWITCH_TABLE_MIN_CASES:
+            return False
+        values = [value for value, _ in cases]
+        span = max(values) - min(values) + 1
+        return span <= self.SWITCH_TABLE_DENSITY * len(cases)
+
+    def _switch_dispatch_chain(self, selector: Place,
+                               cases: list[tuple[int, str]],
+                               default_label: str) -> None:
+        for value, label_name in cases:
+            self.emit(instr("cmp.=", selector.operand(), f"${value}"))
+            self.emit(branch("iftjmpn", label_name))
+        self.emit(branch("jmp", default_label))
+
+    def _switch_dispatch_table(self, selector: Place,
+                               cases: list[tuple[int, str]],
+                               default_label: str) -> None:
+        """Jump-table dispatch through an indirect branch — the paper:
+        indirect branches are 'only occasionally generated by our
+        compiler for such constructs as case statements'."""
+        values = [value for value, _ in cases]
+        low, high = min(values), max(values)
+        table_name = self.new_label("swtbl")
+        by_value = dict(cases)
+        entries = [by_value.get(value, default_label)
+                   for value in range(low, high + 1)]
+        self.switch_tables.append((table_name, entries))
+
+        self.emit(instr("cmp.s<", selector.operand(), f"${low}"))
+        self.emit(branch("iftjmpn", default_label))
+        self.emit(instr("cmp.s>", selector.operand(), f"${high}"))
+        self.emit(branch("iftjmpn", default_label))
+        self.emit(instr("sub3", selector.operand(), f"${low}"))
+        self.emit(instr("shl3", "Accum", "$2"))
+        self.emit(instr("add", "Accum", f"${table_name}"))
+        slot = self.alloc_temp()
+        self.emit(instr("mov", slot.operand(), "(Accum)"))
+        assert slot.ref is not None
+        self.emit(indirect_branch("jmp", slot.ref))
+
+    def _while(self, stmt: ast.While) -> None:
+        self._loop(stmt.condition, stmt.body, None, test_first=True)
+
+    def _do_while(self, stmt: ast.DoWhile) -> None:
+        self._loop(stmt.condition, stmt.body, None, test_first=False)
+
+    def _for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._statement(stmt.init)
+        self._loop(stmt.condition, stmt.body, stmt.step, test_first=True)
+
+    # ---- conditions -------------------------------------------------------------------
+
+    def gen_branch(self, condition: ast.Expr, target: str,
+                   sense: bool) -> None:
+        """Emit code transferring to ``target`` iff ``condition`` is
+        truthy == ``sense`` (separate compare + conditional branch)."""
+        if isinstance(condition, ast.IntLiteral):
+            if bool(condition.value) == sense:
+                self.emit(branch("jmp", target))
+            return
+        if isinstance(condition, ast.Unary) and condition.op == "!":
+            self.gen_branch(condition.operand, target, not sense)
+            return
+        if isinstance(condition, ast.Logical):
+            self._logical_branch(condition, target, sense)
+            return
+        if isinstance(condition, ast.Binary) and condition.op in _COMPARE:
+            mnemonic = self._compare_mnemonic(
+                condition.op, condition.left, condition.right)
+            left, right = self._operand_pair(condition.left, condition.right)
+            self.emit(instr(mnemonic, left.operand(), right.operand()))
+            self.emit(branch("iftjmpn" if sense else "iffjmpn", target))
+            return
+        place = self.gen_expr(condition)
+        self.emit(instr("cmp.!=", place.operand(), "$0"))
+        self.emit(branch("iftjmpn" if sense else "iffjmpn", target))
+
+    def _logical_branch(self, condition: ast.Logical, target: str,
+                        sense: bool) -> None:
+        if (condition.op == "&&") == sense:
+            # both operands must pass: short-circuit around the target
+            skip = self.new_label("sc")
+            self.gen_branch(condition.left, skip, not sense)
+            self.gen_branch(condition.right, target, sense)
+            self.emit(label(skip))
+        else:
+            self.gen_branch(condition.left, target, sense)
+            self.gen_branch(condition.right, target, sense)
+
+    def _operand_pair(self, left_expr: ast.Expr,
+                      right_expr: ast.Expr) -> tuple[Place, Place]:
+        """Generate two operands, spilling so at most one is in the
+        accumulator."""
+        left = self.gen_expr(left_expr)
+        if left.uses_acc and not self.is_leaf(right_expr):
+            left = self.spill(left)
+        right = self.gen_expr(right_expr)
+        return left, right
+
+    # ---- expressions --------------------------------------------------------------------
+
+    def _expr_for_effect(self, expr: ast.Expr) -> None:
+        """Evaluate for side effects only (statement context)."""
+        if isinstance(expr, ast.IncDec):
+            target = self._writable_place(expr.target)
+            self.emit(instr("add" if expr.op == "++" else "sub",
+                            target.operand(), "$1"))
+            return
+        if isinstance(expr, ast.Assign):
+            self._assign(expr)
+            return
+        if isinstance(expr, ast.Call):
+            self.gen_call(expr)
+            return
+        if self.is_leaf(expr):
+            return  # pure leaf: no effect
+        self.gen_expr(expr)
+
+    def gen_expr(self, expr: ast.Expr) -> Place:
+        """Evaluate an expression; return the place holding its value."""
+        if isinstance(expr, ast.IntLiteral):
+            return imm_place(expr.value)
+        if isinstance(expr, ast.VarRef):
+            symbol = self.info.resolve(expr)
+            if isinstance(symbol, GlobalSym):
+                return Place("global", name=symbol.name)
+            return self.stack_place(symbol)
+        if isinstance(expr, ast.ArrayIndex):
+            return self._array_place(expr)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._incdec_value(expr)
+        if isinstance(expr, ast.Binary):
+            if expr.op in _COMPARE:
+                return self._materialize_bool(expr)
+            return self._binary(expr)
+        if isinstance(expr, ast.Logical):
+            return self._materialize_bool(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._conditional(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr)
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr)
+        raise CompileError(f"cannot generate {type(expr).__name__}",
+                           expr.line)
+
+    def _array_place(self, expr: ast.ArrayIndex) -> Place:
+        symbol = self.info.resolve(expr)
+        if isinstance(expr.index, ast.IntLiteral):
+            offset = 4 * expr.index.value
+            if offset < 0 or offset >= 4 * symbol.array_size:
+                raise CompileError(
+                    f"index {expr.index.value} outside array "
+                    f"{symbol.name!r}", expr.line)
+            return Place("global", value=offset, name=symbol.name)
+        index = self.gen_expr(expr.index)
+        if index.kind == "acc":
+            self.emit(instr("shl3", "Accum", "$2"))
+        elif index.kind == "acc_ind":
+            index = self.spill(index)
+            self.emit(instr("shl3", index.operand(), "$2"))
+        else:
+            self.emit(instr("shl3", index.operand(), "$2"))
+        self.emit(instr("add", "Accum", f"${symbol.name}"))
+        return ACC_IND_PLACE
+
+    def _unary(self, expr: ast.Unary) -> Place:
+        if expr.op == "!":
+            return self._materialize_bool(expr)
+        operand = self.gen_expr(expr.operand)
+        if expr.op == "-":
+            if operand.kind == "imm":
+                return imm_place(-operand.value)
+            self.emit(instr("sub3", "$0", operand.operand()))
+        else:  # "~"
+            if operand.kind == "imm":
+                return imm_place(~operand.value)
+            self.emit(instr("xor3", operand.operand(), "$-1"))
+        return ACC_PLACE
+
+    def _incdec_value(self, expr: ast.IncDec) -> Place:
+        target = self._writable_place(expr.target)
+        mnemonic = "add" if expr.op == "++" else "sub"
+        if expr.is_prefix:
+            self.emit(instr(mnemonic, target.operand(), "$1"))
+            return target
+        temp = self.alloc_temp()
+        self.emit(instr("mov", temp.operand(), target.operand()))
+        self.emit(instr(mnemonic, target.operand(), "$1"))
+        return temp
+
+    def _binary(self, expr: ast.Binary) -> Place:
+        if (isinstance(expr.left, ast.IntLiteral)
+                and isinstance(expr.right, ast.IntLiteral)):
+            return imm_place(_fold_constant(expr.op, expr.left.value,
+                                            expr.right.value))
+        mnemonic = self._binary3_mnemonic(expr.op, expr.left, expr.right)
+        left, right = self._operand_pair(expr.left, expr.right)
+        self.emit(instr(mnemonic, left.operand(), right.operand()))
+        return ACC_PLACE
+
+    def _materialize_bool(self, expr: ast.Expr) -> Place:
+        temp = self.alloc_temp()
+        done = self.new_label("bool")
+        self.emit(instr("mov", temp.operand(), "$1"))
+        self.gen_branch(expr, done, True)
+        self.emit(instr("mov", temp.operand(), "$0"))
+        self.emit(label(done))
+        return temp
+
+    def _conditional(self, expr: ast.Conditional) -> Place:
+        temp = self.alloc_temp()
+        else_label = self.new_label("celse")
+        end_label = self.new_label("cend")
+        self.gen_branch(expr.condition, else_label, False)
+        place = self.gen_expr(expr.when_true)
+        self.emit(instr("mov", temp.operand(), place.operand()))
+        self.emit(branch("jmp", end_label))
+        self.emit(label(else_label))
+        place = self.gen_expr(expr.when_false)
+        self.emit(instr("mov", temp.operand(), place.operand()))
+        self.emit(label(end_label))
+        return temp
+
+    # ---- assignment -------------------------------------------------------------------------
+
+    def _writable_place(self, target: ast.Expr) -> Place:
+        """Place for an assignment target (may compute an address)."""
+        if isinstance(target, ast.VarRef):
+            symbol = self.info.resolve(target)
+            if isinstance(symbol, GlobalSym):
+                return Place("global", name=symbol.name)
+            return self.stack_place(symbol)
+        assert isinstance(target, ast.ArrayIndex)
+        return self._array_place(target)
+
+    def _assign(self, expr: ast.Assign) -> Place:
+        if expr.op != "=":
+            return self._compound_assign(expr)
+        if isinstance(expr.target, ast.VarRef) or isinstance(
+                expr.target, ast.ArrayIndex) and isinstance(
+                expr.target.index, ast.IntLiteral):
+            target = self._writable_place(expr.target)
+            self._assign_simple(target, expr.value)
+            return target
+        # dynamic array element: evaluate the value first (address
+        # computation will clobber the accumulator)
+        value = self.gen_expr(expr.value)
+        if value.uses_acc:
+            value = self.spill(value)
+        target = self._writable_place(expr.target)
+        self.emit(instr("mov", target.operand(), value.operand()))
+        return value
+
+    def _assign_simple(self, target: Place, value: ast.Expr) -> None:
+        """``target = value`` where the target place is address-stable."""
+        # x = x op e  ->  op x, e   (and the commutative mirror)
+        if isinstance(value, ast.Binary) and value.op in _BINARY2:
+            rewritten = self._as_inplace_op(target, value)
+            if rewritten is not None:
+                return
+        place = self.gen_expr(value)
+        if place.operand() != target.operand():
+            self.emit(instr("mov", target.operand(), place.operand()))
+
+    def _as_inplace_op(self, target: Place,
+                       value: ast.Binary) -> bool | None:
+        """Try emitting ``op target, src`` for ``target = target op src``."""
+        def places_equal(expr: ast.Expr) -> bool:
+            if not self.is_leaf(expr):
+                return False
+            return self.gen_leaf(expr).operand() == target.operand()
+
+        if places_equal(value.left) and self.is_leaf(value.right):
+            source = self.gen_leaf(value.right)
+            self.emit(instr(
+                self._binary2_mnemonic(value.op, value.left, value.right),
+                target.operand(), source.operand()))
+            return True
+        if (value.op in _COMMUTATIVE and places_equal(value.right)
+                and self.is_leaf(value.left)):
+            source = self.gen_leaf(value.left)
+            self.emit(instr(_BINARY2[value.op], target.operand(),
+                            source.operand()))
+            return True
+        return None
+
+    def gen_leaf(self, expr: ast.Expr) -> Place:
+        """Place for a leaf expression (emits nothing)."""
+        assert self.is_leaf(expr)
+        return self.gen_expr(expr)
+
+    def _compound_assign(self, expr: ast.Assign) -> Place:
+        op = _COMPOUND_OPS[expr.op]
+        mnemonic = self._binary2_mnemonic(op, expr.target, expr.value)
+        if (isinstance(expr.target, ast.ArrayIndex)
+                and not isinstance(expr.target.index, ast.IntLiteral)):
+            value = self.gen_expr(expr.value)
+            if value.uses_acc:
+                value = self.spill(value)
+            target = self._writable_place(expr.target)
+            self.emit(instr(mnemonic, target.operand(), value.operand()))
+            return target
+        target = self._writable_place(expr.target)
+        value = self.gen_expr(expr.value)
+        self.emit(instr(mnemonic, target.operand(), value.operand()))
+        return target
+
+    # ---- calls ------------------------------------------------------------------------------------
+
+    def gen_call(self, expr: ast.Call) -> Place:
+        arg_places = []
+        for arg in expr.args:
+            place = self.gen_expr(arg)
+            if place.uses_acc:
+                place = self.spill(place)
+            arg_places.append(place)
+        arg_bytes = 4 * len(expr.args)
+        if arg_bytes:
+            self.emit(instr("enter", f"{arg_bytes}"))
+            self.push_depth += arg_bytes
+            for index, place in enumerate(arg_places):
+                source = place
+                if place.kind == "stack":
+                    assert place.ref is not None
+                    source = Place("stack", ref=StackRef(
+                        place.ref.kind, place.ref.offset, self.push_depth))
+                self.emit(instr("mov", f"{4 * index}(sp)", source.operand()))
+        self.emit(branch("call", expr.name))
+        if arg_bytes:
+            self.emit(instr("spadd", f"{arg_bytes}"))
+            self.push_depth -= arg_bytes
+        return ACC_PLACE
+
+
+def _fold_constant(op: str, left: int, right: int) -> int:
+    import operator
+    table = {
+        "+": operator.add, "-": operator.sub, "*": operator.mul,
+        "&": operator.and_, "|": operator.or_, "^": operator.xor,
+        "<<": operator.lshift, ">>": operator.rshift,
+    }
+    if op == "/":
+        return int(left / right) if right else 0
+    if op == "%":
+        return left - int(left / right) * right if right else 0
+    return table[op](left, right)
+
+
+def generate(unit: ast.TranslationUnit,
+             info: SemaInfo | None = None) -> AsmModule:
+    """Generate an :class:`~repro.lang.asmir.AsmModule` for a unit."""
+    if info is None:
+        info = analyze(unit)
+    module = AsmModule()
+    for var in unit.globals:
+        if var.array_size is not None:
+            module.data_lines.append(f".reserve {var.name}, {var.array_size}")
+        else:
+            module.data_lines.append(f".word {var.name}, {var.initializer}")
+    for function in unit.functions:
+        generator = FunctionGenerator(info, function, function.name)
+        module.functions.append(generator.run())
+        for table_name, entries in generator.switch_tables:
+            module.data_lines.append(
+                f".word {table_name}, " + ", ".join(entries))
+    return module

@@ -1,0 +1,105 @@
+"""The crispcc driver: source text → assembled Program.
+
+Pass order: parse → sema → codegen → peephole → branch spreading →
+prediction bits → render → assemble. Profile-guided prediction assembles
+a heuristic build first, runs it on the functional simulator to collect
+per-branch outcome counts, then re-renders with the optimal static bits —
+exactly the "optimal setting of a branch prediction bit" Table 1 scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.assembler import assemble
+from repro.asm.program import Program
+from repro.lang.asmir import AsmModule
+from repro.lang.codegen import generate
+from repro.lang.lexer import CompileError
+from repro.lang.parser import parse
+from repro.lang.passes.peephole import peephole_module
+from repro.lang.passes.predict import (
+    PredictionMode,
+    apply_prediction,
+    apply_profile,
+)
+from repro.lang.passes.spreading import SPREAD_DISTANCE, spread_module
+from repro.lang.sema import analyze
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs the evaluation harness sweeps.
+
+    ``spreading`` enables the Branch Spreading pass; ``prediction``
+    selects how static bits are set; ``profile_runs`` caps the functional
+    profiling run for :attr:`PredictionMode.PROFILE`.
+    """
+
+    spreading: bool = False
+    spread_distance: int = SPREAD_DISTANCE
+    prediction: PredictionMode = PredictionMode.HEURISTIC
+    peephole: bool = True
+    simplify: bool = False  #: AST constant folding / algebraic identities
+    profile_instruction_budget: int = 10_000_000
+    entry_function: str = "main"
+
+
+def compile_unit(source: str,
+                 options: CompilerOptions | None = None) -> AsmModule:
+    """Compile to the assembly-level IR (before prediction bits)."""
+    options = options or CompilerOptions()
+    unit = parse(source)
+    if options.simplify:
+        from repro.lang.passes.simplify import simplify_unit
+        simplify_unit(unit)
+    info = analyze(unit)
+    if options.entry_function not in info.functions:
+        raise CompileError(f"no {options.entry_function!r} function", 0)
+    module = generate(unit, info)
+    module.entry_function = options.entry_function
+    if options.peephole:
+        peephole_module(module)
+    if options.spreading:
+        spread_module(module, options.spread_distance)
+    return module
+
+
+def compile_to_assembly(source: str,
+                        options: CompilerOptions | None = None) -> str:
+    """Compile to assembler source text."""
+    options = options or CompilerOptions()
+    module = compile_unit(source, options)
+    if options.prediction is PredictionMode.PROFILE:
+        _profile_and_annotate(module, options)
+    else:
+        apply_prediction(module, options.prediction)
+    return module.render()
+
+
+def compile_source(source: str,
+                   options: CompilerOptions | None = None) -> Program:
+    """Compile and assemble into a runnable Program."""
+    return assemble(compile_to_assembly(source, options))
+
+
+def _profile_and_annotate(module: AsmModule,
+                          options: CompilerOptions) -> None:
+    from repro.sim.functional import FunctionalSimulator
+
+    apply_prediction(module, PredictionMode.HEURISTIC)
+    program = assemble(module.render())
+    counts: dict[int, list[int]] = {}
+
+    def hook(pc: int, instruction, taken: bool) -> None:
+        index = program.index_of(pc)
+        if index is None or not instruction.is_conditional_branch:
+            return
+        entry = counts.setdefault(index, [0, 0])
+        entry[0] += 1 if taken else 0
+        entry[1] += 1
+
+    simulator = FunctionalSimulator(program, branch_hook=hook)
+    simulator.run(options.profile_instruction_budget)
+    apply_profile(module, {index: (taken, total)
+                           for index, (taken, total) in counts.items()})

@@ -1,0 +1,27 @@
+"""Optimization passes over the assembly-level IR.
+
+* :mod:`repro.lang.passes.peephole` — cleanup (dead labels, jumps to the
+  next instruction) that keeps basic blocks large for the scheduler.
+* :mod:`repro.lang.passes.spreading` — **Branch Spreading**: code motion
+  separating each compare from its conditional branch.
+* :mod:`repro.lang.passes.predict` — static prediction-bit setting
+  (all-taken / all-not-taken / backward-taken heuristic / profile-guided).
+"""
+
+from repro.lang.passes.peephole import peephole_function, peephole_module
+from repro.lang.passes.spreading import spread_function, spread_module
+from repro.lang.passes.predict import (
+    PredictionMode,
+    apply_prediction,
+    apply_profile,
+)
+
+__all__ = [
+    "peephole_function",
+    "peephole_module",
+    "spread_function",
+    "spread_module",
+    "PredictionMode",
+    "apply_prediction",
+    "apply_profile",
+]

@@ -1,0 +1,63 @@
+"""Peephole cleanups.
+
+These run before branch spreading: removing unreferenced labels merges
+basic blocks, giving the spreading scheduler more room to move code.
+"""
+
+from __future__ import annotations
+
+from repro.lang.asmir import AsmFunction, AsmItem, AsmModule
+
+
+def _referenced_labels(items: list[AsmItem]) -> set[str]:
+    return {item.target for item in items if item.target is not None}
+
+
+def peephole_function(function: AsmFunction) -> None:
+    """Apply peephole cleanups to one function, in place."""
+    changed = True
+    while changed:
+        changed = (_drop_jumps_to_next(function.items)
+                   or _drop_unreferenced_labels(function.items,
+                                                function.protected_labels)
+                   or _drop_self_moves(function.items))
+
+
+def _drop_jumps_to_next(items: list[AsmItem]) -> bool:
+    """Remove ``jmp L`` when control falls to ``L`` anyway."""
+    for index, item in enumerate(items):
+        if item.mnemonic != "jmp" or item.target is None:
+            continue
+        cursor = index + 1
+        while cursor < len(items) and items[cursor].is_label:
+            if items[cursor].label == item.target:
+                del items[index]
+                return True
+            cursor += 1
+    return False
+
+
+def _drop_unreferenced_labels(items: list[AsmItem],
+                              protected: set[str] | None = None) -> bool:
+    referenced = _referenced_labels(items) | (protected or set())
+    for index, item in enumerate(items):
+        if item.is_label and item.label not in referenced:
+            del items[index]
+            return True
+    return False
+
+
+def _drop_self_moves(items: list[AsmItem]) -> bool:
+    """Remove ``mov x, x``."""
+    for index, item in enumerate(items):
+        if (item.mnemonic == "mov" and len(item.operands) == 2
+                and item.operands[0] == item.operands[1]):
+            del items[index]
+            return True
+    return False
+
+
+def peephole_module(module: AsmModule) -> None:
+    """Apply peephole cleanups to every function."""
+    for function in module.functions:
+        peephole_function(function)

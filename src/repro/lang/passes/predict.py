@@ -1,0 +1,75 @@
+"""Static branch-prediction bit setting.
+
+CRISP conditional branches carry one compiler-set prediction bit. The
+paper evaluates the optimal static setting (Table 1's "static prediction"
+column assumes the bit is set optimally per branch) and uses simple
+settings in the Table 4 experiment. Four policies are provided:
+
+* ``NOT_TAKEN`` / ``TAKEN`` — force every bit one way (Table 4's case A
+  uses not-taken for the loop branch);
+* ``HEURISTIC`` — backward branches predicted taken, forward not taken
+  (the classic loop heuristic);
+* ``PROFILE`` — per-branch majority direction from a profiling run
+  (optimal static prediction, what Table 1 reports).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.lang.asmir import AsmItem, AsmModule
+
+
+class PredictionMode(enum.Enum):
+    """How conditional-branch prediction bits are assigned."""
+
+    NOT_TAKEN = "not_taken"
+    TAKEN = "taken"
+    HEURISTIC = "heuristic"
+    PROFILE = "profile"
+
+
+def _with_bit(mnemonic: str, predict_taken: bool) -> str:
+    base = mnemonic[:-1]
+    return base + ("y" if predict_taken else "n")
+
+
+def _label_positions(items: list[AsmItem]) -> dict[str, int]:
+    return {item.label: index
+            for index, item in enumerate(items) if item.is_label}
+
+
+def apply_prediction(module: AsmModule, mode: PredictionMode) -> None:
+    """Set every conditional branch's prediction bit (non-profile modes)."""
+    if mode is PredictionMode.PROFILE:
+        raise ValueError("use apply_profile() for profile-guided prediction")
+    for function in module.functions:
+        labels = _label_positions(function.items)
+        for index, item in enumerate(function.items):
+            if not item.is_conditional:
+                continue
+            if mode is PredictionMode.NOT_TAKEN:
+                taken = False
+            elif mode is PredictionMode.TAKEN:
+                taken = True
+            else:  # HEURISTIC: backward taken, forward not taken
+                target_index = labels.get(item.target, index + 1)
+                taken = target_index <= index
+            item.mnemonic = _with_bit(item.mnemonic, taken)
+
+
+def apply_profile(module: AsmModule,
+                  taken_counts: dict[int, tuple[int, int]]) -> None:
+    """Set prediction bits from a profile.
+
+    ``taken_counts`` maps a module-order instruction index (as produced by
+    :meth:`~repro.lang.asmir.AsmModule.instructions`) to ``(taken,
+    total)`` execution counts. Unexecuted branches keep their current bit.
+    """
+    for index, item in enumerate(module.instructions()):
+        if not item.is_conditional:
+            continue
+        taken, total = taken_counts.get(index, (0, 0))
+        if total == 0:
+            continue
+        item.mnemonic = _with_bit(item.mnemonic, taken * 2 > total)

@@ -1,0 +1,242 @@
+"""AST-level simplification: constant folding and algebraic identities.
+
+Runs before semantic analysis (opt-in via
+:attr:`~repro.lang.compiler.CompilerOptions.simplify`). Every rewrite is
+exact under C semantics, including evaluation-order rules: an operand is
+only deleted when the language guarantees it would not have been
+evaluated (short-circuit, ternary) or when it is side-effect-free.
+"""
+
+from __future__ import annotations
+
+from repro.isa.parcels import to_s32, to_u32
+from repro.lang import astnodes as ast
+
+_FOLDABLE_COMPARE = {
+    "==": lambda a, b: a == b, "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+}
+
+
+def is_pure(expr: ast.Expr) -> bool:
+    """True when evaluating the expression has no side effects."""
+    if isinstance(expr, ast.IntLiteral) or isinstance(expr, ast.VarRef):
+        return True
+    if isinstance(expr, ast.ArrayIndex):
+        return is_pure(expr.index)
+    if isinstance(expr, ast.Unary):
+        return is_pure(expr.operand)
+    if isinstance(expr, (ast.Binary, ast.Logical)):
+        return is_pure(expr.left) and is_pure(expr.right)
+    if isinstance(expr, ast.Conditional):
+        return (is_pure(expr.condition) and is_pure(expr.when_true)
+                and is_pure(expr.when_false))
+    return False  # assignments, ++/--, calls
+
+
+def _literal(value: int, line: int) -> ast.IntLiteral:
+    return ast.IntLiteral(to_s32(to_u32(value)), line=line)
+
+
+def _fold_binary(op: str, left: int, right: int) -> int | None:
+    """Fold two signed-literal operands (None when undefined)."""
+    if op in _FOLDABLE_COMPARE:
+        return int(_FOLDABLE_COMPARE[op](left, right))
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return int(left / right) if right else None
+    if op == "%":
+        return left - int(left / right) * right if right else None
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return to_u32(left) << (right & 31)
+    if op == ">>":
+        return left >> (right & 31)  # literals fold as signed
+    return None
+
+
+def simplify_expr(expr: ast.Expr) -> ast.Expr:
+    """Return a simplified (possibly new) expression node."""
+    if isinstance(expr, ast.IntLiteral) or isinstance(expr, ast.VarRef):
+        return expr
+    if isinstance(expr, ast.ArrayIndex):
+        expr.index = simplify_expr(expr.index)
+        return expr
+    if isinstance(expr, ast.Unary):
+        expr.operand = simplify_expr(expr.operand)
+        if isinstance(expr.operand, ast.IntLiteral):
+            value = expr.operand.value
+            folded = {"-": -value, "~": ~value, "!": int(not value)}[expr.op]
+            return _literal(folded, expr.line)
+        return expr
+    if isinstance(expr, ast.IncDec):
+        return expr
+    if isinstance(expr, ast.Binary):
+        return _simplify_binary(expr)
+    if isinstance(expr, ast.Logical):
+        return _simplify_logical(expr)
+    if isinstance(expr, ast.Conditional):
+        expr.condition = simplify_expr(expr.condition)
+        expr.when_true = simplify_expr(expr.when_true)
+        expr.when_false = simplify_expr(expr.when_false)
+        if isinstance(expr.condition, ast.IntLiteral):
+            # C never evaluates the unselected arm: dropping it is exact
+            return expr.when_true if expr.condition.value \
+                else expr.when_false
+        return expr
+    if isinstance(expr, ast.Assign):
+        expr.target = simplify_expr(expr.target)
+        expr.value = simplify_expr(expr.value)
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [simplify_expr(arg) for arg in expr.args]
+        return expr
+    return expr
+
+
+def _simplify_binary(expr: ast.Binary) -> ast.Expr:
+    expr.left = simplify_expr(expr.left)
+    expr.right = simplify_expr(expr.right)
+    left, right = expr.left, expr.right
+
+    if isinstance(left, ast.IntLiteral) and isinstance(right, ast.IntLiteral):
+        folded = _fold_binary(expr.op, left.value, right.value)
+        if folded is not None:
+            return _literal(folded, expr.line)
+        return expr  # division by zero: leave for runtime
+
+    # identities with a literal on one side
+    lit, other, lit_on_left = None, None, False
+    if isinstance(left, ast.IntLiteral):
+        lit, other, lit_on_left = left.value, right, True
+    elif isinstance(right, ast.IntLiteral):
+        lit, other, lit_on_left = right.value, left, False
+    if lit is None:
+        return expr
+
+    op = expr.op
+    if lit == 0:
+        if op == "+" or (op in ("-", "<<", ">>", "|", "^")
+                         and not lit_on_left):
+            return other  # x+0, 0+x, x-0, x<<0, x|0, x^0
+        if op in ("*", "&") and is_pure(other):
+            return _literal(0, expr.line)  # x*0 (pure), x&0
+    if lit == 1 and op == "*":
+        return other
+    if lit == 1 and op == "/" and not lit_on_left:
+        return other
+    if lit == 1 and op == "%" and not lit_on_left and is_pure(other):
+        return _literal(0, expr.line)  # x%1 == 0, but x must still run
+    if lit == -1 and op == "&":
+        return other
+    return expr
+
+
+def _simplify_logical(expr: ast.Logical) -> ast.Expr:
+    expr.left = simplify_expr(expr.left)
+    expr.right = simplify_expr(expr.right)
+    if isinstance(expr.left, ast.IntLiteral):
+        left_truth = bool(expr.left.value)
+        if expr.op == "&&":
+            if not left_truth:
+                return _literal(0, expr.line)  # right never evaluates
+            return _as_boolean(expr.right, expr.line)
+        if left_truth:
+            return _literal(1, expr.line)  # right never evaluates
+        return _as_boolean(expr.right, expr.line)
+    return expr
+
+
+def _as_boolean(expr: ast.Expr, line: int) -> ast.Expr:
+    """Normalize to 0/1 (logical operators produce booleans)."""
+    if isinstance(expr, ast.IntLiteral):
+        return _literal(int(bool(expr.value)), line)
+    if isinstance(expr, (ast.Binary,)) and expr.op in _FOLDABLE_COMPARE:
+        return expr  # already 0/1
+    if isinstance(expr, ast.Logical):
+        return expr
+    return ast.Binary("!=", expr, ast.IntLiteral(0, line=line), line=line)
+
+
+def simplify_stmt(stmt: ast.Stmt) -> ast.Stmt | None:
+    """Simplify a statement; None means it can be deleted entirely."""
+    if isinstance(stmt, ast.Block):
+        new_statements = []
+        for inner in stmt.statements:
+            simplified = simplify_stmt(inner)
+            if simplified is not None:
+                new_statements.append(simplified)
+        stmt.statements = new_statements
+        return stmt
+    if isinstance(stmt, ast.Declaration):
+        if stmt.initializer is not None:
+            stmt.initializer = simplify_expr(stmt.initializer)
+        return stmt
+    if isinstance(stmt, ast.ExprStmt):
+        if stmt.expr is None:
+            return None
+        stmt.expr = simplify_expr(stmt.expr)
+        if is_pure(stmt.expr):
+            return None  # pure expression statement: dead
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.condition = simplify_expr(stmt.condition)
+        stmt.then_branch = simplify_stmt(stmt.then_branch) or ast.Block([])
+        if stmt.else_branch is not None:
+            stmt.else_branch = simplify_stmt(stmt.else_branch)
+        if isinstance(stmt.condition, ast.IntLiteral):
+            if stmt.condition.value:
+                return stmt.then_branch
+            return stmt.else_branch  # may be None: whole if deleted
+        return stmt
+    if isinstance(stmt, ast.While):
+        stmt.condition = simplify_expr(stmt.condition)
+        if (isinstance(stmt.condition, ast.IntLiteral)
+                and not stmt.condition.value):
+            return None  # while(0): body never runs
+        stmt.body = simplify_stmt(stmt.body) or ast.Block([])
+        return stmt
+    if isinstance(stmt, ast.DoWhile):
+        stmt.body = simplify_stmt(stmt.body) or ast.Block([])
+        stmt.condition = simplify_expr(stmt.condition)
+        return stmt
+    if isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            stmt.init = simplify_stmt(stmt.init)
+        if stmt.condition is not None:
+            stmt.condition = simplify_expr(stmt.condition)
+        if stmt.step is not None:
+            stmt.step = simplify_expr(stmt.step)
+        stmt.body = simplify_stmt(stmt.body) or ast.Block([])
+        return stmt
+    if isinstance(stmt, ast.Switch):
+        stmt.selector = simplify_expr(stmt.selector)
+        for clause in stmt.clauses:
+            clause.statements = [
+                s for s in (simplify_stmt(inner)
+                            for inner in clause.statements)
+                if s is not None]
+        return stmt
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = simplify_expr(stmt.value)
+        return stmt
+    return stmt  # break / continue
+
+
+def simplify_unit(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Simplify every function in place; returns the unit."""
+    for function in unit.functions:
+        simplify_stmt(function.body)
+    return unit

@@ -1,0 +1,220 @@
+"""Branch Spreading — the paper's compiler-side half of zero-cost branches.
+
+A conditional branch whose compare has left the execution pipeline needs
+no prediction: the CRISP EU reads the architectural flag at fetch time and
+follows the correct path for free. The compiler therefore tries to place
+at least ``distance`` (= the pipeline depth, 3) independent instructions
+between every ``cmp`` and the conditional branch that consumes it:
+
+1. **Hoist-past-compare**: instructions from before the compare in the
+   same block move to just after it when they commute with the compare
+   (the paper's ``add sum,i`` moving below ``cmp.= Accum,0``).
+2. **Join pulling**: when the branch forms an if/else diamond (or
+   if-without-else triangle), instructions from the head of the join
+   block move up in front of the branch, provided they commute with both
+   arms and the compare (the paper's ``mov j,sum`` and ``add i,1``).
+
+Both motions preserve semantics by construction: moved instructions
+execute exactly once on every path they did before, in a data-dependence-
+compatible order. Calls, frame adjustments and flag writers are barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.asmir import (
+    AsmFunction,
+    AsmItem,
+    AsmModule,
+    items_conflict,
+)
+
+SPREAD_DISTANCE = 3
+"""Instructions needed between compare and branch for zero-cost resolution
+(the depth of the CRISP execution pipeline)."""
+
+_BARRIERS = {"call", "enter", "spadd", "return", "halt"}
+
+
+def _is_barrier(item: AsmItem) -> bool:
+    return (item.is_label or item.is_branch or item.sets_flag
+            or item.mnemonic in _BARRIERS)
+
+
+@dataclass
+class _Site:
+    """One compare/conditional-branch pair eligible for spreading."""
+
+    cmp_index: int
+    branch_index: int
+
+    @property
+    def gap(self) -> int:
+        return self.branch_index - self.cmp_index - 1
+
+
+def _find_sites(items: list[AsmItem]) -> list[_Site]:
+    """Conditional branches with their governing compare in-block."""
+    sites = []
+    for index, item in enumerate(items):
+        if not item.is_conditional:
+            continue
+        cursor = index - 1
+        while cursor >= 0:
+            candidate = items[cursor]
+            if candidate.sets_flag:
+                sites.append(_Site(cursor, index))
+                break
+            if candidate.is_label or candidate.is_branch:
+                break  # flag comes from another block: leave it alone
+            cursor -= 1
+    return sites
+
+
+def _block_start(items: list[AsmItem], index: int) -> int:
+    """Index of the first item of the block containing ``index``."""
+    cursor = index
+    while cursor > 0:
+        previous = items[cursor - 1]
+        if previous.is_label or previous.is_branch:
+            break
+        cursor -= 1
+    return cursor
+
+
+def _hoist_past_compare(items: list[AsmItem], site: _Site) -> bool:
+    """Move the nearest eligible instruction from above the compare to
+    just after it. Returns True on success."""
+    start = _block_start(items, site.cmp_index)
+    cmp_item = items[site.cmp_index]
+    crossed = [cmp_item]
+    cursor = site.cmp_index - 1
+    while cursor >= start:
+        candidate = items[cursor]
+        if _is_barrier(candidate):
+            return False
+        if all(not items_conflict(candidate, other) for other in crossed):
+            moved = items.pop(cursor)  # everything below slides up one
+            items.insert(site.cmp_index, moved)  # lands just after the cmp
+            site.cmp_index -= 1
+            return True
+        crossed.append(candidate)
+        cursor -= 1
+    return False
+
+
+def _label_index(items: list[AsmItem], name: str) -> int | None:
+    for index, item in enumerate(items):
+        if item.is_label and item.label == name:
+            return index
+    return None
+
+
+def _reference_count(items: list[AsmItem], name: str) -> int:
+    return sum(1 for item in items if item.target == name)
+
+
+def _arm_and_join(items: list[AsmItem], site: _Site,
+                  protected: frozenset[str] = frozenset(),
+                  ) -> tuple[list[int], int] | None:
+    """Identify the diamond/triangle around the branch.
+
+    Returns (arm item indices, join start index) or None when the shape
+    is not a forward if/else the pass understands.
+    """
+    branch = items[site.branch_index]
+    target = branch.target
+    assert target is not None
+    if target in protected:
+        return None  # label also reachable from a switch jump table
+    target_index = _label_index(items, target)
+    if target_index is None or target_index < site.branch_index:
+        return None  # backward branch: a loop, not an if
+    if _reference_count(items, target) != 1:
+        return None  # other paths reach the target label
+
+    arm_a = list(range(site.branch_index + 1, target_index))
+    if not arm_a:
+        return None
+    last = items[arm_a[-1]]
+    if last.mnemonic == "jmp" and last.target is not None:
+        # diamond: then-arm ends jumping to the join
+        join_label_index = _label_index(items, last.target)
+        if join_label_index is None or join_label_index <= target_index:
+            return None
+        if _reference_count(items, last.target) != 1 \
+                or last.target in protected:
+            return None
+        arm_b = list(range(target_index + 1, join_label_index))
+        if any(items[i].is_label or items[i].is_branch for i in arm_b):
+            return None
+        arm_a = arm_a[:-1]  # the jmp itself is control flow, not an arm item
+        if any(items[i].is_label or items[i].is_branch for i in arm_a):
+            return None
+        return arm_a + arm_b, join_label_index + 1
+    # triangle: fall-through arm only, join at the branch target
+    if any(items[i].is_label or items[i].is_branch for i in arm_a):
+        return None
+    return arm_a, target_index + 1
+
+
+def _pull_from_join(items: list[AsmItem], site: _Site,
+                    protected: frozenset[str] = frozenset()) -> bool:
+    """Move one eligible instruction from the join block's head to just
+    before the branch. Returns True on success."""
+    shape = _arm_and_join(items, site, protected)
+    if shape is None:
+        return False
+    arm_indices, join_start = shape
+    # a pulled instruction lands just before the branch, i.e. *after* the
+    # compare and the instructions already between compare and branch, so
+    # program order against those is preserved — only the arms (which it
+    # now precedes) need commute checks
+    crossed = [items[i] for i in arm_indices]
+
+    cursor = join_start
+    skipped: list[AsmItem] = []
+    while cursor < len(items):
+        candidate = items[cursor]
+        if _is_barrier(candidate):
+            return False
+        if all(not items_conflict(candidate, other)
+               for other in crossed + skipped):
+            items.insert(site.branch_index, items.pop(cursor))
+            site.branch_index += 1
+            return True
+        skipped.append(candidate)
+        cursor += 1
+    return False
+
+
+def spread_function(function: AsmFunction,
+                    distance: int = SPREAD_DISTANCE) -> int:
+    """Spread every compare/branch pair in a function.
+
+    Returns the number of instructions moved.
+    """
+    items = function.items
+    protected = frozenset(function.protected_labels)
+    moved = 0
+    for _ in range(len(items)):
+        sites = _find_sites(items)
+        progressed = False
+        for site in sites:
+            if site.gap >= distance:
+                continue
+            if _hoist_past_compare(items, site) \
+                    or _pull_from_join(items, site, protected):
+                moved += 1
+                progressed = True
+                break  # indices shifted: recompute sites
+        if not progressed:
+            break
+    return moved
+
+
+def spread_module(module: AsmModule, distance: int = SPREAD_DISTANCE) -> int:
+    """Spread every function; returns total instructions moved."""
+    return sum(spread_function(function, distance)
+               for function in module.functions)

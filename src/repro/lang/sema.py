@@ -1,0 +1,342 @@
+"""Semantic analysis: scopes, symbols, frame layout, validity checks.
+
+Produces a :class:`SemaInfo` the code generator consumes: every
+:class:`~repro.lang.astnodes.VarRef` and
+:class:`~repro.lang.astnodes.ArrayIndex` base is resolved to a symbol, and
+each function gets its named-locals frame size.
+
+Design restriction (documented in DESIGN.md): arrays live in the data
+segment (globals). The ISA has no instruction that reads the stack
+pointer into the accumulator, so dynamically-indexed *local* arrays have
+no addressing path; sema rejects them with a clear error. Pointers are
+likewise out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import astnodes as ast
+from repro.lang.lexer import CompileError
+
+
+@dataclass(frozen=True)
+class GlobalSym:
+    """File-scope scalar or array."""
+
+    name: str
+    array_size: int | None = None
+    initializer: int = 0
+    is_unsigned: bool = False
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_size is not None
+
+
+@dataclass(frozen=True)
+class LocalSym:
+    """Function-local scalar at a fixed frame offset."""
+
+    name: str
+    offset: int
+    is_unsigned: bool = False
+
+
+@dataclass(frozen=True)
+class ParamSym:
+    """Function parameter (``index`` within the argument list)."""
+
+    name: str
+    index: int
+    is_unsigned: bool = False
+
+    @property
+    def offset(self) -> int:
+        return self.index * 4
+
+
+@dataclass(frozen=True)
+class FuncSym:
+    """Function signature."""
+
+    name: str
+    param_count: int
+    returns_value: bool
+    returns_unsigned: bool = False
+
+
+@dataclass
+class SemaInfo:
+    """Everything the code generator needs from semantic analysis."""
+
+    globals: dict[str, GlobalSym] = field(default_factory=dict)
+    functions: dict[str, FuncSym] = field(default_factory=dict)
+    resolution: dict[int, object] = field(default_factory=dict)
+    locals_bytes: dict[str, int] = field(default_factory=dict)
+
+    def resolve(self, node: ast.Expr):
+        """Symbol a VarRef node was resolved to."""
+        return self.resolution[id(node)]
+
+    def expr_is_unsigned(self, expr: ast.Expr) -> bool:
+        """C-style usual-arithmetic-conversion result type.
+
+        An expression is unsigned when any contributing operand is: it
+        selects the ``cmp.u*`` comparisons, logical (vs arithmetic) right
+        shift, and the unsigned divide/remainder opcodes. Comparison and
+        logical results are themselves plain ``int`` (0/1).
+        """
+        if isinstance(expr, ast.VarRef):
+            symbol = self.resolution.get(id(expr))
+            return bool(getattr(symbol, "is_unsigned", False))
+        if isinstance(expr, ast.ArrayIndex):
+            symbol = self.resolution.get(id(expr))
+            return bool(getattr(symbol, "is_unsigned", False))
+        if isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                return False
+            return self.expr_is_unsigned(expr.operand)
+        if isinstance(expr, ast.IncDec):
+            return self.expr_is_unsigned(expr.target)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                return False  # comparison results are int
+            return (self.expr_is_unsigned(expr.left)
+                    or self.expr_is_unsigned(expr.right))
+        if isinstance(expr, ast.Conditional):
+            return (self.expr_is_unsigned(expr.when_true)
+                    or self.expr_is_unsigned(expr.when_false))
+        if isinstance(expr, ast.Assign):
+            return self.expr_is_unsigned(expr.target)
+        if isinstance(expr, ast.Call):
+            signature = self.functions.get(expr.name)
+            return bool(signature and signature.returns_unsigned)
+        return False  # literals, logical operators
+
+
+class _FunctionAnalyzer:
+    def __init__(self, info: SemaInfo, function: ast.Function) -> None:
+        self.info = info
+        self.function = function
+        self.scopes: list[dict[str, object]] = []
+        self.next_offset = 0
+        self.loop_depth = 0
+        self.break_depth = 0  #: loops and switches (break targets)
+
+    def run(self) -> None:
+        self.scopes.append({})
+        unsigned_flags = self.function.param_unsigned or \
+            [False] * len(self.function.params)
+        for index, name in enumerate(self.function.params):
+            if name in self.scopes[0]:
+                raise CompileError(f"duplicate parameter {name!r}",
+                                   self.function.line)
+            self.scopes[0][name] = ParamSym(name, index,
+                                            unsigned_flags[index])
+        self._block(self.function.body, new_scope=False)
+        self.scopes.pop()
+        self.info.locals_bytes[self.function.name] = self.next_offset
+
+    # ---- scope helpers ---------------------------------------------------
+
+    def _lookup(self, name: str, line: int):
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        symbol = self.info.globals.get(name)
+        if symbol is not None:
+            return symbol
+        raise CompileError(f"undefined variable {name!r}", line)
+
+    def _declare(self, declaration: ast.Declaration) -> None:
+        if declaration.array_size is not None:
+            raise CompileError(
+                "local arrays are not supported (the ISA cannot compute "
+                "SP-relative addresses); declare the array at file scope",
+                declaration.line)
+        scope = self.scopes[-1]
+        if declaration.name in scope:
+            raise CompileError(
+                f"redefinition of {declaration.name!r}", declaration.line)
+        symbol = LocalSym(declaration.name, self.next_offset,
+                          declaration.is_unsigned)
+        self.next_offset += 4
+        scope[declaration.name] = symbol
+        self.info.resolution[id(declaration)] = symbol
+        if declaration.initializer is not None:
+            self._expr(declaration.initializer)
+
+    # ---- statements --------------------------------------------------------
+
+    def _statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt, new_scope=stmt.scoped)
+        elif isinstance(stmt, ast.Declaration):
+            self._declare(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.condition)
+            self._statement(stmt.then_branch)
+            if stmt.else_branch is not None:
+                self._statement(stmt.else_branch)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.condition)
+            self._loop_body(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop_body(stmt.body)
+            self._expr(stmt.condition)
+        elif isinstance(stmt, ast.For):
+            self.scopes.append({})
+            if stmt.init is not None:
+                self._statement(stmt.init)
+            if stmt.condition is not None:
+                self._expr(stmt.condition)
+            if stmt.step is not None:
+                self._expr(stmt.step)
+            self._loop_body(stmt.body)
+            self.scopes.pop()
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if not self.function.returns_value:
+                    raise CompileError(
+                        f"void function {self.function.name!r} returns a value",
+                        stmt.line)
+                self._expr(stmt.value)
+        elif isinstance(stmt, ast.Switch):
+            self._expr(stmt.selector)
+            seen_values: set[int] = set()
+            seen_default = False
+            for clause in stmt.clauses:
+                for value in clause.values:
+                    if value in seen_values:
+                        raise CompileError(
+                            f"duplicate case value {value}", clause.line)
+                    seen_values.add(value)
+                if clause.is_default:
+                    if seen_default:
+                        raise CompileError("duplicate default label",
+                                           clause.line)
+                    seen_default = True
+            self.break_depth += 1
+            self.scopes.append({})
+            for clause in stmt.clauses:
+                for inner in clause.statements:
+                    self._statement(inner)
+            self.scopes.pop()
+            self.break_depth -= 1
+        elif isinstance(stmt, ast.Break):
+            if self.break_depth == 0:
+                raise CompileError("break outside a loop or switch",
+                                   stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise CompileError("continue outside a loop", stmt.line)
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}",
+                               stmt.line)
+
+    def _loop_body(self, body: ast.Stmt) -> None:
+        self.loop_depth += 1
+        self.break_depth += 1
+        self._statement(body)
+        self.loop_depth -= 1
+        self.break_depth -= 1
+
+    def _block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for stmt in block.statements:
+            self._statement(stmt)
+        if new_scope:
+            self.scopes.pop()
+
+    # ---- expressions -----------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            return
+        if isinstance(expr, ast.VarRef):
+            symbol = self._lookup(expr.name, expr.line)
+            if isinstance(symbol, GlobalSym) and symbol.is_array:
+                raise CompileError(
+                    f"array {expr.name!r} used without an index", expr.line)
+            self.info.resolution[id(expr)] = symbol
+            return
+        if isinstance(expr, ast.ArrayIndex):
+            base = expr.base
+            if not isinstance(base, ast.VarRef):
+                raise CompileError("only named arrays can be indexed",
+                                   expr.line)
+            symbol = self._lookup(base.name, base.line)
+            if not (isinstance(symbol, GlobalSym) and symbol.is_array):
+                raise CompileError(f"{base.name!r} is not an array",
+                                   expr.line)
+            self.info.resolution[id(expr)] = symbol
+            self._expr(expr.index)
+            return
+        if isinstance(expr, ast.Unary):
+            self._expr(expr.operand)
+            return
+        if isinstance(expr, ast.IncDec):
+            if not isinstance(expr.target, (ast.VarRef, ast.ArrayIndex)):
+                raise CompileError(f"{expr.op} needs a variable", expr.line)
+            self._expr(expr.target)
+            return
+        if isinstance(expr, (ast.Binary, ast.Logical)):
+            self._expr(expr.left)
+            self._expr(expr.right)
+            return
+        if isinstance(expr, ast.Conditional):
+            self._expr(expr.condition)
+            self._expr(expr.when_true)
+            self._expr(expr.when_false)
+            return
+        if isinstance(expr, ast.Assign):
+            self._expr(expr.target)
+            self._expr(expr.value)
+            return
+        if isinstance(expr, ast.Call):
+            signature = self.info.functions.get(expr.name)
+            if signature is None:
+                raise CompileError(f"call to undefined function {expr.name!r}",
+                                   expr.line)
+            if len(expr.args) != signature.param_count:
+                raise CompileError(
+                    f"{expr.name!r} takes {signature.param_count} "
+                    f"argument(s), got {len(expr.args)}", expr.line)
+            for arg in expr.args:
+                self._expr(arg)
+            return
+        raise CompileError(f"unhandled expression {type(expr).__name__}",
+                           expr.line)
+
+
+def analyze(unit: ast.TranslationUnit) -> SemaInfo:
+    """Run semantic analysis over a translation unit."""
+    info = SemaInfo()
+    for var in unit.globals:
+        if var.name in info.globals:
+            raise CompileError(f"redefinition of global {var.name!r}",
+                               var.line)
+        if var.array_size is not None and var.array_size <= 0:
+            raise CompileError(f"array {var.name!r} needs a positive size",
+                               var.line)
+        info.globals[var.name] = GlobalSym(
+            var.name, var.array_size, var.initializer, var.is_unsigned)
+    for function in unit.functions:
+        if function.name in info.functions:
+            raise CompileError(f"redefinition of {function.name!r}",
+                               function.line)
+        if function.name in info.globals:
+            raise CompileError(
+                f"{function.name!r} is both a global and a function",
+                function.line)
+        info.functions[function.name] = FuncSym(
+            function.name, len(function.params), function.returns_value,
+            function.returns_unsigned)
+    for function in unit.functions:
+        _FunctionAnalyzer(info, function).run()
+    return info

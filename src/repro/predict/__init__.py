@@ -1,0 +1,40 @@
+"""Branch-predictor zoo and measurement harness (the Table-1 study).
+
+The paper compares one optimally-set static bit against one, two and
+three bits of dynamic history (J. Smith's saturating counters, infinite
+table) by instrumenting a compiler so every scheme runs *simultaneously*
+as the program executes. :class:`~repro.predict.harness.PredictionStudy`
+does the same over our functional simulator's branch hook or over
+recorded/synthetic traces.
+
+Also provided, for the paper's "Comparison to Other Schemes" section: a
+Lee-and-Smith set-associative Branch Target Buffer and the MU5-style
+eight-entry jump trace (whose 40–65 % accuracy the paper quotes as
+"barely better than tossing a coin").
+"""
+
+from repro.predict.base import BranchPredictor
+from repro.predict.static import (
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+    OptimalStaticPredictor,
+)
+from repro.predict.dynamic import CounterPredictor, FiniteCounterPredictor
+from repro.predict.btb import BranchTargetBuffer
+from repro.predict.jumptrace import JumpTrace
+from repro.predict.twolevel import GsharePredictor
+from repro.predict.harness import PredictionStudy, measure_predictors
+
+__all__ = [
+    "BranchPredictor",
+    "AlwaysTakenPredictor",
+    "BackwardTakenPredictor",
+    "OptimalStaticPredictor",
+    "CounterPredictor",
+    "FiniteCounterPredictor",
+    "BranchTargetBuffer",
+    "JumpTrace",
+    "GsharePredictor",
+    "PredictionStudy",
+    "measure_predictors",
+]

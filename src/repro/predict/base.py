@@ -1,0 +1,47 @@
+"""Common predictor interface and accuracy bookkeeping."""
+
+from __future__ import annotations
+
+
+class BranchPredictor:
+    """Base class: predict a conditional branch, then learn the outcome.
+
+    Subclasses implement :meth:`predict` and :meth:`update`. The harness
+    drives :meth:`observe`, which scores the prediction and then updates —
+    the order matters: a real predictor never sees the outcome before it
+    predicts.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.correct = 0
+        self.total = 0
+
+    def predict(self, pc: int, target: int | None = None) -> bool:
+        """Would this branch be predicted taken?"""
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool,
+               target: int | None = None) -> None:
+        """Learn the actual outcome."""
+
+    def observe(self, pc: int, taken: bool,
+                target: int | None = None) -> bool:
+        """Score one dynamic branch; returns True when predicted right."""
+        prediction = self.predict(pc, target)
+        self.total += 1
+        if prediction == taken:
+            self.correct += 1
+        self.update(pc, taken, target)
+        return prediction == taken
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of dynamic branches predicted correctly."""
+        return self.correct / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        """Forget all statistics and learned state."""
+        self.correct = 0
+        self.total = 0

@@ -1,0 +1,99 @@
+"""Dynamic history predictors: J. Smith's saturating counters.
+
+The paper measures one, two and three bits of dynamic history with an
+*infinite* table (one counter per static branch, never evicted) — it
+notes this makes the dynamic numbers "somewhat optimistic". One bit
+predicts "same as last time"; the wider counters add hysteresis
+(weighting): a counter in the upper half predicts taken, increments on
+taken and decrements on not-taken, saturating at the ends.
+"""
+
+from __future__ import annotations
+
+from repro.predict.base import BranchPredictor
+
+
+class CounterPredictor(BranchPredictor):
+    """An n-bit saturating up/down counter per branch PC, infinite table.
+
+    ``bits=1`` is last-direction prediction. Counters initialize to the
+    weakly-not-taken value (``2**(bits-1) - 1``; 0 for one bit).
+    """
+
+    def __init__(self, bits: int = 2) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        self.initial = self.threshold - 1
+        self._counters: dict[int, int] = {}
+        self.name = f"{bits}-bit-dynamic"
+
+    def predict(self, pc: int, target: int | None = None) -> bool:
+        return self._counters.get(pc, self.initial) >= self.threshold
+
+    def update(self, pc: int, taken: bool,
+               target: int | None = None) -> None:
+        value = self._counters.get(pc, self.initial)
+        if taken:
+            value = min(self.maximum, value + 1)
+        else:
+            value = max(0, value - 1)
+        self._counters[pc] = value
+
+    def reset(self) -> None:
+        super().reset()
+        self._counters.clear()
+
+    @property
+    def table_size(self) -> int:
+        """Number of distinct branches tracked (infinite-table occupancy)."""
+        return len(self._counters)
+
+
+class FiniteCounterPredictor(BranchPredictor):
+    """An n-bit counter table of *finite* size — a classic tagless branch
+    history table.
+
+    The paper: "The dynamic history assumes an infinite size table, this
+    makes the dynamic numbers somewhat optimistic. In practice only a
+    small number of recent predictions would be cached." Here counters
+    are direct-mapped on the low PC bits with no tags, so distinct
+    branches that collide share (and corrupt) each other's history —
+    the realistic degradation the ablation bench quantifies.
+    """
+
+    def __init__(self, bits: int = 2, entries: int = 64) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("table size must be a power of two")
+        self.bits = bits
+        self.entries = entries
+        self.maximum = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        initial = self.threshold - 1
+        self._table = [initial] * entries
+        self.name = f"{bits}-bit-table{entries}"
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 1) & (self.entries - 1)
+
+    def predict(self, pc: int, target: int | None = None) -> bool:
+        return self._table[self._index(pc)] >= self.threshold
+
+    def update(self, pc: int, taken: bool,
+               target: int | None = None) -> None:
+        index = self._index(pc)
+        value = self._table[index]
+        if taken:
+            self._table[index] = min(self.maximum, value + 1)
+        else:
+            self._table[index] = max(0, value - 1)
+
+    def reset(self) -> None:
+        super().reset()
+        self._table = [self.threshold - 1] * self.entries

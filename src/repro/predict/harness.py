@@ -1,0 +1,87 @@
+"""Simultaneous prediction measurement.
+
+The paper modified a VAX C compiler so every prediction scheme measured
+every branch of a real run at once, instead of replaying trace tapes.
+:class:`PredictionStudy` is the same instrument: feed it dynamic branch
+events (from the functional simulator's branch hook, a recorded trace, or
+a synthetic generator) and every registered predictor scores each one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.asm.program import Program
+from repro.predict.base import BranchPredictor
+from repro.predict.dynamic import CounterPredictor
+from repro.predict.static import OptimalStaticPredictor
+from repro.trace.events import BranchEvent
+
+
+def standard_predictors() -> list[BranchPredictor]:
+    """The paper's Table-1 line-up: optimal static, 1/2/3-bit dynamic."""
+    return [
+        OptimalStaticPredictor(),
+        CounterPredictor(1),
+        CounterPredictor(2),
+        CounterPredictor(3),
+    ]
+
+
+class PredictionStudy:
+    """Applies many predictors to one stream of branch events."""
+
+    def __init__(self, predictors: Iterable[BranchPredictor] | None = None,
+                 conditional_only: bool = True) -> None:
+        self.predictors = (list(predictors) if predictors is not None
+                           else standard_predictors())
+        self.conditional_only = conditional_only
+        self.events = 0
+
+    def observe(self, event: BranchEvent) -> None:
+        """Feed one dynamic branch to every predictor."""
+        if self.conditional_only and not event.conditional:
+            return
+        self.events += 1
+        for predictor in self.predictors:
+            predictor.observe(event.pc, event.taken, event.target)
+
+    def observe_all(self, events: Iterable[BranchEvent]) -> None:
+        for event in events:
+            self.observe(event)
+
+    def accuracies(self) -> dict[str, float]:
+        """Accuracy per predictor name."""
+        return {p.name: p.accuracy for p in self.predictors}
+
+    def row(self) -> list[float]:
+        """Accuracies in registration order (a Table-1 row)."""
+        return [p.accuracy for p in self.predictors]
+
+
+def measure_predictors(program: Program,
+                       predictors: Iterable[BranchPredictor] | None = None,
+                       max_instructions: int = 50_000_000,
+                       ) -> PredictionStudy:
+    """Run ``program`` on the functional simulator with every predictor
+    attached to the branch hook (the paper's in-situ method)."""
+    from repro.sim.functional import FunctionalSimulator
+    from repro.isa.instructions import BranchMode
+
+    study = PredictionStudy(predictors)
+
+    def hook(pc: int, instruction, taken: bool) -> None:
+        target = None
+        spec = instruction.branch
+        if spec is not None and spec.mode is BranchMode.PC_RELATIVE:
+            target = pc + spec.value
+        elif spec is not None and spec.mode is BranchMode.ABSOLUTE:
+            target = spec.value
+        study.observe(BranchEvent(
+            pc=pc, taken=taken,
+            conditional=instruction.is_conditional_branch,
+            target=target))
+
+    simulator = FunctionalSimulator(program, branch_hook=hook)
+    simulator.run(max_instructions)
+    return study

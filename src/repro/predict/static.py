@@ -1,0 +1,86 @@
+"""Static prediction schemes.
+
+The paper's "static prediction" column reports accuracy *for the optimal
+setting of the branch prediction bit* — i.e. each static branch's bit
+matches its majority direction over the whole run.
+:class:`OptimalStaticPredictor` scores that retrospectively: it tallies
+per-branch outcomes and computes ``sum(max(taken, not taken))/total``.
+By construction an alternating branch scores exactly 50 % (the effect
+behind the small-benchmark rows of Table 1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.predict.base import BranchPredictor
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predict every branch taken (a floor baseline)."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int, target: int | None = None) -> bool:
+        return True
+
+
+class BackwardTakenPredictor(BranchPredictor):
+    """The compiler heuristic: backward branches taken, forward not.
+
+    Needs the target address; branches with unknown targets predict not
+    taken.
+    """
+
+    name = "backward-taken"
+
+    def predict(self, pc: int, target: int | None = None) -> bool:
+        return target is not None and target <= pc
+
+
+class OptimalStaticPredictor(BranchPredictor):
+    """Optimal per-branch static bit, scored retrospectively.
+
+    ``observe`` only tallies; :attr:`accuracy` is computed from the final
+    per-branch majority. (A predictor that *learned* online would differ
+    on the first few executions of each branch; the paper's definition is
+    the offline optimum.)
+    """
+
+    name = "static-optimal"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._taken: dict[int, int] = defaultdict(int)
+        self._seen: dict[int, int] = defaultdict(int)
+
+    def predict(self, pc: int, target: int | None = None) -> bool:
+        # online majority-so-far (used only when observe() is driven for
+        # the per-event interface; accuracy overrides with the optimum)
+        return self._taken[pc] * 2 > self._seen[pc]
+
+    def update(self, pc: int, taken: bool,
+               target: int | None = None) -> None:
+        self._seen[pc] += 1
+        if taken:
+            self._taken[pc] += 1
+
+    @property
+    def accuracy(self) -> float:
+        total = sum(self._seen.values())
+        if total == 0:
+            return 0.0
+        best = sum(max(taken, seen - taken)
+                   for pc, seen in self._seen.items()
+                   for taken in (self._taken[pc],))
+        return best / total
+
+    def optimal_bits(self) -> dict[int, bool]:
+        """The per-branch optimal bit (taken iff majority taken)."""
+        return {pc: self._taken[pc] * 2 > seen
+                for pc, seen in self._seen.items()}
+
+    def reset(self) -> None:
+        super().reset()
+        self._taken.clear()
+        self._seen.clear()

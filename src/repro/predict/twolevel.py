@@ -1,0 +1,53 @@
+"""Two-level adaptive prediction (gshare) — the scheme that came after.
+
+The paper's Table 1 stops at per-branch saturating counters; five years
+later two-level adaptive predictors (Yeh & Patt) and the gshare variant
+(McFarling) made dynamic prediction decisively better by correlating on
+recent *global* history. Including gshare here extends the paper's
+comparison forward in time: it solves exactly the alternating-branch
+pathology that lets CRISP's static bit win Table 1's benchmark rows —
+a period-2 branch is perfectly predictable from one bit of history.
+"""
+
+from __future__ import annotations
+
+from repro.predict.base import BranchPredictor
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history XOR PC indexed table of 2-bit counters."""
+
+    def __init__(self, history_bits: int = 8, entries: int = 1024,
+                 counter_bits: int = 2) -> None:
+        super().__init__()
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("table size must be a power of two")
+        self.history_bits = history_bits
+        self.entries = entries
+        self.maximum = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self._history = 0
+        self._mask = (1 << history_bits) - 1
+        self._table = [self.threshold - 1] * entries
+        self.name = f"gshare-h{history_bits}-{entries}"
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 1) ^ self._history) & (self.entries - 1)
+
+    def predict(self, pc: int, target: int | None = None) -> bool:
+        return self._table[self._index(pc)] >= self.threshold
+
+    def update(self, pc: int, taken: bool,
+               target: int | None = None) -> None:
+        index = self._index(pc)
+        value = self._table[index]
+        if taken:
+            self._table[index] = min(self.maximum, value + 1)
+        else:
+            self._table[index] = max(0, value - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    def reset(self) -> None:
+        super().reset()
+        self._history = 0
+        self._table = [self.threshold - 1] * self.entries

@@ -1,0 +1,28 @@
+"""Simulators for the CRISP-like machine.
+
+Two simulators share the architectural semantics in
+:mod:`repro.sim.semantics`:
+
+* :class:`repro.sim.functional.FunctionalSimulator` — architectural
+  (instruction-at-a-time) execution. The golden reference for differential
+  testing, and the fast engine for branch-trace capture.
+* :class:`repro.sim.cpu.CrispCpu` — the cycle-accurate model: prefetch /
+  decode unit, decoded instruction cache with Next-PC and Alternate
+  Next-PC fields (where Branch Folding happens), and the three-stage
+  execution unit with prediction, squash and zero-cycle recovery.
+"""
+
+from repro.sim.memory import Memory
+from repro.sim.functional import FunctionalSimulator, SimulationError
+from repro.sim.stats import ExecutionStats, PipelineStats
+from repro.sim.cpu import CrispCpu, CpuConfig
+
+__all__ = [
+    "Memory",
+    "FunctionalSimulator",
+    "SimulationError",
+    "ExecutionStats",
+    "PipelineStats",
+    "CrispCpu",
+    "CpuConfig",
+]

@@ -1,0 +1,73 @@
+"""``crisp-sim``: assemble and run a program on either simulator."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm.assembler import AssemblyError, assemble
+from repro.core.policy import FoldPolicy
+from repro.sim.cpu import CpuConfig, run_cycle_accurate
+from repro.sim.functional import run_program
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-sim",
+        description="Run CRISP assembly on the functional or "
+                    "cycle-accurate simulator.")
+    parser.add_argument("source", help="assembly source file ('-' for stdin)")
+    parser.add_argument("--functional", action="store_true",
+                        help="architectural simulation only (no timing)")
+    parser.add_argument("--no-fold", action="store_true",
+                        help="disable branch folding")
+    parser.add_argument("--fold-all", action="store_true",
+                        help="fold every combination (ablation policy)")
+    parser.add_argument("--icache", type=int, default=32,
+                        help="decoded instruction cache entries")
+    parser.add_argument("--mem-latency", type=int, default=2,
+                        help="memory latency in cycles per 4-parcel fetch")
+    parser.add_argument("--print-symbols", action="store_true",
+                        help="dump data-symbol values after the run")
+    args = parser.parse_args(argv)
+
+    if args.source == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.source, encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        program = assemble(text)
+    except AssemblyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.functional:
+        simulator = run_program(program)
+        stats = simulator.stats
+        print(f"{stats.instructions} instructions, {stats.branches} branches"
+              f" ({100 * stats.branch_fraction:.1f}% dynamic)")
+        reader = simulator.read_symbol
+    else:
+        policy = FoldPolicy.crisp()
+        if args.no_fold:
+            policy = FoldPolicy.none()
+        elif args.fold_all:
+            policy = FoldPolicy.fold_all()
+        config = CpuConfig(fold_policy=policy, icache_entries=args.icache,
+                           mem_latency=args.mem_latency)
+        cpu = run_cycle_accurate(program, config)
+        print(cpu.stats.summary())
+        reader = cpu.read_symbol
+
+    if args.print_symbols:
+        for name, address in sorted(program.symbols.items(),
+                                    key=lambda kv: kv[1]):
+            if address >= min((i.address for i in program.data),
+                              default=1 << 62):
+                print(f"  {name} = {reader(name)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

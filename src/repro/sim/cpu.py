@@ -1,0 +1,137 @@
+"""The whole machine: PDU + Decoded Instruction Cache + EU (Figure 1).
+
+:class:`CrispCpu` wires the three blocks together and steps them one clock
+at a time. Each cycle:
+
+1. the PDU advances (memory access, decode/fold, cache fill);
+2. the EU's ``IR.Next-PC`` register addresses the Decoded Instruction
+   Cache — a miss sends a demand to the PDU;
+3. the EU executes its RR stage (resolving branches, possibly squashing
+   and redirecting) and latches its stages.
+
+Configuration knobs cover everything the benchmarks sweep: the fold
+policy, cache size, memory latency, decode depth and prefetch distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.core.policy import FoldPolicy
+from repro.sim.eu import ExecutionUnit
+from repro.sim.icache import DecodedICache
+from repro.sim.memory import Memory
+from repro.sim.pdu import PrefetchDecodeUnit
+from repro.sim.semantics import MachineState, SimulationError
+from repro.sim.stats import PipelineStats
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Microarchitectural parameters of the simulated machine."""
+
+    fold_policy: FoldPolicy = field(default_factory=FoldPolicy.crisp)
+    icache_entries: int = 32
+    mem_latency: int = 2  #: cycles per four-parcel instruction fetch
+    decode_latency: int = 2  #: PDR + PIR stages
+    prefetch_depth: int = 16  #: entries decoded ahead of the last demand
+
+
+class CrispCpu:
+    """Cycle-accurate simulator of the CRISP-like machine."""
+
+    def __init__(self, program: Program,
+                 config: CpuConfig | None = None) -> None:
+        self.program = program
+        self.config = config or CpuConfig()
+        self.memory = Memory()
+        self.memory.load_program(program)
+        self.state = MachineState(
+            self.memory, pc=program.entry, sp=program.stack_top)
+        self.stats = PipelineStats()
+        self.icache = DecodedICache(self.config.icache_entries)
+        self.pdu = PrefetchDecodeUnit(
+            self.memory, self.icache, self.config.fold_policy,
+            mem_latency=self.config.mem_latency,
+            decode_latency=self.config.decode_latency,
+            prefetch_depth=self.config.prefetch_depth)
+        self.eu = ExecutionUnit(self.state, self.stats)
+        self._pending_interrupt: int | None = None
+        self.interrupts_taken = 0
+        # cold start: the PDU begins decoding at the entry point
+        self.pdu.demand(program.entry)
+
+    @property
+    def halted(self) -> bool:
+        """True once a ``halt`` has executed at the RR stage."""
+        return self.eu.halted
+
+    def step(self) -> None:
+        """Advance the machine by one clock cycle."""
+        self.pdu.tick()
+
+        fetched = None
+        if self.eu.ir_next_pc is not None:
+            entry = self.icache.lookup(self.eu.ir_next_pc)
+            if entry is not None:
+                fetched = entry
+            else:
+                self.stats.icache_misses += 1
+                self.pdu.demand(self.eu.ir_next_pc)
+        if fetched is not None:
+            self.stats.icache_hits += 1
+
+        self.eu.tick(fetched)
+        self.stats.cycles += 1
+
+        if self._pending_interrupt is not None and not self.eu.halted:
+            vector = self._pending_interrupt
+            self._pending_interrupt = None
+            self.eu.take_interrupt(vector)
+            self.pdu.demand(vector)
+            self.interrupts_taken += 1
+
+    def interrupt(self, vector: int) -> None:
+        """Raise an interrupt: taken precisely at the next clock edge.
+
+        The handler at ``vector`` runs with the interrupted program's PSW
+        flag and resume PC on the stack; it returns with ``reti``.
+        """
+        self._pending_interrupt = vector
+
+    def run(self, max_cycles: int = 50_000_000) -> PipelineStats:
+        """Run to ``halt``; raise if the cycle budget is exhausted."""
+        for _ in range(max_cycles):
+            if self.halted:
+                return self.stats
+            self.step()
+        raise SimulationError(
+            f"machine did not halt within {max_cycles} cycles")
+
+    # ---- conveniences ------------------------------------------------------
+
+    def warm_cache(self) -> None:
+        """Pre-decode every instruction into the Decoded Instruction Cache.
+
+        Useful for microbenchmarks that measure steady-state pipeline
+        behaviour (e.g. the per-distance misprediction penalties) without
+        cold-start miss noise. Only meaningful when the program fits the
+        cache without conflicts.
+        """
+        folder = self.pdu.folder
+        for address in self.program.addresses:
+            self.icache.fill(folder.decode(address))
+
+    def read_symbol(self, name: str) -> int:
+        """Read the word at a data symbol's address."""
+        return self.memory.read_word(self.program.symbol(name))
+
+
+def run_cycle_accurate(program: Program,
+                       config: CpuConfig | None = None,
+                       max_cycles: int = 50_000_000) -> CrispCpu:
+    """Run ``program`` on the cycle-accurate machine and return the CPU."""
+    cpu = CrispCpu(program, config)
+    cpu.run(max_cycles)
+    return cpu

@@ -1,0 +1,339 @@
+"""The three-stage Execution Unit (IR → OR → RR).
+
+Control flow is driven entirely by the ``IR.Next-PC`` register, loaded from
+the Next-PC field of each entry read from the Decoded Instruction Cache.
+Conditional entries carry their Alternate Next-PC down the pipeline; when
+a compare resolves the flag at its RR stage, any in-flight branch that
+chose the wrong path is recovered by squashing the younger stages (valid
+bits — the side-effect-free ISA makes any instruction a no-op that way)
+and re-introducing the Alternate-PC. The recovery cost is exactly the
+paper's: 3 cycles when the compare was folded with the branch itself,
+2 / 1 when the compare ran one / two entries ahead of a folded branch, and
+**0** when the compare left the pipeline before the branch was fetched —
+in that last case the prediction bit is overridden at fetch time for
+free, the situation Branch Spreading engineers.
+
+A conditional branch that was *not* folded resolves either at fetch time
+(flag already architectural: zero cost) or at its own RR stage (3
+cycles). The paper describes the early per-stage recovery only for folded
+branches, and Table 4's cases A/B arithmetic (1023 and 512 mispredictions
+at exactly 3 cycles each) confirms unfolded branches do not get the
+OR/IR-stage shortcut.
+
+Architectural effects are applied atomically at RR via
+:mod:`repro.sim.semantics` — legitimate because the pipeline is in-order
+with full bypassing and wrong-path entries never reach a result write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decoded import DecodedEntry
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.parcels import to_u32
+from repro.sim.semantics import MachineState, execute
+from repro.sim.stats import PipelineStats
+
+
+@dataclass
+class StageSlot:
+    """One pipeline stage latch: a decoded entry plus recovery state."""
+
+    entry: DecodedEntry
+    seq: int  #: issue order, used to match branches to their compare
+    valid: bool = True
+    chosen_taken: bool | None = None  #: selected branch direction at fetch
+    other_pc: int | None = None  #: the not-chosen path (Alternate-PC)
+    governing_seq: int | None = None  #: seq of the compare this branch awaits
+    resolved: bool = True  #: False while the branch direction is speculative
+
+
+class ExecutionUnit:
+    """Cycle-level model of the CRISP execution pipeline."""
+
+    def __init__(self, state: MachineState, stats: PipelineStats) -> None:
+        self.state = state
+        self.stats = stats
+        self.ir: StageSlot | None = None
+        self.or_: StageSlot | None = None
+        self.rr: StageSlot | None = None
+        self.ir_next_pc: int | None = state.pc
+        self.halted = False
+        self._seq = 0
+        self._redirected = False
+        #: PC of the next architecturally-unexecuted instruction — the
+        #: precise resume point for interrupts (the paper carries per-
+        #: stage PCs exactly to identify this instruction)
+        self.retire_next_pc: int = state.pc
+
+    # ---- helpers -----------------------------------------------------------
+
+    def _stage_of(self, slot: StageSlot) -> str:
+        if slot is self.rr:
+            return "RR"
+        if slot is self.or_:
+            return "OR"
+        return "IR"
+
+    def _squash_younger(self, slot: StageSlot,
+                        fetched: StageSlot | None) -> None:
+        """Clear the valid bits of every stage younger than ``slot``."""
+        order = [self.rr, self.or_, self.ir, fetched]
+        seen = False
+        for candidate in order:
+            if candidate is slot:
+                seen = True
+                continue
+            if seen and candidate is not None and candidate.valid:
+                candidate.valid = False
+                self.stats.squashed_slots += 1
+
+    # ---- the clock ----------------------------------------------------------
+
+    def tick(self, fetched_entry: DecodedEntry | None) -> None:
+        """Advance one cycle: execute RR, resolve branches, latch stages.
+
+        ``fetched_entry`` is the cache read performed this cycle at the
+        (pre-redirect) ``ir_next_pc`` — None on a miss or fetch stall.
+        """
+        fetched = None
+        if fetched_entry is not None:
+            self._seq += 1
+            fetched = StageSlot(fetched_entry, self._seq)
+
+        self._redirected = False
+        if self.rr is None or not self.rr.valid:
+            self.stats.stall_cycles += 1  # this cycle's RR does no work
+        self._execute_rr(fetched)
+
+        # end-of-cycle latch update
+        self.rr, self.or_, self.ir = self.or_, self.ir, fetched
+        if self.ir is not None and self.ir.valid:
+            self._select_path(self.ir)
+
+    # ---- RR stage ------------------------------------------------------------
+
+    def _execute_rr(self, fetched: StageSlot | None) -> None:
+        slot = self.rr
+        if slot is None or not slot.valid:
+            return
+        entry = slot.entry
+        state = self.state
+
+        self.stats.issued_instructions += 1
+
+        self.retire_next_pc = entry.address + entry.length_bytes
+
+        if entry.body is not None:
+            result = execute(state, entry.body, entry.address)
+            self.stats.executed_instructions += 1
+            self.stats.execution.record(
+                entry.body.opcode.value,
+                is_branch=False, is_conditional=False, taken=False,
+                one_parcel=entry.body.length_parcels() == 1)
+            if result.halted:
+                self.halted = True
+                return
+
+        if entry.sets_cc:
+            self._resolve_dependents(slot, fetched)
+
+        if entry.branch is not None:
+            self._execute_branch_part(slot, fetched)
+
+    def _execute_branch_part(self, slot: StageSlot,
+                             fetched: StageSlot | None) -> None:
+        entry = slot.entry
+        branch = entry.branch
+        assert branch is not None
+        state = self.state
+        sequential = entry.address + entry.length_bytes
+
+        if entry.is_folded:
+            self.stats.folded_branches += 1
+        self.stats.executed_instructions += 1
+
+        if branch.op_class is OpClass.RETURN:
+            if branch.opcode is Opcode.RETI:
+                state.flag = bool(state.memory.read_word(state.sp) & 1)
+                state.sp = to_u32(state.sp + 4)
+            target = state.memory.read_word(state.sp)
+            state.sp = to_u32(state.sp + 4)
+            self._redirect(target)
+            self.retire_next_pc = target
+            self._record_branch(branch, taken=True)
+            return
+
+        if entry.dynamic_target:  # indirect, or any branch when the
+            # next-address-field ablation is active
+            from repro.isa.instructions import resolve_target
+            branch_pc = (entry.address if entry.body is None
+                         else entry.address + entry.body.length_bytes())
+            taken = (entry.taken_when(state.flag)
+                     if entry.uses_cc else True)
+            if taken:
+                target = resolve_target(branch, branch_pc, state.sp,
+                                        state.memory.read_word)
+            else:
+                target = sequential
+            if branch.op_class is OpClass.CALL:
+                state.sp = to_u32(state.sp - 4)
+                state.memory.write_word(state.sp, sequential)
+            self._redirect(target)
+            self.retire_next_pc = target
+            self._record_branch(branch, taken=taken)
+            return
+
+        if branch.op_class is OpClass.CALL:
+            state.sp = to_u32(state.sp - 4)
+            state.memory.write_word(state.sp, sequential)
+            assert entry.next_pc is not None
+            self.retire_next_pc = entry.next_pc
+            self._record_branch(branch, taken=True)
+            return  # static target: Next-PC field already routed control
+
+        if not entry.uses_cc:
+            assert entry.next_pc is not None
+            self.retire_next_pc = entry.next_pc
+            self._record_branch(branch, taken=True)
+            return
+
+        # conditional branch reaching RR still unresolved: an unfolded
+        # branch checks the (now architectural) flag against its chosen
+        # path here, costing the full 3 cycles when wrong
+        if not slot.resolved:
+            correct = entry.taken_when(self.state.flag)
+            slot.resolved = True
+            if slot.chosen_taken != correct:
+                self.stats.mispredictions += 1
+                self.stats.misprediction_penalty_cycles += 3
+                slot.chosen_taken = correct
+                self._squash_younger(slot, fetched)
+                assert slot.other_pc is not None
+                self._redirect(slot.other_pc)
+        taken_pc = (entry.next_pc if entry.predicted_taken else entry.alt_pc)
+        assert taken_pc is not None
+        self.retire_next_pc = taken_pc if slot.chosen_taken else sequential
+        self._record_branch(branch, taken=bool(slot.chosen_taken))
+
+    def _record_branch(self, branch, *, taken: bool) -> None:
+        self.stats.execution.record(
+            branch.opcode.value,
+            is_branch=True,
+            is_conditional=branch.is_conditional_branch,
+            taken=taken,
+            one_parcel=branch.length_parcels() == 1)
+
+    # ---- branch resolution -----------------------------------------------------
+
+    def _resolve_dependents(self, cmp_slot: StageSlot,
+                            fetched: StageSlot | None) -> None:
+        """A compare just wrote the flag: resolve every speculative branch
+        that was waiting on it (including one folded into the compare)."""
+        flag = self.state.flag
+        for slot in (self.rr, self.or_, self.ir, fetched):
+            if slot is None or not slot.valid or slot.resolved:
+                continue
+            if slot.governing_seq != cmp_slot.seq:
+                continue
+            correct = slot.entry.taken_when(flag)
+            slot.resolved = True
+            if slot.chosen_taken == correct:
+                continue
+            # misprediction: squash younger work, re-introduce the
+            # Alternate-PC as the next fetch address
+            stage = self._stage_of(slot) if slot is not fetched else "IR"
+            penalty = {"RR": 3, "OR": 2, "IR": 1}[stage]
+            if slot is fetched:
+                # resolves in the same cycle it was fetched: the redirect
+                # costs one fetch slot
+                penalty = 1
+            self.stats.mispredictions += 1
+            self.stats.misprediction_penalty_cycles += penalty
+            slot.chosen_taken = correct
+            self._squash_younger(slot, fetched)
+            assert slot.other_pc is not None
+            self._redirect(slot.other_pc)
+
+    def _redirect(self, target: int) -> None:
+        self.ir_next_pc = target
+        self._redirected = True
+
+    # ---- interrupts --------------------------------------------------------
+
+    def take_interrupt(self, vector: int) -> None:
+        """Deliver a precise interrupt (call between clock ticks).
+
+        Everything in flight is younger than the last retired instruction
+        and side-effect-free, so it is simply squashed; the saved PSW flag
+        and the precise resume PC are pushed, and fetch redirects to the
+        handler. ``reti`` restores both.
+        """
+        state = self.state
+        for slot in (self.rr, self.or_, self.ir):
+            if slot is not None and slot.valid:
+                slot.valid = False
+                self.stats.squashed_slots += 1
+        state.sp = to_u32(state.sp - 4)
+        state.memory.write_word(state.sp, self.retire_next_pc)
+        state.sp = to_u32(state.sp - 4)
+        state.memory.write_word(state.sp, int(state.flag))
+        self.ir_next_pc = vector
+        self._redirected = False
+
+    # ---- fetch-time path selection ------------------------------------------
+
+    def _select_path(self, slot: StageSlot) -> None:
+        """The entry just latched into IR: choose its outgoing path and set
+        ``IR.Next-PC`` (unless a resolution already redirected it)."""
+        entry = slot.entry
+
+        if self._redirected:
+            return  # a mispredict/dynamic redirect owns IR.Next-PC
+
+        if entry.dynamic_target:
+            self.ir_next_pc = None  # stall fetch until RR computes it
+            return
+
+        if not entry.uses_cc:
+            self.ir_next_pc = entry.next_pc
+            return
+
+        # conditional: is a condition-code write still outstanding?
+        outstanding = entry.folds_compare_and_branch or any(
+            older is not None and older.valid and older.entry.sets_cc
+            for older in (self.or_, self.rr))
+
+        predicted = entry.predicted_taken
+        taken_pc = entry.next_pc if predicted else entry.alt_pc
+        fall_pc = entry.alt_pc if predicted else entry.next_pc
+
+        if not outstanding:
+            # the compare left the pipeline: the flag is architectural and
+            # the branch needs no prediction — zero cycles lost even when
+            # the static bit is wrong (what Branch Spreading exploits)
+            actual = entry.taken_when(self.state.flag)
+            if actual != predicted:
+                self.stats.zero_cost_overrides += 1
+            slot.chosen_taken = actual
+            slot.resolved = True
+            chosen = taken_pc if actual else fall_pc
+            other = fall_pc if actual else taken_pc
+        else:
+            slot.chosen_taken = predicted
+            slot.resolved = False
+            chosen = entry.next_pc
+            other = entry.alt_pc
+            if entry.is_folded:
+                # folded branches recover as soon as the governing compare
+                # resolves, wherever the branch is in the pipeline
+                governing = slot if entry.folds_compare_and_branch else next(
+                    older for older in (self.or_, self.rr)
+                    if older is not None and older.valid
+                    and older.entry.sets_cc)
+                slot.governing_seq = governing.seq
+            # unfolded branches keep governing_seq None and resolve at
+            # their own RR stage
+        slot.other_pc = other
+        self.ir_next_pc = chosen

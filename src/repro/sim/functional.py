@@ -1,0 +1,87 @@
+"""Architectural (instruction-at-a-time) simulator.
+
+Runs a :class:`~repro.asm.program.Program` directly — no pipeline, no
+cache, no timing — and is therefore the golden reference the cycle
+simulator is differentially tested against. It is also the engine behind
+branch-trace capture: the paper instrumented a VAX C compiler to apply
+several prediction schemes *as the program ran*; here a ``branch_hook``
+receives every dynamic branch the same way
+(:mod:`repro.predict.harness` plugs into it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.asm.program import Program
+from repro.isa.instructions import Instruction
+from repro.sim.memory import Memory
+from repro.sim.semantics import MachineState, SimulationError, execute
+from repro.sim.stats import ExecutionStats
+
+BranchHook = Callable[[int, Instruction, bool], None]
+"""Called for every executed branch: (pc, instruction, taken)."""
+
+
+class FunctionalSimulator:
+    """Executes a program architecturally, collecting
+    :class:`~repro.sim.stats.ExecutionStats`."""
+
+    def __init__(self, program: Program,
+                 branch_hook: BranchHook | None = None) -> None:
+        self.program = program
+        self.memory = Memory()
+        self.memory.load_program(program)
+        self.state = MachineState(
+            self.memory, pc=program.entry, sp=program.stack_top)
+        self.stats = ExecutionStats()
+        self.branch_hook = branch_hook
+
+    def step(self) -> bool:
+        """Execute one instruction; return False once halted."""
+        state = self.state
+        if state.halted:
+            return False
+        index = self.program.index_of(state.pc)
+        if index is None:
+            raise SimulationError(
+                f"control reached {state.pc:#x}, not an instruction boundary")
+        instruction = self.program.instructions[index]
+        result = execute(state, instruction, state.pc)
+        self.stats.record(
+            instruction.opcode.value,
+            is_branch=result.is_branch,
+            is_conditional=result.is_conditional,
+            taken=result.taken,
+            one_parcel=instruction.length_parcels() == 1,
+        )
+        if result.is_branch and self.branch_hook is not None:
+            self.branch_hook(state.pc, instruction, result.taken)
+        state.pc = result.next_pc
+        return not result.halted
+
+    def run(self, max_instructions: int = 10_000_000) -> ExecutionStats:
+        """Run to ``halt``; raise if the instruction budget is exhausted."""
+        for _ in range(max_instructions):
+            if not self.step():
+                return self.stats
+        raise SimulationError(
+            f"program did not halt within {max_instructions} instructions")
+
+    # ---- conveniences used throughout tests and benches ------------------
+
+    def read_symbol(self, name: str) -> int:
+        """Read the word at a data symbol's address."""
+        return self.memory.read_word(self.program.symbol(name))
+
+    def write_symbol(self, name: str, value: int) -> None:
+        """Write the word at a data symbol's address."""
+        self.memory.write_word(self.program.symbol(name), value)
+
+
+def run_program(program: Program,
+                max_instructions: int = 10_000_000) -> FunctionalSimulator:
+    """Run ``program`` to completion and return the simulator."""
+    simulator = FunctionalSimulator(program)
+    simulator.run(max_instructions)
+    return simulator

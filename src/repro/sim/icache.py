@@ -1,0 +1,61 @@
+"""The Decoded Instruction Cache.
+
+Thirty-two entries of canonical decoded instructions sit between the
+prefetch/decode unit and the execution unit — the architectural centrepiece
+of Branch Folding. The cache is direct-mapped: "the low five bits [of the
+IR Next-PC register] are used to address the Decoded Instruction Cache",
+i.e. the index is the low bits of the *parcel-aligned* address, with the
+full PC kept as the tag.
+
+Entries carry the Next-PC and Alternate Next-PC fields (the 64 extra bits
+that, on the die, "turned out not to cost any area ... since the pitch of
+the datapath was the constraining factor").
+"""
+
+from __future__ import annotations
+
+from repro.core.decoded import DecodedEntry
+from repro.isa.parcels import PARCEL_BYTES
+
+
+class DecodedICache:
+    """Direct-mapped cache of :class:`~repro.core.decoded.DecodedEntry`."""
+
+    def __init__(self, entries: int = 32) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("cache size must be a positive power of two")
+        self.size = entries
+        self._lines: list[DecodedEntry | None] = [None] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def index_of(self, address: int) -> int:
+        """Cache index: low bits of the parcel-aligned address."""
+        return (address // PARCEL_BYTES) % self.size
+
+    def lookup(self, address: int) -> DecodedEntry | None:
+        """Return the entry tagged with ``address``, or None on a miss."""
+        entry = self._lines[self.index_of(address)]
+        if entry is not None and entry.address == address:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def probe(self, address: int) -> bool:
+        """Hit test without disturbing the statistics (used by prefetch)."""
+        entry = self._lines[self.index_of(address)]
+        return entry is not None and entry.address == address
+
+    def fill(self, entry: DecodedEntry) -> None:
+        """Write a decoded entry (replacing any conflicting line)."""
+        self._lines[self.index_of(entry.address)] = entry
+
+    def invalidate(self) -> None:
+        """Clear every line (machine reset)."""
+        self._lines = [None] * self.size
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,68 @@
+"""Sparse byte-addressable memory.
+
+Backs both simulators. Instructions live in memory as little-endian 16-bit
+parcels, data as little-endian 32-bit words; the same address space holds
+both, as on the real machine.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Program
+from repro.isa.parcels import to_u16, to_u32
+
+
+class Memory:
+    """Sparse memory with byte, parcel (16-bit) and word (32-bit) access."""
+
+    def __init__(self) -> None:
+        self._bytes: dict[int, int] = {}
+
+    # ---- byte access -----------------------------------------------------
+
+    def read_byte(self, address: int) -> int:
+        """Read one byte (unmapped locations read as zero)."""
+        return self._bytes.get(to_u32(address), 0)
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Write one byte."""
+        self._bytes[to_u32(address)] = value & 0xFF
+
+    # ---- parcel access -----------------------------------------------------
+
+    def read_parcel(self, address: int) -> int:
+        """Read a 16-bit instruction parcel (little-endian)."""
+        return self.read_byte(address) | (self.read_byte(address + 1) << 8)
+
+    def write_parcel(self, address: int, value: int) -> None:
+        """Write a 16-bit instruction parcel."""
+        value = to_u16(value)
+        self.write_byte(address, value & 0xFF)
+        self.write_byte(address + 1, value >> 8)
+
+    # ---- word access -------------------------------------------------------
+
+    def read_word(self, address: int) -> int:
+        """Read a 32-bit word (little-endian)."""
+        return (self.read_byte(address)
+                | (self.read_byte(address + 1) << 8)
+                | (self.read_byte(address + 2) << 16)
+                | (self.read_byte(address + 3) << 24))
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a 32-bit word."""
+        value = to_u32(value)
+        for i in range(4):
+            self.write_byte(address + i, (value >> (8 * i)) & 0xFF)
+
+    # ---- loading -------------------------------------------------------------
+
+    def load_program(self, program: Program) -> None:
+        """Load a program's code parcels and data words."""
+        for address, parcel in program.parcel_image().items():
+            self.write_parcel(address, parcel)
+        for address, word in program.data_image().items():
+            self.write_word(address, word)
+
+    def snapshot(self) -> dict[int, int]:
+        """Copy of the raw byte map (for state comparison in tests)."""
+        return dict(self._bytes)

@@ -1,0 +1,168 @@
+"""Architectural instruction semantics, shared by both simulators.
+
+The cycle simulator's three-stage EU is in-order and squashes wrong-path
+instructions before any result write (the ISA was designed without side
+effects for exactly this), so architecturally an instruction's effects can
+be applied atomically; the pipeline model adds *timing* (and wrong-path
+fetch) on top of these semantics, never different results. The
+differential tests in ``tests/test_sim_differential.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, resolve_target
+from repro.isa.opcodes import (
+    ALU_FUNCTIONS,
+    BranchKind,
+    CONDITION_FUNCTIONS,
+    OpClass,
+    Opcode,
+    opcode_condition,
+)
+from repro.isa.operands import AddrMode, Operand
+from repro.isa.parcels import to_u32
+from repro.sim.memory import Memory
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulated program does something unrecoverable."""
+
+
+@dataclass
+class MachineState:
+    """Architectural state: PC, SP, accumulator, the CC flag and memory."""
+
+    memory: Memory
+    pc: int = 0
+    sp: int = 0
+    accum: int = 0
+    flag: bool = False
+    halted: bool = False
+
+    def read_operand(self, operand: Operand) -> int:
+        """Read an operand's 32-bit value."""
+        if operand.mode is AddrMode.IMM:
+            return to_u32(operand.value)
+        if operand.mode is AddrMode.ACC:
+            return self.accum
+        if operand.mode is AddrMode.ACC_IND:
+            return self.memory.read_word(self.accum)
+        if operand.mode is AddrMode.ABS:
+            return self.memory.read_word(operand.value)
+        return self.memory.read_word(to_u32(self.sp + operand.value))
+
+    def write_operand(self, operand: Operand, value: int) -> None:
+        """Write a 32-bit value to a writable operand."""
+        value = to_u32(value)
+        if operand.mode is AddrMode.ACC:
+            self.accum = value
+        elif operand.mode is AddrMode.ACC_IND:
+            self.memory.write_word(self.accum, value)
+        elif operand.mode is AddrMode.ABS:
+            self.memory.write_word(operand.value, value)
+        elif operand.mode is AddrMode.SP_OFF:
+            self.memory.write_word(to_u32(self.sp + operand.value), value)
+        else:
+            raise SimulationError(f"write to non-writable operand {operand}")
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of executing one instruction.
+
+    ``taken`` is meaningful only when ``is_branch`` — True when control
+    actually transferred away from the sequential path.
+    """
+
+    next_pc: int
+    is_branch: bool = False
+    is_conditional: bool = False
+    taken: bool = False
+    halted: bool = False
+
+
+def branch_decision(instruction: Instruction, flag: bool) -> bool:
+    """Would this branch transfer control, given the flag value?"""
+    sense = instruction.branch_sense
+    if sense is BranchKind.ALWAYS:
+        return True
+    if sense is BranchKind.IF_TRUE:
+        return flag
+    return not flag
+
+
+def execute(state: MachineState, instruction: Instruction,
+            pc: int) -> StepResult:
+    """Execute ``instruction`` located at ``pc``; mutate ``state`` and
+    return where control goes next.
+
+    ``state.pc`` is *not* updated here — callers own control flow (the
+    pipeline simulator routes next-PC through the decoded-cache fields
+    instead of this function's return value; they must agree).
+    """
+    opcode = instruction.opcode
+    cls = instruction.op_class
+    sequential = pc + instruction.length_bytes()
+
+    if cls is OpClass.HALT:
+        state.halted = True
+        return StepResult(sequential, halted=True)
+    if cls is OpClass.NOP:
+        return StepResult(sequential)
+
+    if cls is OpClass.ALU2:
+        dst, src = instruction.operands
+        left = state.read_operand(dst)
+        right = state.read_operand(src)
+        state.write_operand(dst, ALU_FUNCTIONS[opcode](left, right))
+        return StepResult(sequential)
+
+    if cls is OpClass.ALU3:
+        left = state.read_operand(instruction.operands[0])
+        right = state.read_operand(instruction.operands[1])
+        state.accum = to_u32(ALU_FUNCTIONS[opcode](left, right))
+        return StepResult(sequential)
+
+    if cls is OpClass.CMP:
+        left = state.read_operand(instruction.operands[0])
+        right = state.read_operand(instruction.operands[1])
+        state.flag = CONDITION_FUNCTIONS[opcode_condition(opcode)](left, right)
+        return StepResult(sequential)
+
+    if cls is OpClass.FRAME:
+        size = instruction.operands[0].value
+        if opcode is Opcode.ENTER:
+            state.sp = to_u32(state.sp - size)
+        else:  # SPADD
+            state.sp = to_u32(state.sp + size)
+        return StepResult(sequential)
+
+    if cls is OpClass.JMP:
+        target = resolve_target(instruction, pc, state.sp,
+                                state.memory.read_word)
+        return StepResult(target, is_branch=True, taken=True)
+
+    if cls is OpClass.CONDJMP:
+        taken = branch_decision(instruction, state.flag)
+        target = resolve_target(instruction, pc, state.sp,
+                                state.memory.read_word)
+        return StepResult(target if taken else sequential,
+                          is_branch=True, is_conditional=True, taken=taken)
+
+    if cls is OpClass.CALL:
+        target = resolve_target(instruction, pc, state.sp,
+                                state.memory.read_word)
+        state.sp = to_u32(state.sp - 4)
+        state.memory.write_word(state.sp, sequential)
+        return StepResult(target, is_branch=True, taken=True)
+
+    # RETURN / RETI
+    if opcode is Opcode.RETI:
+        # return from interrupt: restore the saved PSW flag, then the PC
+        state.flag = bool(state.memory.read_word(state.sp) & 1)
+        state.sp = to_u32(state.sp + 4)
+    target = state.memory.read_word(state.sp)
+    state.sp = to_u32(state.sp + 4)
+    return StepResult(target, is_branch=True, taken=True)

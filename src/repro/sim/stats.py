@@ -1,0 +1,129 @@
+"""Execution statistics collected by the simulators.
+
+:class:`ExecutionStats` counts architectural events (what Table 2 reports);
+:class:`PipelineStats` adds the cycle-level quantities of Table 4:
+instructions *issued* by the EU pipeline versus instructions *executed*
+when the machine is viewed as a black box — branch folding makes these
+differ, which is the paper's headline effect.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionStats:
+    """Architectural event counts for one program run."""
+
+    instructions: int = 0
+    opcode_counts: Counter = field(default_factory=Counter)
+    branches: int = 0
+    conditional_branches: int = 0
+    taken_branches: int = 0
+    one_parcel_branches: int = 0
+
+    def record(self, opcode_name: str, *, is_branch: bool,
+               is_conditional: bool, taken: bool,
+               one_parcel: bool) -> None:
+        """Record one executed instruction."""
+        self.instructions += 1
+        self.opcode_counts[opcode_name] += 1
+        if is_branch:
+            self.branches += 1
+            if one_parcel:
+                self.one_parcel_branches += 1
+            if is_conditional:
+                self.conditional_branches += 1
+            if taken:
+                self.taken_branches += 1
+
+    @property
+    def branch_fraction(self) -> float:
+        """Dynamic fraction of instructions that are branches."""
+        return self.branches / self.instructions if self.instructions else 0.0
+
+    @property
+    def one_parcel_branch_fraction(self) -> float:
+        """Fraction of executed branches using the one-parcel format
+        (the paper reports ~95%)."""
+        return (self.one_parcel_branches / self.branches
+                if self.branches else 0.0)
+
+    def table(self) -> list[tuple[str, int, float]]:
+        """Opcode histogram rows: (opcode, count, percent) — Table 2's shape."""
+        total = self.instructions or 1
+        return [(name, count, 100.0 * count / total)
+                for name, count in self.opcode_counts.most_common()]
+
+
+@dataclass
+class PipelineStats:
+    """Cycle-level statistics for one run of the cycle-accurate CPU."""
+
+    cycles: int = 0
+    issued_instructions: int = 0  #: EU pipeline slots that did real work
+    executed_instructions: int = 0  #: black-box count (folded branches add 1)
+    folded_branches: int = 0  #: branches that never occupied an EU slot
+    mispredictions: int = 0
+    misprediction_penalty_cycles: int = 0
+    zero_cost_overrides: int = 0  #: wrong prediction bit but CC known: free
+    icache_misses: int = 0
+    icache_hits: int = 0
+    stall_cycles: int = 0
+    squashed_slots: int = 0
+    execution: ExecutionStats = field(default_factory=ExecutionStats)
+
+    @property
+    def issued_cpi(self) -> float:
+        """Cycles per *issued* instruction (the paper's 1.01 in case D)."""
+        return (self.cycles / self.issued_instructions
+                if self.issued_instructions else 0.0)
+
+    @property
+    def apparent_cpi(self) -> float:
+        """Cycles per instruction as seen from outside — folded branches
+        count as executed instructions (the paper's 0.74 in case D)."""
+        return (self.cycles / self.executed_instructions
+                if self.executed_instructions else 0.0)
+
+    @property
+    def apparent_ipc(self) -> float:
+        """Black-box instructions per cycle (>1 means branches fold away)."""
+        return (self.executed_instructions / self.cycles
+                if self.cycles else 0.0)
+
+    @property
+    def icache_hit_rate(self) -> float:
+        total = self.icache_hits + self.icache_misses
+        return self.icache_hits / total if total else 0.0
+
+    def breakdown(self) -> dict[str, float]:
+        """Where the cycles went, as fractions of the total.
+
+        ``issue`` is useful work; ``penalty`` the misprediction recovery
+        bubbles; ``other_stall`` everything else the RR stage sat idle
+        for (cache misses, fetch stalls behind dynamic targets).
+        """
+        total = self.cycles or 1
+        penalty = self.misprediction_penalty_cycles
+        other = max(0, self.stall_cycles - penalty)
+        return {
+            "issue": self.issued_instructions / total,
+            "penalty": penalty / total,
+            "other_stall": other / total,
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.cycles} cycles, {self.issued_instructions} issued, "
+            f"{self.executed_instructions} executed "
+            f"({self.folded_branches} folded branches); "
+            f"issued CPI {self.issued_cpi:.2f}, "
+            f"apparent CPI {self.apparent_cpi:.2f}; "
+            f"{self.mispredictions} mispredictions costing "
+            f"{self.misprediction_penalty_cycles} cycles; "
+            f"icache hit rate {self.icache_hit_rate:.3f}"
+        )

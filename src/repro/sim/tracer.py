@@ -1,0 +1,97 @@
+"""Cycle-by-cycle pipeline tracing.
+
+Wraps a :class:`~repro.sim.cpu.CrispCpu` and records what each EU stage
+held on every clock — the tool for understanding folding, squash and
+recovery behaviour (and for the pipeline-timing assertions in the test
+suite). ``format_window`` renders the classic pipeline-diagram view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.cpu import CrispCpu
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """One clock's pipeline occupancy (sampled after the cycle)."""
+
+    cycle: int
+    ir: str
+    or_: str
+    rr: str
+    ir_next_pc: int | None
+    icache_miss: bool
+    halted: bool
+
+
+def _describe(slot) -> str:
+    if slot is None:
+        return "-"
+    text = str(slot.entry.body or slot.entry.branch)
+    if slot.entry.is_folded:
+        text = f"{slot.entry.body}+{slot.entry.branch.opcode.value}"
+    if not slot.valid:
+        return f"x({text})"
+    if slot.entry.uses_cc and not slot.resolved:
+        return f"?{text}"
+    return text
+
+
+@dataclass
+class PipelineTrace:
+    """Steps a CPU while recording per-cycle stage occupancy."""
+
+    cpu: CrispCpu
+    records: list[CycleRecord] = field(default_factory=list)
+
+    def step(self) -> CycleRecord:
+        """Advance one clock and record it.
+
+        Stage occupancy is sampled *before* the tick: the record shows
+        what each stage held while this cycle executed (so an empty RR in
+        a record is exactly one of ``stats.stall_cycles``).
+        """
+        misses_before = self.cpu.stats.icache_misses
+        ir = _describe(self.cpu.eu.ir)
+        or_ = _describe(self.cpu.eu.or_)
+        rr = _describe(self.cpu.eu.rr)
+        self.cpu.step()
+        record = CycleRecord(
+            cycle=self.cpu.stats.cycles,
+            ir=ir,
+            or_=or_,
+            rr=rr,
+            ir_next_pc=self.cpu.eu.ir_next_pc,
+            icache_miss=self.cpu.stats.icache_misses > misses_before,
+            halted=self.cpu.halted,
+        )
+        self.records.append(record)
+        return record
+
+    def run(self, max_cycles: int = 100_000) -> list[CycleRecord]:
+        """Run to halt, recording every cycle."""
+        for _ in range(max_cycles):
+            if self.cpu.halted:
+                return self.records
+            self.step()
+        return self.records
+
+    def bubbles(self) -> int:
+        """Cycles where the RR stage did no useful work."""
+        return sum(1 for record in self.records
+                   if record.rr == "-" or record.rr.startswith("x("))
+
+    def format_window(self, start: int = 0, count: int = 20) -> str:
+        """Render a window of the trace as a pipeline diagram.
+
+        Legend: ``-`` empty, ``x(...)`` squashed, ``?...`` speculative
+        (unresolved branch direction), ``*`` cache-miss cycle.
+        """
+        lines = [f"{'cyc':>4} {'miss':<4} {'IR':<34} {'OR':<34} RR"]
+        for record in self.records[start:start + count]:
+            miss = "*" if record.icache_miss else ""
+            lines.append(f"{record.cycle:>4} {miss:<4} "
+                         f"{record.ir:<34} {record.or_:<34} {record.rr}")
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Differential verification utilities.
+
+The functional simulator is the golden reference; anything the
+cycle-accurate machine computes must match it exactly. These helpers run
+a program on both and compare every architectural observable — used
+throughout the test suite and available to library users as a
+self-checking harness for their own programs and configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.sim.cpu import CpuConfig, CrispCpu
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.stats import ExecutionStats, PipelineStats
+
+
+class VerificationError(AssertionError):
+    """Raised when the pipeline diverges from the architectural model."""
+
+
+@dataclass
+class VerificationResult:
+    """Both runs' results, already checked for equivalence."""
+
+    functional: ExecutionStats
+    pipeline: PipelineStats
+    cycles: int
+
+    @property
+    def speedup_headroom(self) -> float:
+        """Apparent instructions per cycle achieved by the pipeline."""
+        return self.pipeline.apparent_ipc
+
+
+def verify_program(program: Program,
+                   config: CpuConfig | None = None,
+                   max_instructions: int = 10_000_000,
+                   max_cycles: int = 50_000_000) -> VerificationResult:
+    """Run ``program`` both ways; raise on any observable divergence.
+
+    Checks: every data-segment word, the accumulator, the flag, the stack
+    pointer, and the executed-instruction count.
+    """
+    reference = FunctionalSimulator(program)
+    reference.run(max_instructions)
+
+    cpu = CrispCpu(program, config)
+    cpu.run(max_cycles)
+
+    _check("executed instructions",
+           cpu.stats.executed_instructions,
+           reference.stats.instructions)
+    _check("accumulator", cpu.state.accum, reference.state.accum)
+    _check("condition flag", cpu.state.flag, reference.state.flag)
+    _check("stack pointer", cpu.state.sp, reference.state.sp)
+    for item in program.data:
+        _check(f"memory[{item.name or hex(item.address)}"
+               f"+{item.address - program.symbol(item.name):#x}]"
+               if item.name else f"memory[{item.address:#x}]",
+               cpu.memory.read_word(item.address),
+               reference.memory.read_word(item.address))
+    return VerificationResult(reference.stats, cpu.stats, cpu.stats.cycles)
+
+
+def _check(what: str, measured, expected) -> None:
+    if measured != expected:
+        raise VerificationError(
+            f"pipeline diverged from the architectural model: "
+            f"{what} = {measured!r}, expected {expected!r}")

@@ -1,0 +1,41 @@
+"""Branch traces: the event format, capture, and synthetic generators.
+
+The prediction study consumes only (branch PC, taken, target) streams, so
+the paper's large proprietary workloads — troff, the C compiler, a VLSI
+design-rule checker, with 1.5–38 million branches each — are substituted
+with distribution-calibrated synthetic generators
+(:mod:`repro.trace.synthetic`), while the small benchmarks run for real
+on the functional simulator (:mod:`repro.trace.capture`).
+"""
+
+from repro.trace.events import BranchEvent
+from repro.trace.capture import capture_trace
+from repro.trace.io import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_to_string,
+)
+from repro.trace.synthetic import (
+    BranchProfile,
+    SyntheticWorkload,
+    TROFF_LIKE,
+    CC_LIKE,
+    DRC_LIKE,
+    synthetic_workloads,
+)
+
+__all__ = [
+    "BranchEvent",
+    "capture_trace",
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
+    "trace_to_string",
+    "BranchProfile",
+    "SyntheticWorkload",
+    "TROFF_LIKE",
+    "CC_LIKE",
+    "DRC_LIKE",
+    "synthetic_workloads",
+]

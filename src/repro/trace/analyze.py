@@ -1,0 +1,128 @@
+"""Per-branch trace analytics.
+
+Aggregates a branch-event stream into per-static-branch statistics and
+classifies each site into the behaviour classes the synthetic workloads
+are built from (biased / loop-like / alternating / phase-structured /
+mixed). Closing the calibration loop: running this over a *real*
+captured trace shows the same class structure the synthetic generators
+assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.trace.events import BranchEvent
+
+
+@dataclass
+class BranchSiteStats:
+    """Dynamic statistics of one static branch."""
+
+    pc: int
+    executions: int = 0
+    taken: int = 0
+    transitions: int = 0  #: direction changes between consecutive runs
+    _last: bool | None = field(default=None, repr=False)
+
+    def observe(self, taken: bool) -> None:
+        self.executions += 1
+        if taken:
+            self.taken += 1
+        if self._last is not None and self._last != taken:
+            self.transitions += 1
+        self._last = taken
+
+    @property
+    def taken_fraction(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+    @property
+    def bias(self) -> float:
+        """Majority-direction fraction — the optimal static accuracy."""
+        fraction = self.taken_fraction
+        return max(fraction, 1.0 - fraction)
+
+    @property
+    def switch_rate(self) -> float:
+        """Direction changes per opportunity (1.0 = strict alternation)."""
+        if self.executions < 2:
+            return 0.0
+        return self.transitions / (self.executions - 1)
+
+    @property
+    def classification(self) -> str:
+        """biased / loop / alternating / phased / mixed.
+
+        * ``biased``: one direction ≥ 95 % of the time;
+        * ``alternating``: switches nearly every execution;
+        * ``loop``: taken-dominated with the regular one-switch-per-
+          iteration-count signature of loop back-edges;
+        * ``phased``: long same-direction runs (low switch rate) without
+          a dominant overall direction;
+        * ``mixed``: everything else (data-dependent).
+        """
+        if self.executions < 4:
+            return "mixed"
+        if self.bias >= 0.95:
+            return "biased"
+        if self.switch_rate >= 0.8:
+            return "alternating"
+        expected_loop_switches = 2 * min(self.taken,
+                                         self.executions - self.taken)
+        if self.taken_fraction >= 0.6 and self.transitions \
+                >= 0.8 * expected_loop_switches:
+            return "loop"
+        if self.switch_rate <= 0.2:
+            return "phased"
+        return "mixed"
+
+
+@dataclass
+class TraceProfile:
+    """Whole-trace analytics."""
+
+    sites: dict[int, BranchSiteStats] = field(default_factory=dict)
+    events: int = 0
+
+    @property
+    def static_sites(self) -> int:
+        return len(self.sites)
+
+    def class_mixture(self) -> dict[str, float]:
+        """Dynamic-execution-weighted fraction per behaviour class."""
+        weights: dict[str, int] = {}
+        for site in self.sites.values():
+            key = site.classification
+            weights[key] = weights.get(key, 0) + site.executions
+        total = sum(weights.values()) or 1
+        return {key: count / total for key, count in weights.items()}
+
+    def optimal_static_accuracy(self) -> float:
+        """Aggregate best-static-bit accuracy (Table 1's definition)."""
+        if not self.events:
+            return 0.0
+        best = sum(max(site.taken, site.executions - site.taken)
+                   for site in self.sites.values())
+        return best / self.events
+
+    def hottest(self, count: int = 10) -> list[BranchSiteStats]:
+        """The most-executed branch sites."""
+        return sorted(self.sites.values(),
+                      key=lambda site: -site.executions)[:count]
+
+
+def profile_trace(events: Iterable[BranchEvent],
+                  conditional_only: bool = True) -> TraceProfile:
+    """Aggregate an event stream into per-branch statistics."""
+    profile = TraceProfile()
+    for event in events:
+        if conditional_only and not event.conditional:
+            continue
+        site = profile.sites.get(event.pc)
+        if site is None:
+            site = profile.sites[event.pc] = BranchSiteStats(event.pc)
+        site.observe(event.taken)
+        profile.events += 1
+    return profile

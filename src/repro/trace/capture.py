@@ -1,0 +1,33 @@
+"""Capture branch traces from real program runs."""
+
+from __future__ import annotations
+
+from repro.asm.program import Program
+from repro.isa.instructions import BranchMode
+from repro.trace.events import BranchEvent
+
+
+def capture_trace(program: Program,
+                  max_instructions: int = 50_000_000,
+                  conditional_only: bool = False) -> list[BranchEvent]:
+    """Run ``program`` on the functional simulator; return its branch
+    trace in execution order."""
+    from repro.sim.functional import FunctionalSimulator
+
+    events: list[BranchEvent] = []
+
+    def hook(pc: int, instruction, taken: bool) -> None:
+        conditional = instruction.is_conditional_branch
+        if conditional_only and not conditional:
+            return
+        target = None
+        spec = instruction.branch
+        if spec is not None:
+            if spec.mode is BranchMode.PC_RELATIVE:
+                target = pc + spec.value
+            elif spec.mode is BranchMode.ABSOLUTE:
+                target = spec.value
+        events.append(BranchEvent(pc, taken, conditional, target))
+
+    FunctionalSimulator(program, branch_hook=hook).run(max_instructions)
+    return events

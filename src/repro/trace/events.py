@@ -1,0 +1,21 @@
+"""The branch-trace event format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """One dynamic branch execution.
+
+    ``pc`` identifies the static branch; ``taken`` is the outcome;
+    ``conditional`` separates the branches prediction applies to;
+    ``target`` is the (static) destination when known — predictors that
+    model target storage (BTB, jump trace) use it.
+    """
+
+    pc: int
+    taken: bool
+    conditional: bool = True
+    target: int | None = None

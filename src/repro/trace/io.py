@@ -1,0 +1,83 @@
+"""Branch-trace serialization — "trace tapes".
+
+The paper contrasts its in-situ measurement with "the traditional
+evaluation method of using trace tapes". Both methods are supported:
+:func:`save_trace` / :func:`load_trace` persist branch-event streams in a
+compact line format, so expensive workload runs can be captured once and
+replayed through any predictor configuration.
+
+Format: one event per line, ``pc taken cond target`` in hex/flags::
+
+    # crisp-trace v1
+    1006 T c 1000
+    1014 N c 1020
+
+``target`` is ``-`` when unknown.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.trace.events import BranchEvent
+
+MAGIC = "# crisp-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace files."""
+
+
+def write_events(stream: TextIO, events: Iterable[BranchEvent]) -> int:
+    """Write events to an open text stream; returns the event count."""
+    stream.write(MAGIC + "\n")
+    count = 0
+    for event in events:
+        taken = "T" if event.taken else "N"
+        kind = "c" if event.conditional else "u"
+        target = "-" if event.target is None else f"{event.target:x}"
+        stream.write(f"{event.pc:x} {taken} {kind} {target}\n")
+        count += 1
+    return count
+
+
+def read_events(stream: TextIO) -> Iterator[BranchEvent]:
+    """Parse events from an open text stream (validates the header)."""
+    header = stream.readline().rstrip("\n")
+    if header != MAGIC:
+        raise TraceFormatError(f"not a crisp-trace file: {header!r}")
+    for line_no, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 4 or fields[1] not in "TN" or fields[2] not in "cu":
+            raise TraceFormatError(f"line {line_no}: bad record {line!r}")
+        target = None if fields[3] == "-" else int(fields[3], 16)
+        yield BranchEvent(
+            pc=int(fields[0], 16),
+            taken=fields[1] == "T",
+            conditional=fields[2] == "c",
+            target=target,
+        )
+
+
+def save_trace(path: str | Path, events: Iterable[BranchEvent]) -> int:
+    """Write a trace tape to ``path``; returns the event count."""
+    with open(path, "w", encoding="ascii") as handle:
+        return write_events(handle, events)
+
+
+def load_trace(path: str | Path) -> list[BranchEvent]:
+    """Read a whole trace tape."""
+    with open(path, encoding="ascii") as handle:
+        return list(read_events(handle))
+
+
+def trace_to_string(events: Iterable[BranchEvent]) -> str:
+    """Serialize to a string (round-trips through :func:`read_events`)."""
+    buffer = io.StringIO()
+    write_events(buffer, events)
+    return buffer.getvalue()

@@ -1,0 +1,160 @@
+"""Synthetic branch-trace generators for the paper's large workloads.
+
+troff (22 M branches), the C compiler (1.5 M) and a VLSI design-rule
+checker (38 M) are proprietary programs we cannot run; the prediction
+study, however, consumes only a (branch-PC, taken) event stream. Each
+generator below models a *population of static branches* with the
+behaviour classes real traces exhibit:
+
+* ``bias(p)`` — i.i.d. data-dependent branches (static ≈ max(p, 1−p),
+  one-bit dynamic ≈ p² + (1−p)²);
+* ``loop(n)`` — n-iteration loop back-edges (taken n times, then not);
+* ``runs(a, b)`` — phase-structured branches (scan a row, skip a gap):
+  static caps at a/(a+b) while dynamic adapts to each phase, the effect
+  that lets dynamic schemes beat static on the DRC trace;
+* ``alternating()`` — strict TFTF, where static scores 50 % and one-bit
+  dynamic 0 % (the paper's explanation for the small-benchmark rows).
+
+The mixture weights are calibrated (see ``tests/test_trace_synthetic.py``
+and the Table-1 bench) so each generator reproduces its program's
+static/1/2/3-bit accuracy row to within a few points. Only the *mixture*
+is synthetic; the predictors under test are the real implementations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.trace.events import BranchEvent
+
+Behaviour = Callable[[random.Random], Iterator[bool]]
+
+
+def bias(p_taken: float) -> Behaviour:
+    """I.i.d. branch taken with probability ``p_taken``."""
+    def make(rng: random.Random) -> Iterator[bool]:
+        while True:
+            yield rng.random() < p_taken
+    return make
+
+
+def loop(iterations: int) -> Behaviour:
+    """A loop back-edge: taken ``iterations`` times, then one not-taken."""
+    def make(rng: random.Random) -> Iterator[bool]:
+        while True:
+            for _ in range(iterations):
+                yield True
+            yield False
+    return make
+
+
+def runs(taken_run: int, not_taken_run: int) -> Behaviour:
+    """Phase-structured: ``taken_run`` takens, then ``not_taken_run`` nots."""
+    def make(rng: random.Random) -> Iterator[bool]:
+        while True:
+            for _ in range(taken_run):
+                yield True
+            for _ in range(not_taken_run):
+                yield False
+    return make
+
+
+def alternating() -> Behaviour:
+    """Strict alternation — the Figure-3 ``if (i & 1)`` behaviour."""
+    def make(rng: random.Random) -> Iterator[bool]:
+        value = True
+        while True:
+            yield value
+            value = not value
+    return make
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """A class of static branches within a workload."""
+
+    weight: float  #: fraction of dynamic branch executions
+    population: int  #: number of static branches with this behaviour
+    behaviour: Behaviour
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A calibrated synthetic branch-trace generator."""
+
+    name: str
+    description: str
+    profiles: tuple[BranchProfile, ...]
+    paper_branches: int  #: dynamic branch count the paper reports
+    paper_row: tuple[float, float, float, float]  #: Table-1 accuracies
+
+    def generate(self, events: int, seed: int = 1987) -> Iterator[BranchEvent]:
+        """Yield ``events`` dynamic branches, deterministically per seed."""
+        rng = random.Random(seed)
+        streams: list[tuple[int, Iterator[bool]]] = []
+        weights: list[float] = []
+        base_pc = 0x100000
+        for profile in self.profiles:
+            for index in range(profile.population):
+                pc = base_pc
+                base_pc += 4
+                streams.append((pc, profile.behaviour(rng)))
+                weights.append(profile.weight / profile.population)
+        indices = list(range(len(streams)))
+        for _ in range(events):
+            which = rng.choices(indices, weights)[0]
+            pc, stream = streams[which]
+            yield BranchEvent(pc, next(stream), conditional=True,
+                              target=pc - 64)
+
+
+TROFF_LIKE = SyntheticWorkload(
+    "troff",
+    "Text-processor-like: mostly strongly biased dispatch and loop "
+    "branches; static and dynamic nearly tie in the low .90s.",
+    (
+        BranchProfile(0.54, 30, bias(0.99), "biased dispatch"),
+        BranchProfile(0.34, 12, loop(24), "inner loops"),
+        BranchProfile(0.06, 6, runs(40, 8), "scan phases"),
+        BranchProfile(0.06, 8, bias(0.60), "data-dependent"),
+    ),
+    paper_branches=22_000_000,
+    paper_row=(0.94, 0.93, 0.95, 0.95),
+)
+
+CC_LIKE = SyntheticWorkload(
+    "ccom",
+    "Compiler-like: weakly biased data-dependent tests pull every scheme "
+    "into the .70s; extra hysteresis (3 bits) loses on phase changes.",
+    (
+        BranchProfile(0.40, 20, bias(0.97), "error paths"),
+        BranchProfile(0.30, 16, runs(16, 12), "phase-structured tests"),
+        BranchProfile(0.06, 6, alternating(), "alternators"),
+        BranchProfile(0.24, 12, bias(0.60), "weak data-dependent"),
+    ),
+    paper_branches=1_500_000,
+    paper_row=(0.74, 0.77, 0.77, 0.74),
+)
+
+DRC_LIKE = SyntheticWorkload(
+    "vlsi_drc",
+    "Design-rule-checker-like: long scan/skip phases let dynamic history "
+    "adapt (.95) where one static bit cannot (.89).",
+    (
+        BranchProfile(0.66, 20, bias(0.995), "grid guards"),
+        BranchProfile(0.18, 10, runs(60, 45), "scan phases"),
+        BranchProfile(0.08, 6, loop(16), "row loops"),
+        BranchProfile(0.08, 8, bias(0.65), "rule tests"),
+    ),
+    paper_branches=38_000_000,
+    paper_row=(0.89, 0.95, 0.95, 0.95),
+)
+
+
+def synthetic_workloads() -> dict[str, SyntheticWorkload]:
+    """The three large-program substitutes, by name."""
+    return {workload.name: workload
+            for workload in (TROFF_LIKE, CC_LIKE, DRC_LIKE)}

@@ -1,0 +1,20 @@
+"""Mini-C workload programs.
+
+``FIGURE3`` is the paper's evaluation program (Figure 3) — a 1024-iteration
+loop whose ``if (i & 1)`` alternates every iteration, deliberately hard for
+branch prediction. ``SUITE`` adds the benchmark-style programs used by the
+Table-1 prediction study and the wider benches: re-implementations of the
+control-flow skeletons of Puzzle, Dhrystone and (integer) Whetstone, plus
+sorting/string/matrix kernels (see DESIGN.md "Substitutions").
+"""
+
+from repro.workloads.figure3 import FIGURE3, FIGURE3_LOOP_COUNT
+from repro.workloads.programs import SUITE, WorkloadProgram, get_workload
+
+__all__ = [
+    "FIGURE3",
+    "FIGURE3_LOOP_COUNT",
+    "SUITE",
+    "WorkloadProgram",
+    "get_workload",
+]

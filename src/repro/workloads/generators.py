@@ -1,0 +1,75 @@
+"""Parametric workload generators.
+
+Programs with *controlled* dynamic properties — branch density, taken
+bias, working-set size — used by the benches that measure how folding's
+benefit scales. The paper's core claim is quantitative: folding reduces
+issued instructions "by the number of branches in that program", so the
+speedup over a non-folding machine should approach
+``1 / (1 - branch_fraction)`` as prediction costs vanish.
+"""
+
+from __future__ import annotations
+
+
+def branchy_loop(alu_per_branch: int, iterations: int = 400) -> str:
+    """A loop whose body has ``alu_per_branch`` ALU instructions per
+    (folded, perfectly predicted) branch.
+
+    The loop-end conditional is the only branch; the body is straight-
+    line adds. Dynamic branch fraction ≈ 1 / (alu_per_branch + 3)
+    (the +3: the compare, the index increment and the branch itself).
+    """
+    body = "\n            ".join(
+        f"acc += {k % 7};" for k in range(alu_per_branch))
+    return f"""
+        int acc;
+
+        int main()
+        {{
+            int i;
+            for (i = 0; i < {iterations}; i++) {{
+                {body}
+            }}
+            return acc;
+        }}
+    """
+
+
+def biased_branches(taken_period: int, iterations: int = 500) -> str:
+    """A conditional taken once every ``taken_period`` iterations —
+    sweeps prediction difficulty from always-biased to alternating
+    (period 2)."""
+    return f"""
+        int rare; int common;
+
+        int main()
+        {{
+            int i;
+            for (i = 0; i < {iterations}; i++) {{
+                if (i % {taken_period} == 0)
+                    rare++;
+                else
+                    common++;
+            }}
+            return rare * 1000 + common;
+        }}
+    """
+
+
+def working_set(instructions: int, iterations: int = 60) -> str:
+    """A loop body of roughly ``instructions`` one-parcel-ish
+    instructions — sweeps the decoded-cache working set."""
+    body = "\n            ".join(
+        f"a{k % 4} += {k % 5};" for k in range(instructions))
+    return f"""
+        int a0; int a1; int a2; int a3;
+
+        int main()
+        {{
+            int i;
+            for (i = 0; i < {iterations}; i++) {{
+                {body}
+            }}
+            return a0 + a1 + a2 + a3;
+        }}
+    """

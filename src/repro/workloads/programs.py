@@ -1,0 +1,585 @@
+"""The mini-C workload suite.
+
+Stand-ins for the paper's measured programs (see DESIGN.md,
+"Substitutions"): re-implementations of the control-flow skeletons of the
+small benchmarks the paper names (Puzzle, Dhrystone, Whetstone-as-integer)
+plus general kernels that exercise every compiler and pipeline feature.
+Each program finishes with a checksum in ``main``'s return value so the
+simulators can be cross-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadProgram:
+    """One benchmark program."""
+
+    name: str
+    description: str
+    source: str
+    expected: int | None = None  #: checksum main() must return
+
+
+PUZZLE = WorkloadProgram(
+    "puzzle",
+    "Baskett's Puzzle skeleton: recursive exact-cover search over a "
+    "1-D packing board (the paper's smallest Table-1 program).",
+    """
+int board[32];
+int piece_size[3];
+int placed[3];
+int tries;
+
+int fits(int pos, int size)
+{
+    int k;
+    if (pos + size > 32) return 0;
+    for (k = 0; k < size; k++)
+        if (board[pos + k]) return 0;
+    return 1;
+}
+
+void place(int pos, int size, int value)
+{
+    int k;
+    for (k = 0; k < size; k++)
+        board[pos + k] = value;
+}
+
+int solve(int piece)
+{
+    int pos;
+    if (piece == 3) return 1;
+    for (pos = 0; pos < 32; pos++) {
+        tries++;
+        if (fits(pos, piece_size[piece])) {
+            place(pos, piece_size[piece], 1);
+            placed[piece] = pos;
+            if (solve(piece + 1)) return 1;
+            place(pos, piece_size[piece], 0);
+        }
+    }
+    return 0;
+}
+
+int main()
+{
+    int k, rounds, found;
+    piece_size[0] = 5; piece_size[1] = 7; piece_size[2] = 9;
+    found = 0;
+    for (rounds = 0; rounds < 12; rounds++) {
+        for (k = 0; k < 32; k++) board[k] = 0;
+        /* pre-block a moving window to vary the search shape */
+        for (k = 0; k < 5; k++) board[(rounds * 3 + k * 5) % 32] = 1;
+        found += solve(0);
+    }
+    return tries + found * 100000;
+}
+""")
+
+
+DHRY_LIKE = WorkloadProgram(
+    "dhry_like",
+    "Dhrystone-flavoured integer mix: call-heavy record/enumeration "
+    "manipulation with biased and unbiased conditionals.",
+    """
+int int_glob;
+int bool_glob;
+int ch_1_glob;
+int ch_2_glob;
+int arr_1[50];
+int arr_2[50];
+
+int func_1(int ch_1, int ch_2)
+{
+    int ch_1_loc;
+    ch_1_loc = ch_1;
+    if (ch_1_loc != ch_2)
+        return 0;
+    ch_1_glob = ch_1_loc;
+    return 1;
+}
+
+int func_2(int str_1, int str_2)
+{
+    int int_loc;
+    int ch_loc;
+    int_loc = 2;
+    ch_loc = 'A';
+    while (int_loc <= 2)
+        if (func_1(ch_loc, 'C') == 0) {
+            ch_loc = 'B';
+            int_loc += 1;
+        }
+    if (str_1 > str_2) {
+        int_loc += 7;
+        int_glob = int_loc;
+        return 1;
+    }
+    return 0;
+}
+
+int func_3(int enum_loc)
+{
+    if (enum_loc == 2)
+        return 1;
+    return 0;
+}
+
+void proc_7(int int_1, int int_2)
+{
+    int int_loc;
+    int_loc = int_1 + 2;
+    int_glob = int_2 + int_loc;
+}
+
+void proc_8(int index)
+{
+    int int_loc;
+    int k;
+    int_loc = index + 5;
+    arr_1[int_loc] = index;
+    arr_1[int_loc + 1] = arr_1[int_loc];
+    arr_1[int_loc + 30] = int_loc;
+    for (k = int_loc; k <= int_loc + 1; k++)
+        arr_2[int_loc] += 1;
+    arr_2[int_loc + 20] = arr_1[int_loc];
+    int_glob = 5;
+}
+
+int main()
+{
+    int run_index;
+    int int_1_loc, int_2_loc, int_3_loc;
+    int checksum;
+
+    checksum = 0;
+    for (run_index = 1; run_index <= 300; run_index++) {
+        int_1_loc = 2;
+        int_2_loc = 3;
+        bool_glob = func_2(int_1_loc, int_2_loc) == 0;
+        while (int_1_loc < int_2_loc) {
+            int_3_loc = 5 * int_1_loc - int_2_loc;
+            proc_7(int_1_loc, int_3_loc);
+            int_1_loc += 1;
+        }
+        proc_8(run_index % 10);
+        if (func_3(run_index % 3))
+            ch_2_glob = 'B';
+        else
+            ch_2_glob = 'A';
+        checksum += int_glob + bool_glob + ch_2_glob + int_3_loc;
+    }
+    return checksum;
+}
+""")
+
+
+CWHET_INT = WorkloadProgram(
+    "cwhet_int",
+    "Integer-scaled Whetstone skeleton: the classic module loops with "
+    "fixed-point arithmetic standing in for floating point.",
+    """
+int e1[4];
+int x, y, z, t;
+
+void pa(int scale)
+{
+    int j;
+    j = 0;
+    do {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * scale / 1000;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * scale / 1000;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * scale / 1000;
+        e1[3] = (e1[0] + e1[1] + e1[2] + e1[3]) * scale / 1000;
+        j += 1;
+    } while (j < 6);
+}
+
+void p0(int scale)
+{
+    t = scale;
+    e1[2] = e1[1];
+    e1[1] = e1[0];
+    e1[0] = e1[2];
+}
+
+void p3(int scale)
+{
+    x = scale * (x + y) / 1000;
+    y = scale * (x + y) / 1000;
+    z = (x + y) * scale / 1000;
+}
+
+int main()
+{
+    int i, n, checksum;
+
+    checksum = 0;
+    for (n = 0; n < 25; n++) {
+        /* module 1: simple identifiers */
+        x = 1000; y = -1000; z = -1000;
+        for (i = 0; i < 10; i++) {
+            x = (x + y + z) * 500 / 1000;
+            y = (x + y - z) * 500 / 1000;
+            z = (x - y + z) * 500 / 1000;
+        }
+        checksum += x + y + z;
+        /* module 2: array elements */
+        e1[0] = 1000; e1[1] = -1000; e1[2] = -1000; e1[3] = -1000;
+        for (i = 0; i < 12; i++)
+            pa(999);
+        checksum += e1[3];
+        /* module 6: integer arithmetic */
+        for (i = 1; i <= 20; i++) {
+            int j, k, l;
+            j = 1; k = 2; l = 3;
+            j = j * (k - j) * (l - k);
+            k = l * k - (l - j) * k;
+            l = (l - k) * (k + j);
+            e1[3 - ((l - 2) % 4 + 4) % 4] = j + k + l;
+            checksum += e1[2];
+        }
+        /* module 8: procedure calls */
+        x = 100; y = 100; z = 100;
+        for (i = 0; i < 15; i++)
+            p3(995);
+        checksum += z;
+        /* module 11: standard functions stand-in */
+        x = 75;
+        for (i = 0; i < 10; i++)
+            x = (x * x / 100) % 1000 + 1;
+        checksum += x;
+        p0(n);
+        checksum += t;
+    }
+    return checksum;
+}
+""")
+
+
+SORT = WorkloadProgram(
+    "sort",
+    "Quicksort + insertion sort over an LCG-generated array — "
+    "data-dependent comparison branches.",
+    """
+int data[200];
+int seed;
+
+int next_random()
+{
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed % 1000;
+}
+
+void insertion_sort(int lo, int hi)
+{
+    int i, j, key;
+    for (i = lo + 1; i <= hi; i++) {
+        key = data[i];
+        j = i - 1;
+        while (j >= lo && data[j] > key) {
+            data[j + 1] = data[j];
+            j--;
+        }
+        data[j + 1] = key;
+    }
+}
+
+void quicksort(int lo, int hi)
+{
+    int pivot, i, j, tmp;
+    if (hi - lo < 8) {
+        insertion_sort(lo, hi);
+        return;
+    }
+    pivot = data[(lo + hi) / 2];
+    i = lo; j = hi;
+    while (i <= j) {
+        while (data[i] < pivot) i++;
+        while (data[j] > pivot) j--;
+        if (i <= j) {
+            tmp = data[i]; data[i] = data[j]; data[j] = tmp;
+            i++; j--;
+        }
+    }
+    if (lo < j) quicksort(lo, j);
+    if (i < hi) quicksort(i, hi);
+}
+
+int main()
+{
+    int round, k, checksum, sorted;
+
+    checksum = 0;
+    seed = 42;
+    for (round = 0; round < 5; round++) {
+        for (k = 0; k < 200; k++) data[k] = next_random();
+        quicksort(0, 199);
+        sorted = 1;
+        for (k = 1; k < 200; k++)
+            if (data[k - 1] > data[k]) sorted = 0;
+        checksum += sorted * 10000 + data[100];
+    }
+    return checksum;
+}
+""")
+
+
+STRINGS = WorkloadProgram(
+    "strings",
+    "Byte-wise string kernels (copy, compare, search) over int arrays — "
+    "heavily biased loop branches with early exits.",
+    """
+int text[256];
+int pattern[8];
+int scratch[256];
+
+int str_copy(int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        scratch[i] = text[i];
+    return n;
+}
+
+int str_compare(int offset, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        if (text[offset + i] < pattern[i]) return -1;
+        if (text[offset + i] > pattern[i]) return 1;
+    }
+    return 0;
+}
+
+int str_search(int text_len, int pat_len)
+{
+    int pos, found;
+    found = 0;
+    for (pos = 0; pos + pat_len <= text_len; pos++)
+        if (str_compare(pos, pat_len) == 0)
+            found++;
+    return found;
+}
+
+int main()
+{
+    int i, checksum;
+
+    for (i = 0; i < 256; i++)
+        text[i] = 'a' + (i * 7 + i / 13) % 26;
+    for (i = 0; i < 8; i++)
+        pattern[i] = text[100 + i];
+    checksum = str_copy(256);
+    checksum += str_search(256, 8) * 1000;
+    checksum += str_search(256, 3) * 10;
+    for (i = 0; i < 256; i++)
+        checksum += scratch[i] == text[i];
+    return checksum;
+}
+""")
+
+
+MATRIX = WorkloadProgram(
+    "matrix",
+    "Small integer matrix multiply and row reduction — regular, highly "
+    "predictable loop branches (the easy case for static bits).",
+    """
+int a[144];
+int b[144];
+int c[144];
+
+int main()
+{
+    int i, j, k, n, acc, checksum;
+
+    n = 12;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++) {
+            a[i * n + j] = (i + j) % 7 - 3;
+            b[i * n + j] = (i * j) % 5 - 2;
+        }
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++) {
+            acc = 0;
+            for (k = 0; k < n; k++)
+                acc += a[i * n + k] * b[k * n + j];
+            c[i * n + j] = acc;
+        }
+    checksum = 0;
+    for (i = 0; i < n; i++)
+        checksum += c[i * n + i];
+    for (i = 1; i < n; i++)
+        for (j = 0; j < n; j++)
+            c[i * n + j] -= c[(i - 1) * n + j];
+    for (i = 0; i < n * n; i++)
+        checksum += c[i] & 15;
+    return checksum;
+}
+""")
+
+
+ALTERNATING = WorkloadProgram(
+    "alternating",
+    "Distilled Figure-3 behaviour: an if that alternates every iteration "
+    "(static gets 50%, 1-bit dynamic gets 0%).",
+    """
+int odd;
+int even;
+
+int main()
+{
+    int i, sum, j;
+    j = sum = 0;
+    for (i = 0; i < 2048; i++) {
+        sum += i;
+        if (i & 1)
+            odd++;
+        else
+            even++;
+        j = sum;
+    }
+    return odd + even;
+}
+""")
+
+
+SIEVE = WorkloadProgram(
+    "sieve",
+    "Sieve of Eratosthenes — the classic 1980s benchmark kernel; "
+    "strongly biased inner-loop branches.",
+    """
+int flags[512];
+
+int main()
+{
+    int i, k, count, iter;
+    count = 0;
+    for (iter = 0; iter < 5; iter++) {
+        count = 0;
+        for (i = 0; i < 512; i++) flags[i] = 1;
+        for (i = 2; i < 512; i++) {
+            if (flags[i]) {
+                for (k = i + i; k < 512; k += i)
+                    flags[k] = 0;
+                count++;
+            }
+        }
+    }
+    return count;
+}
+""")
+
+
+QUEENS = WorkloadProgram(
+    "queens",
+    "N-queens backtracking — deep recursion with data-dependent "
+    "pruning branches.",
+    """
+int cols[8];
+int diag1[16];
+int diag2[16];
+int solutions;
+int nodes;
+
+int place(int row)
+{
+    int col;
+    if (row == 8) {
+        solutions++;
+        return 0;
+    }
+    for (col = 0; col < 8; col++) {
+        nodes++;
+        if (cols[col]) continue;
+        if (diag1[row + col]) continue;
+        if (diag2[row - col + 7]) continue;
+        cols[col] = 1; diag1[row + col] = 1; diag2[row - col + 7] = 1;
+        place(row + 1);
+        cols[col] = 0; diag1[row + col] = 0; diag2[row - col + 7] = 0;
+    }
+    return 0;
+}
+
+int main()
+{
+    place(0);
+    return solutions * 100000 + nodes % 100000;
+}
+""")
+
+
+FIB_RECURSIVE = WorkloadProgram(
+    "fib",
+    "Naive recursive Fibonacci — call/return dominated (stresses the "
+    "dynamic-target path and the three-parcel call format).",
+    """
+int calls;
+
+int fib(int n)
+{
+    calls++;
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main()
+{
+    return fib(15) * 10000 + calls % 10000;
+}
+""")
+
+
+COLLATZ = WorkloadProgram(
+    "collatz",
+    "Collatz trajectory lengths — an unpredictable data-dependent "
+    "branch (odd/even on a pseudo-chaotic sequence).",
+    """
+int longest;
+int total;
+
+int steps(int n)
+{
+    int count;
+    count = 0;
+    while (n != 1) {
+        if (n & 1)
+            n = 3 * n + 1;
+        else
+            n = n / 2;
+        count++;
+    }
+    return count;
+}
+
+int main()
+{
+    int n, length;
+    longest = 0;
+    total = 0;
+    for (n = 1; n <= 120; n++) {
+        length = steps(n);
+        total += length;
+        if (length > longest)
+            longest = length;
+    }
+    return longest * 100000 + total;
+}
+""")
+
+
+SUITE: dict[str, WorkloadProgram] = {
+    program.name: program
+    for program in (PUZZLE, DHRY_LIKE, CWHET_INT, SORT, STRINGS, MATRIX,
+                    ALTERNATING, SIEVE, QUEENS, FIB_RECURSIVE, COLLATZ)
+}
+"""All workload programs by name."""
+
+
+def get_workload(name: str) -> WorkloadProgram:
+    """Look up a workload by name."""
+    return SUITE[name]

@@ -1,0 +1,128 @@
+"""Tests for CFG construction and static program statistics."""
+
+import pytest
+
+from repro.analysis import (
+    basic_block_profile,
+    build_cfg,
+    fold_opportunity_profile,
+    length_histogram,
+    static_profile,
+)
+from repro.asm import assemble
+from repro.core import FoldPolicy
+from repro.lang import compile_source
+from repro.workloads import FIGURE3, get_workload
+
+DIAMOND = """
+        .entry main
+        .word x, 0
+main:   cmp.= x, $0
+        iftjmpy is_zero
+        add x, $1
+        jmp done
+is_zero: add x, $2
+done:   halt
+"""
+
+
+class TestCfg:
+    def test_diamond_shape(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert len(cfg) == 4
+        entry_block = cfg.blocks[cfg.entry]
+        assert len(entry_block.successors) == 2  # taken + fall-through
+
+    def test_edges_are_symmetric(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        for block in cfg:
+            for successor in block.successors:
+                assert block.start in cfg.blocks[successor].predecessors
+
+    def test_all_blocks_reachable_in_diamond(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert cfg.reachable_from_entry() == set(cfg.blocks)
+
+    def test_unreachable_code_detected(self):
+        cfg = build_cfg(assemble("""
+            .entry main
+main:   jmp end
+        nop
+        nop
+end:    halt
+        """))
+        reachable = cfg.reachable_from_entry()
+        assert len(reachable) < len(cfg.blocks)
+
+    def test_loop_back_edge(self):
+        cfg = build_cfg(assemble("""
+            .word i, 0
+loop:   add i, $1
+        cmp.s< i, $5
+        iftjmpy loop
+        halt
+        """))
+        loop_block = cfg.blocks[0x1000]
+        assert 0x1000 in loop_block.successors  # back edge to itself
+
+    def test_call_has_two_successors(self):
+        cfg = build_cfg(assemble("""
+            .entry main
+f:      return
+main:   call f
+        halt
+        """))
+        main_block = next(b for b in cfg
+                          if b.terminator is not None
+                          and b.terminator.opcode.value == "call")
+        assert len(main_block.successors) == 2  # callee + return point
+
+    def test_indirect_has_no_static_successor(self):
+        cfg = build_cfg(assemble("""
+            jmp (*0x2000)
+            halt
+        """))
+        first = cfg.blocks[0x1000]
+        assert first.successors == []
+
+    def test_dot_export(self):
+        dot = build_cfg(assemble(DIAMOND)).to_dot()
+        assert dot.startswith("digraph") and "->" in dot
+
+
+class TestStaticStats:
+    def test_length_histogram_keys(self):
+        program = compile_source(FIGURE3)
+        histogram = length_histogram(program)
+        assert set(histogram) <= {1, 3, 5}
+        assert sum(histogram.values()) == len(program.instructions)
+
+    def test_fold_opportunities_figure3(self):
+        program = compile_source(FIGURE3)
+        branches, foldable = fold_opportunity_profile(program)
+        assert branches >= 4
+        # the loop's branches all sit after 1/3-parcel instructions
+        assert foldable >= 3
+
+    def test_fold_all_covers_at_least_crisp(self):
+        program = compile_source(get_workload("dhry_like").source)
+        _, crisp = fold_opportunity_profile(program, FoldPolicy.crisp())
+        _, everything = fold_opportunity_profile(program,
+                                                 FoldPolicy.fold_all())
+        assert everything >= crisp
+
+    def test_basic_blocks_are_short(self):
+        # the paper's claim: block sizes "on the order of 3 instructions"
+        program = compile_source(FIGURE3)
+        blocks, mean, median = basic_block_profile(program)
+        assert blocks >= 5
+        assert 1.5 <= mean <= 5.0
+        assert median <= 4
+
+    def test_static_profile_consistency(self):
+        program = compile_source(get_workload("collatz").source)
+        profile = static_profile(program)
+        assert profile.instructions == len(program.instructions)
+        assert 0 <= profile.fold_coverage <= 1
+        assert 0 <= profile.one_parcel_branch_fraction <= 1
+        assert profile.mean_block_size > 0

@@ -1,0 +1,123 @@
+"""Unit tests for the assembly-source parser."""
+
+import pytest
+
+from repro.asm.parser import (
+    AsmSyntaxError,
+    parse_line,
+    parse_operand,
+    parse_source,
+    parse_target,
+)
+
+
+class TestOperandParsing:
+    def p(self, text):
+        return parse_operand(text, 1, text)
+
+    def test_immediate_dollar(self):
+        expr = self.p("$42")
+        assert (expr.kind, expr.value) == ("imm", 42)
+
+    def test_immediate_bare_number(self):
+        # the paper writes `add i,1` with bare numeric immediates
+        assert (self.p("1").kind, self.p("1").value) == ("imm", 1)
+        assert self.p("-5").value == -5
+        assert self.p("0x400").value == 1024
+
+    def test_immediate_symbol(self):
+        expr = self.p("$buffer")
+        assert (expr.kind, expr.name) == ("imm_symbol", "buffer")
+
+    def test_accumulator_forms(self):
+        assert self.p("Accum").kind == "acc"
+        assert self.p("accum").kind == "acc"
+        assert self.p("(Accum)").kind == "acc_ind"
+
+    def test_sp_offset(self):
+        expr = self.p("8(sp)")
+        assert (expr.kind, expr.value) == ("sp_off", 8)
+
+    def test_absolute(self):
+        expr = self.p("*0x8000")
+        assert (expr.kind, expr.value) == ("abs", 0x8000)
+
+    def test_bare_symbol(self):
+        expr = self.p("sum")
+        assert (expr.kind, expr.name) == ("symbol", "sum")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            self.p("@foo")
+        with pytest.raises(AsmSyntaxError):
+            self.p("$1x2")
+
+
+class TestTargetParsing:
+    def t(self, text):
+        return parse_target(text, 1, text)
+
+    def test_label(self):
+        assert (self.t("loop").kind, self.t("loop").name) == ("label", "loop")
+
+    def test_absolute(self):
+        assert (self.t("*0x1000").kind, self.t("*0x1000").value) == ("abs", 0x1000)
+        assert self.t("4096").value == 4096
+
+    def test_indirect_absolute(self):
+        expr = self.t("(*0x2000)")
+        assert (expr.kind, expr.value) == ("ind_abs", 0x2000)
+
+    def test_indirect_sp(self):
+        expr = self.t("(12(sp))")
+        assert (expr.kind, expr.value) == ("ind_sp", 12)
+
+
+class TestLineParsing:
+    def test_blank_and_comment_lines(self):
+        assert parse_line("", 1) is None
+        assert parse_line("   ; just a comment", 2) is None
+        assert parse_line("# hash comment", 3) is None
+
+    def test_label_only(self):
+        stmt = parse_line("loop:", 1)
+        assert stmt.labels == ["loop"]
+        assert stmt.mnemonic is None
+
+    def test_label_with_instruction(self):
+        stmt = parse_line("_4: add sum,i", 1)
+        assert stmt.labels == ["_4"]
+        assert stmt.mnemonic == "add"
+        assert len(stmt.operands) == 2
+
+    def test_multiple_labels(self):
+        stmt = parse_line("a: b: nop", 1)
+        assert stmt.labels == ["a", "b"]
+
+    def test_paper_table3_lines(self):
+        # exact lines from the paper's Table 3 listing
+        for line in ["and3 i, 1", "cmp.= Accum,0", "iftjmpy _5",
+                     "add odd, 1", "jmp _6", "mov j,sum",
+                     "cmp.s< i, 1024", "iftjmpn _4"]:
+            stmt = parse_line(line, 1)
+            assert stmt.mnemonic is not None
+
+    def test_directive(self):
+        stmt = parse_line(".word counter, 0, 1, 2", 1)
+        assert stmt.directive == "word"
+        assert stmt.directive_args == ("counter", "0", "1", "2")
+
+    def test_branch_without_target_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_line("jmp", 1)
+
+    def test_comment_stripped_after_instruction(self):
+        stmt = parse_line("add sum,i ; accumulate", 1)
+        assert stmt.mnemonic == "add"
+        assert len(stmt.operands) == 2
+
+
+class TestSourceParsing:
+    def test_line_numbers_preserved(self):
+        statements = parse_source("nop\n\n; gap\nhalt\n")
+        assert [s.line_no for s in statements] == [1, 4]

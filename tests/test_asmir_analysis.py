@@ -1,0 +1,154 @@
+"""Unit tests for the assembly-IR def/use analysis the spreading pass
+relies on — wrong conflict answers silently miscompile, so this layer
+gets direct coverage."""
+
+import pytest
+
+from repro.lang.asmir import (
+    ACC,
+    FLAG,
+    MEMORY,
+    AsmItem,
+    FrameSize,
+    StackRef,
+    branch,
+    indirect_branch,
+    instr,
+    instr_reads,
+    instr_writes,
+    items_conflict,
+    label,
+)
+
+
+def sp(kind, offset, adjust=0):
+    return StackRef(kind, offset, adjust)
+
+
+class TestReadsWrites:
+    def test_two_operand_alu(self):
+        item = instr("add", "sum", "i")
+        assert instr_reads(item) == {"sum", "i"}
+        assert instr_writes(item) == {"sum"}
+
+    def test_mov_reads_only_source(self):
+        item = instr("mov", "j", "sum")
+        assert instr_reads(item) == {"sum"}
+        assert instr_writes(item) == {"j"}
+
+    def test_three_operand_writes_accumulator(self):
+        item = instr("and3", "i", "$1")
+        assert instr_reads(item) == {"i"}
+        assert instr_writes(item) == {ACC}
+
+    def test_compare_writes_flag(self):
+        item = instr("cmp.=", "Accum", "$0")
+        assert instr_reads(item) == {ACC}
+        assert instr_writes(item) == {FLAG}
+
+    def test_conditional_branch_reads_flag(self):
+        item = branch("iftjmpy", "somewhere")
+        assert instr_reads(item) == {FLAG}
+        assert instr_writes(item) == set()
+
+    def test_accumulator_indirect_is_wild_memory(self):
+        load = instr("mov", "t", "(Accum)")
+        assert MEMORY in instr_reads(load)
+        assert ACC in instr_reads(load)
+        store = instr("mov", "(Accum)", "$5")
+        assert instr_writes(store) == {MEMORY}
+
+    def test_stack_refs_are_precise_locations(self):
+        item = instr("add", sp("local", 0), sp("local", 4))
+        reads = instr_reads(item)
+        assert len(reads) == 2
+        writes = instr_writes(item)
+        assert len(writes) == 1
+
+    def test_immediates_have_no_location(self):
+        item = instr("mov", "x", "$42")
+        assert instr_reads(item) == set()
+
+    def test_symbol_with_offset_uses_base_symbol(self):
+        item = instr("add", "arr+12", "$1")
+        assert "arr" in instr_reads(item)
+        assert "arr" in instr_writes(item)
+
+    def test_frame_ops(self):
+        item = instr("enter", FrameSize())
+        assert instr_writes(item) == {"%frame"}
+
+    def test_labels_touch_nothing(self):
+        item = label("foo")
+        assert instr_reads(item) == set()
+        assert instr_writes(item) == set()
+
+    def test_indirect_branch_reads_its_slot(self):
+        item = indirect_branch("jmp", sp("temp", 8))
+        assert any(location.startswith("%sp")
+                   for location in instr_reads(item))
+
+
+class TestConflicts:
+    def test_independent_instructions(self):
+        a = instr("add", "x", "$1")
+        b = instr("add", "y", "$1")
+        assert not items_conflict(a, b)
+
+    def test_write_read_conflict(self):
+        a = instr("add", "i", "$1")
+        b = instr("add", "sum", "i")
+        assert items_conflict(a, b)
+
+    def test_write_write_conflict(self):
+        a = instr("mov", "x", "$1")
+        b = instr("mov", "x", "$2")
+        assert items_conflict(a, b)
+
+    def test_read_read_no_conflict(self):
+        a = instr("add3", "x", "$1")  # writes Accum, reads x
+        b = instr("mov", "y", "x")
+        assert not items_conflict(a, b)
+
+    def test_accumulator_conflicts(self):
+        a = instr("and3", "i", "$1")  # writes Accum
+        b = instr("cmp.=", "Accum", "$0")  # reads Accum
+        assert items_conflict(a, b)
+
+    def test_paper_table3_motions(self):
+        # the exact legality facts the paper's Table-3 motion depends on
+        add_sum = instr("add", "sum", "i")
+        cmp_acc = instr("cmp.=", "Accum", "$0")
+        add_i = instr("add", "i", "$1")
+        mov_j = instr("mov", "j", "sum")
+        add_odd = instr("add", "odd", "$1")
+        assert not items_conflict(add_sum, cmp_acc)  # hoistable past cmp
+        assert not items_conflict(add_i, add_odd)  # pullable over arm
+        assert not items_conflict(mov_j, add_odd)
+        assert items_conflict(add_sum, mov_j)  # j=sum needs sum's writer
+        assert items_conflict(add_sum, add_i)  # sum+=i needs old i
+
+    def test_distinct_stack_slots_independent(self):
+        a = instr("add", sp("local", 0), "$1")
+        b = instr("add", sp("local", 4), "$1")
+        assert not items_conflict(a, b)
+
+    def test_same_stack_slot_conflicts(self):
+        a = instr("add", sp("local", 0), "$1")
+        b = instr("mov", "x", sp("local", 0))
+        assert items_conflict(a, b)
+
+    def test_raw_sp_text_is_conservative(self):
+        a = instr("add", "0(sp)", "$1")
+        b = instr("add", sp("local", 4), "$1")
+        assert items_conflict(a, b)
+
+    def test_wild_memory_conflicts_with_globals(self):
+        a = instr("mov", "(Accum)", "$1")
+        b = instr("mov", "x", "g")
+        assert items_conflict(a, b)
+
+    def test_local_vs_param_no_conflict(self):
+        a = instr("add", sp("local", 0), "$1")
+        b = instr("mov", "x", sp("param", 0))
+        assert not items_conflict(a, b)

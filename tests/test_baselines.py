@@ -1,0 +1,152 @@
+"""Tests for the VAX instruction-count model and delayed-branch model."""
+
+import pytest
+
+from repro.baselines import DelayedBranchModel, run_vax_model
+from repro.baselines.vax import VaxModel
+from repro.isa.parcels import to_s32
+from repro.lang import compile_source
+from repro.lang.parser import parse
+from repro.sim.functional import run_program
+from repro.sim.stats import ExecutionStats
+from repro.workloads import FIGURE3, SUITE
+
+
+class TestVaxOpcodeSelection:
+    def counts(self, source):
+        return run_vax_model(source).opcode_counts
+
+    def test_clrl_for_zero_assignment(self):
+        counts = self.counts("int x; int main() { x = 0; return 0; }")
+        assert counts["clrl"] == 1
+
+    def test_incl_for_increment(self):
+        counts = self.counts(
+            "int x; int main() { x++; x += 1; x = x + 1; return 0; }")
+        assert counts["incl"] == 3
+
+    def test_decl_for_decrement(self):
+        counts = self.counts("int x; int main() { x--; x -= 1; return 0; }")
+        assert counts["decl"] == 2
+
+    def test_addl2_for_accumulating_assignment(self):
+        counts = self.counts(
+            "int x; int y; int main() { x += y; x = x + y; return 0; }")
+        assert counts["addl2"] == 2
+
+    def test_addl3_for_subexpression(self):
+        counts = self.counts(
+            "int x; int y; int z; int main() { x = y + z; return 0; }")
+        assert counts["addl3"] == 1
+        assert counts["movl"] >= 1
+
+    def test_compare_and_inverted_jump(self):
+        counts = self.counts("""
+            int x;
+            int main() { if (x < 5) x = 1; return 0; }
+        """)
+        assert counts["cmpl"] == 1
+        assert counts["jgeq"] == 1  # branch around on the inverse
+
+    def test_bitl_for_mask_test(self):
+        counts = self.counts("""
+            int x;
+            int main() { if (x & 1) x = 1; return 0; }
+        """)
+        assert counts["bitl"] == 1
+        assert counts["jeql"] == 1
+
+    def test_loop_shape(self):
+        counts = self.counts("""
+            int main() { int s = 0;
+                for (int i = 0; i < 10; i++) s += i; return s; }
+        """)
+        assert counts["jbr"] == 10  # back edges
+        assert counts["cmpl"] == 11  # 10 passes + 1 failing test
+        assert counts["incl"] == 10
+
+    def test_calls_and_ret(self):
+        counts = self.counts("""
+            int f(int a) { return a; }
+            int main() { return f(1) + f(2); }
+        """)
+        assert counts["calls"] == 3  # main + two calls of f
+        assert counts["ret"] == 3
+        assert counts["pushl"] == 2
+
+
+class TestVaxSemantics:
+    """The VAX model doubles as an independent mini-C interpreter."""
+
+    def test_return_value(self):
+        result = run_vax_model("int main() { return 6 * 7; }")
+        assert result.return_value == 42
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_agrees_with_crisp_toolchain(self, name):
+        # triple-entente differential: the AST interpreter must compute
+        # the same checksum as compiled code on the functional simulator
+        source = SUITE[name].source
+        vax = run_vax_model(source)
+        crisp = run_program(compile_source(source))
+        assert to_s32(vax.return_value) == to_s32(crisp.state.accum), name
+
+    def test_array_oob_detected(self):
+        with pytest.raises(IndexError):
+            run_vax_model("""
+                int a[4];
+                int main() { int i = 9; return a[i]; }
+            """)
+
+    def test_instruction_budget(self):
+        model = VaxModel(parse("int main() { while (1) ; return 0; }"),
+                         max_instructions=1000)
+        with pytest.raises(RuntimeError):
+            model.run()
+
+
+class TestVaxTable2:
+    def test_figure3_matches_paper_exactly(self):
+        # the paper's VAX column, opcode by opcode
+        result = run_vax_model(FIGURE3)
+        counts = result.opcode_counts
+        assert counts["incl"] == 2048
+        assert counts["jbr"] == 1536
+        assert counts["movl"] == 1026
+        assert counts["cmpl"] == 1025
+        assert counts["jgeq"] == 1025
+        assert counts["addl2"] == 1024
+        assert counts["bitl"] == 1024
+        assert counts["jeql"] == 1024
+        assert counts["clrl"] == 2
+        assert result.total_instructions == 9736  # paper: 9736
+
+
+class TestDelayedBranchModel:
+    def stats(self, instructions, branches):
+        stats = ExecutionStats()
+        stats.instructions = instructions
+        stats.branches = branches
+        return stats
+
+    def test_perfect_fill_still_pays_branch_slot(self):
+        # the paper's point: even with every slot filled, the branch
+        # instruction itself costs a cycle that folding eliminates
+        model = DelayedBranchModel(delay_slots=1, fill_rates=(1.0,))
+        result = model.cost(self.stats(1000, 300))
+        assert result.cycles == 1000  # branches included in the 1000
+
+    def test_unfilled_slots_cost_cycles(self):
+        model = DelayedBranchModel(delay_slots=1, fill_rates=(0.0,))
+        result = model.cost(self.stats(1000, 300))
+        assert result.cycles == 1300
+
+    def test_partial_fill(self):
+        model = DelayedBranchModel(delay_slots=2, fill_rates=(0.7, 0.25))
+        result = model.cost(self.stats(1000, 100))
+        assert result.cycles == pytest.approx(1000 + 100 * (2 - 0.95))
+
+    def test_cpi(self):
+        model = DelayedBranchModel(delay_slots=1, fill_rates=(0.5,))
+        result = model.cost(self.stats(1000, 200))
+        assert result.cpi == pytest.approx(1.1)

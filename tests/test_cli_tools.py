@@ -1,0 +1,154 @@
+"""Smoke tests for the four command-line tools."""
+
+import pytest
+
+from repro.asm.cli import main as asm_main
+from repro.eval.cli import main as eval_main
+from repro.lang.cli import main as cc_main
+from repro.sim.cli import main as sim_main
+
+ASSEMBLY = """
+        .word i, 0
+loop:   add i, $1
+        cmp.s< i, $5
+        iftjmpy loop
+        halt
+"""
+
+C_SOURCE = """
+int total;
+int main() {
+    for (int i = 0; i < 10; i++) total += i;
+    return total;
+}
+"""
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(ASSEMBLY)
+    return str(path)
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(C_SOURCE)
+    return str(path)
+
+
+class TestCrispAsm:
+    def test_listing(self, asm_file, capsys):
+        assert asm_main([asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "loop:" in out and "iftjmpy" in out
+
+    def test_error_reporting(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("jmp nowhere\n")
+        assert asm_main([str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_custom_bases(self, asm_file, capsys):
+        assert asm_main([asm_file, "--code-base", "0x2000"]) == 0
+        assert "0x2000" in capsys.readouterr().out
+
+
+class TestCrispCc:
+    def test_emit_assembly(self, c_file, capsys):
+        assert cc_main([c_file]) == 0
+        out = capsys.readouterr().out
+        assert ".entry __start" in out
+        assert "cmp.s<" in out
+
+    def test_spread_flag(self, c_file, capsys):
+        assert cc_main([c_file, "--spread"]) == 0
+
+    def test_run_flag(self, c_file, capsys):
+        assert cc_main([c_file, "--run"]) == 0
+        assert "instructions" in capsys.readouterr().out
+
+    def test_cycles_flag(self, c_file, capsys):
+        assert cc_main([c_file, "--cycles"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_prediction_modes(self, c_file):
+        for mode in ("not_taken", "taken", "heuristic", "profile"):
+            assert cc_main([c_file, "--predict", mode]) == 0
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main() { return nope; }")
+        assert cc_main([str(bad), "--run"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCrispSim:
+    def test_cycle_accurate_default(self, asm_file, capsys):
+        assert sim_main([asm_file]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_functional_mode(self, asm_file, capsys):
+        assert sim_main([asm_file, "--functional"]) == 0
+        assert "instructions" in capsys.readouterr().out
+
+    def test_no_fold(self, asm_file, capsys):
+        assert sim_main([asm_file, "--no-fold"]) == 0
+        assert "0 folded" in capsys.readouterr().out
+
+    def test_print_symbols(self, asm_file, capsys):
+        assert sim_main([asm_file, "--print-symbols"]) == 0
+        assert "i = 5" in capsys.readouterr().out
+
+    def test_config_knobs(self, asm_file):
+        assert sim_main([asm_file, "--icache", "16",
+                         "--mem-latency", "4"]) == 0
+
+
+class TestCrispTrace:
+    def test_capture_info_study(self, c_file, tmp_path, capsys):
+        from repro.trace.cli import main as trace_main
+        tape = str(tmp_path / "run.trace")
+        assert trace_main(["capture", c_file, "-o", tape,
+                           "--conditional-only"]) == 0
+        assert trace_main(["info", tape]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic branches" in out
+        assert trace_main(["study", tape]) == 0
+        assert "static-optimal" in capsys.readouterr().out
+
+    def test_capture_assembly_source(self, asm_file, tmp_path):
+        from repro.trace.cli import main as trace_main
+        tape = str(tmp_path / "asm.trace")
+        assert trace_main(["capture", asm_file, "-o", tape]) == 0
+
+    def test_classify(self, c_file, tmp_path, capsys):
+        from repro.trace.cli import main as trace_main
+        tape = str(tmp_path / "cls.trace")
+        assert trace_main(["capture", c_file, "-o", tape,
+                           "--conditional-only"]) == 0
+        assert trace_main(["classify", tape, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "class mixture" in out
+        assert "hottest" in out
+
+    def test_synthesize(self, tmp_path, capsys):
+        from repro.trace.cli import main as trace_main
+        tape = str(tmp_path / "troff.trace")
+        assert trace_main(["synthesize", "troff", "-o", tape,
+                           "--events", "2000"]) == 0
+        assert "2000" in capsys.readouterr().out
+        assert trace_main(["study", tape]) == 0
+
+
+class TestCrispEval:
+    def test_table3(self, capsys):
+        assert eval_main(["table3"]) == 0
+        assert "Branch Spreading" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert eval_main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Execution Unit" in out
+        assert "tpcmx" in out or "10-bit" in out

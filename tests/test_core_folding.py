@@ -1,0 +1,277 @@
+"""Unit tests for the branch-folding core: policy, Next-PC datapath, folder."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (
+    BranchFolder,
+    DecodedEntry,
+    FoldPolicy,
+    branch_adjust,
+    compute_next_pcs,
+    decode_entry,
+    fold_target,
+)
+from repro.isa import (
+    BranchMode,
+    BranchSpec,
+    Instruction,
+    Opcode,
+    absolute,
+    acc,
+    imm,
+    sp_off,
+)
+from repro.sim.memory import Memory
+
+
+def make_branch(opcode=Opcode.JMP, displacement=8):
+    return Instruction(opcode, (), BranchSpec(BranchMode.PC_RELATIVE, displacement))
+
+
+def one_parcel_body():
+    return Instruction(Opcode.ADD, (sp_off(0), imm(1)))
+
+
+def three_parcel_body():
+    return Instruction(Opcode.ADD, (absolute(0x8000), imm(1)))
+
+
+def five_parcel_body():
+    return Instruction(Opcode.ADD, (absolute(0x8000), imm(5000)))
+
+
+def folder_for(source, policy=None):
+    program = assemble(source)
+    memory = Memory()
+    memory.load_program(program)
+    return BranchFolder(memory.read_parcel, policy or FoldPolicy.crisp()), program
+
+
+class TestFoldPolicy:
+    def test_crisp_folds_short_bodies_with_short_branches(self):
+        policy = FoldPolicy.crisp()
+        assert policy.can_fold(one_parcel_body(), make_branch())
+        assert policy.can_fold(three_parcel_body(), make_branch())
+
+    def test_crisp_rejects_five_parcel_body(self):
+        assert not FoldPolicy.crisp().can_fold(five_parcel_body(), make_branch())
+
+    def test_crisp_rejects_long_branch(self):
+        long_branch = Instruction(
+            Opcode.JMPL, (), BranchSpec(BranchMode.ABSOLUTE, 0x2000))
+        assert not FoldPolicy.crisp().can_fold(one_parcel_body(), long_branch)
+
+    def test_crisp_folds_conditional_branches(self):
+        cond = make_branch(Opcode.IFJMP_T_Y)
+        assert FoldPolicy.crisp().can_fold(one_parcel_body(), cond)
+
+    def test_compare_body_folds(self):
+        # the paper's d=0 case: cmp folded with its own conditional branch
+        cmp_instr = Instruction(Opcode.CMP_EQ, (acc(), imm(0)))
+        assert FoldPolicy.crisp().can_fold(cmp_instr, make_branch(Opcode.IFJMP_T_Y))
+
+    def test_branch_after_branch_never_folds(self):
+        assert not FoldPolicy.crisp().can_fold(make_branch(), make_branch())
+
+    def test_return_never_folds(self):
+        assert not FoldPolicy.crisp().can_fold(
+            one_parcel_body(), Instruction(Opcode.RETURN))
+
+    def test_call_folds_only_under_fold_all(self):
+        call = Instruction(Opcode.CALL, (), BranchSpec(BranchMode.ABSOLUTE, 0x2000))
+        assert not FoldPolicy.crisp().can_fold(one_parcel_body(), call)
+        assert FoldPolicy.fold_all().can_fold(one_parcel_body(), call)
+
+    def test_indirect_never_folds(self):
+        indirect = Instruction(
+            Opcode.JMPL, (), BranchSpec(BranchMode.INDIRECT_ABS, 0x2000))
+        assert not FoldPolicy.fold_all().can_fold(one_parcel_body(), indirect)
+
+    def test_none_policy(self):
+        assert not FoldPolicy.none().can_fold(one_parcel_body(), make_branch())
+
+    def test_fold_all_accepts_five_parcel_body_and_long_branch(self):
+        policy = FoldPolicy.fold_all()
+        long_branch = Instruction(
+            Opcode.JMPL, (), BranchSpec(BranchMode.ABSOLUTE, 0x2000))
+        assert policy.can_fold(five_parcel_body(), long_branch)
+
+
+class TestBranchAdjust:
+    def test_unfolded_adjust_is_zero(self):
+        assert branch_adjust(None) == 0
+
+    def test_adjust_equals_body_length(self):
+        assert branch_adjust(one_parcel_body()) == 1
+        assert branch_adjust(three_parcel_body()) == 3
+
+    def test_adjust_overflows_two_bits_for_five_parcel_body(self):
+        # CRISP's 2-bit field cannot express a five-parcel body — the
+        # hardware reason five-parcel instructions never fold
+        with pytest.raises(ValueError):
+            branch_adjust(five_parcel_body(), field_bits=2)
+        # the fold-everything ablation models a wider field
+        assert branch_adjust(five_parcel_body()) == 5
+
+    def test_fold_target_rebases_offset(self):
+        # branch at body_pc+2 with displacement +8 targets body_pc+10
+        body = one_parcel_body()
+        target = fold_target(0x1000, body, make_branch(displacement=8))
+        assert target == 0x1000 + 2 + 8
+
+    def test_fold_target_unfolded(self):
+        assert fold_target(0x1000, None, make_branch(displacement=8)) == 0x1008
+
+    def test_fold_target_three_parcel_body(self):
+        target = fold_target(0x1000, three_parcel_body(),
+                             make_branch(displacement=-4))
+        assert target == 0x1000 + 6 - 4
+
+
+class TestComputeNextPcs:
+    def test_plain_instruction_sequential(self):
+        next_pc, alt = compute_next_pcs(0x1000, one_parcel_body(), None, 2)
+        assert (next_pc, alt) == (0x1002, None)
+
+    def test_unconditional_branch(self):
+        next_pc, alt = compute_next_pcs(0x1000, None, make_branch(displacement=12), 2)
+        assert (next_pc, alt) == (0x100C, None)
+
+    def test_conditional_predicted_taken(self):
+        branch = make_branch(Opcode.IFJMP_T_Y, 12)
+        next_pc, alt = compute_next_pcs(0x1000, None, branch, 2)
+        assert (next_pc, alt) == (0x100C, 0x1002)
+
+    def test_conditional_predicted_not_taken(self):
+        branch = make_branch(Opcode.IFJMP_T_N, 12)
+        next_pc, alt = compute_next_pcs(0x1000, None, branch, 2)
+        assert (next_pc, alt) == (0x1002, 0x100C)
+
+    def test_folded_conditional_uses_entry_length_for_sequential(self):
+        branch = make_branch(Opcode.IFJMP_F_Y, 20)
+        body = one_parcel_body()
+        next_pc, alt = compute_next_pcs(0x1000, body, branch, 4)
+        # taken path: entry_pc + adjust(1 parcel) + 20; sequential: pc + 4
+        assert (next_pc, alt) == (0x1000 + 2 + 20, 0x1004)
+
+    def test_return_is_dynamic(self):
+        next_pc, alt = compute_next_pcs(0x1000, None, Instruction(Opcode.RETURN), 2)
+        assert (next_pc, alt) == (None, None)
+
+    def test_indirect_is_dynamic(self):
+        indirect = Instruction(
+            Opcode.JMPL, (), BranchSpec(BranchMode.INDIRECT_SP, 4))
+        next_pc, alt = compute_next_pcs(0x1000, None, indirect, 6)
+        assert (next_pc, alt) == (None, None)
+
+
+class TestDecodedEntry:
+    def test_requires_content(self):
+        with pytest.raises(ValueError):
+            DecodedEntry(0, None, None, None, None, 2)
+
+    def test_body_must_not_be_branch(self):
+        with pytest.raises(ValueError):
+            DecodedEntry(0, make_branch(), None, 4, None, 2)
+
+    def test_control_bits(self):
+        cmp_instr = Instruction(Opcode.CMP_EQ, (acc(), imm(0)))
+        branch = make_branch(Opcode.IFJMP_T_Y, 8)
+        entry = DecodedEntry(0x1000, cmp_instr, branch, 0x100A, 0x1004, 4)
+        assert entry.sets_cc
+        assert entry.uses_cc
+        assert entry.is_folded
+        assert entry.folds_compare_and_branch
+        assert entry.predicted_taken
+        assert not entry.dynamic_target
+
+    def test_taken_when(self):
+        branch = make_branch(Opcode.IFJMP_F_Y, 8)
+        entry = DecodedEntry(0x1000, None, branch, 0x1008, 0x1002, 2)
+        assert entry.taken_when(False)
+        assert not entry.taken_when(True)
+
+
+class TestFolderOnPrograms:
+    def test_folds_add_with_jmp(self):
+        folder, program = folder_for("""
+            add 0(sp), $1
+            jmp target
+            nop
+target:     halt
+        """)
+        entry = folder.decode(program.addresses[0])
+        assert entry.is_folded
+        assert entry.body.opcode is Opcode.ADD
+        assert entry.branch.opcode is Opcode.JMP
+        assert entry.next_pc == program.symbols["target"]
+
+    def test_standalone_branch_entry(self):
+        folder, program = folder_for("""
+start:      jmp start
+        """)
+        entry = folder.decode(program.addresses[0])
+        assert entry.body is None
+        assert entry.next_pc == program.addresses[0]
+
+    def test_no_fold_when_disabled(self):
+        folder, program = folder_for("""
+            add 0(sp), $1
+            jmp target
+target:     halt
+        """, policy=FoldPolicy.none())
+        entry = folder.decode(program.addresses[0])
+        assert not entry.is_folded
+        assert entry.next_pc == program.addresses[1]
+
+    def test_jump_into_folded_branch_decodes_standalone(self):
+        folder, program = folder_for("""
+            add 0(sp), $1
+            jmp target
+            nop
+target:     halt
+        """)
+        branch_address = program.addresses[1]
+        entry = folder.decode(branch_address)
+        assert entry.body is None
+        assert entry.branch.opcode is Opcode.JMP
+        # standalone decode: offset is branch-relative with zero adjust
+        assert entry.next_pc == program.symbols["target"]
+
+    def test_folded_conditional_carries_both_paths(self):
+        folder, program = folder_for("""
+            cmp.= Accum, $0
+            iftjmpy target
+            nop
+target:     halt
+        """)
+        entry = folder.decode(program.addresses[0])
+        assert entry.folds_compare_and_branch
+        assert entry.next_pc == program.symbols["target"]  # predicted taken
+        assert entry.alt_pc == program.addresses[2]  # fall-through to nop
+
+    def test_last_instruction_decodes_without_follower(self):
+        folder, program = folder_for("halt")
+        entry = folder.decode(program.addresses[0])
+        assert entry.body.opcode is Opcode.HALT
+        assert not entry.is_folded
+
+    def test_parcels_needed_includes_fold_peek(self):
+        folder, program = folder_for("""
+            add 0(sp), $1
+            jmp next
+next:       halt
+        """)
+        assert folder.parcels_needed(program.addresses[0]) == 2  # body + peek
+        assert folder.parcels_needed(program.addresses[1]) == 1  # branch alone
+
+    def test_five_parcel_body_never_peeks(self):
+        folder, program = folder_for("""
+            mov *0x8000, $5000
+            jmp next
+next:       halt
+        """)
+        assert folder.parcels_needed(program.addresses[0]) == 5
+        entry = folder.decode(program.addresses[0])
+        assert not entry.is_folded

@@ -1,0 +1,50 @@
+"""Tests for the design-space sweep framework."""
+
+import pytest
+
+from repro.eval.sweeps import (
+    Sweep,
+    fold_policy_sweep,
+    icache_sweep,
+    latency_sweep,
+    run_grid,
+)
+from repro.sim.cpu import CpuConfig
+
+WORKLOADS = ["alternating"]
+
+
+@pytest.fixture(scope="module")
+def fold_sweep():
+    return fold_policy_sweep(WORKLOADS)
+
+
+class TestSweeps:
+    def test_grid_shape(self):
+        sweep = run_grid(WORKLOADS, {"a": CpuConfig(), "b": CpuConfig()})
+        assert len(sweep.points) == 2
+        assert {p.label for p in sweep.points} == {"a", "b"}
+
+    def test_fold_policy_ordering(self, fold_sweep):
+        table = fold_sweep.cycles_table()["alternating"]
+        assert table["crisp"] < table["none"]
+        assert table["all"] <= table["crisp"]
+
+    def test_icache_sweep_monotone(self):
+        sweep = icache_sweep(WORKLOADS, sizes=(8, 32, 128))
+        table = sweep.cycles_table()["alternating"]
+        assert table["i128"] <= table["i32"] <= table["i8"]
+
+    def test_latency_sweep_monotone(self):
+        sweep = latency_sweep(WORKLOADS, latencies=(1, 8))
+        table = sweep.cycles_table()["alternating"]
+        assert table["m1"] <= table["m8"]
+
+    def test_query_helpers(self, fold_sweep):
+        assert len(fold_sweep.for_workload("alternating")) == 3
+        assert len(fold_sweep.by_label("crisp")) == 1
+
+    def test_formatting(self, fold_sweep):
+        text = fold_sweep.format()
+        assert "alternating" in text
+        assert "crisp" in text

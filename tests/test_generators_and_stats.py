@@ -1,0 +1,119 @@
+"""Coverage for the parametric workload generators, pipeline-statistics
+derivations, and Program utilities."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa.parcels import to_s32
+from repro.lang import compile_source
+from repro.sim.cpu import run_cycle_accurate
+from repro.sim.functional import run_program
+from repro.sim.stats import ExecutionStats, PipelineStats
+from repro.workloads.generators import (
+    biased_branches,
+    branchy_loop,
+    working_set,
+)
+
+
+class TestGenerators:
+    def test_branchy_loop_computes_correctly(self):
+        simulator = run_program(compile_source(branchy_loop(3, 10)))
+        expected = sum((k % 7) for k in range(3)) * 10
+        assert to_s32(simulator.state.accum) == expected
+
+    def test_branchy_loop_density_controls_fraction(self):
+        sparse = run_program(compile_source(branchy_loop(16, 50)))
+        dense = run_program(compile_source(branchy_loop(1, 50)))
+        assert dense.stats.branch_fraction > sparse.stats.branch_fraction
+
+    def test_biased_branches_counts(self):
+        simulator = run_program(compile_source(biased_branches(10, 100)))
+        assert simulator.read_symbol("rare") == 10
+        assert simulator.read_symbol("common") == 90
+
+    def test_biased_branches_period_two_alternates(self):
+        from repro.trace import capture_trace
+        from repro.trace.analyze import profile_trace
+        program = compile_source(biased_branches(2, 200))
+        profile = profile_trace(capture_trace(program))
+        classes = [site.classification
+                   for site in profile.sites.values()
+                   if site.executions >= 150]
+        assert "alternating" in classes
+
+    def test_working_set_scales_code_size(self):
+        small = compile_source(working_set(4, 5))
+        large = compile_source(working_set(40, 5))
+        assert len(large.instructions) > len(small.instructions) + 30
+
+    def test_working_set_result_consistent(self):
+        simulator = run_program(compile_source(working_set(8, 3)))
+        expected = sum((k % 5) for k in range(8)) * 3
+        assert to_s32(simulator.state.accum) == expected
+
+
+class TestPipelineStatsDerivations:
+    def test_breakdown_sums_to_one_on_real_run(self):
+        cpu = run_cycle_accurate(compile_source(branchy_loop(2, 50)))
+        breakdown = cpu.stats.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["issue"] > 0.5
+
+    def test_empty_stats_are_safe(self):
+        stats = PipelineStats()
+        assert stats.issued_cpi == 0.0
+        assert stats.apparent_cpi == 0.0
+        assert stats.apparent_ipc == 0.0
+        assert stats.icache_hit_rate == 0.0
+        assert "0 cycles" in stats.summary()
+
+    def test_execution_stats_empty(self):
+        stats = ExecutionStats()
+        assert stats.branch_fraction == 0.0
+        assert stats.one_parcel_branch_fraction == 0.0
+        assert stats.table() == []
+
+    def test_opcode_table_percentages(self):
+        stats = ExecutionStats()
+        for _ in range(3):
+            stats.record("add", is_branch=False, is_conditional=False,
+                         taken=False, one_parcel=True)
+        stats.record("jmp", is_branch=True, is_conditional=False,
+                     taken=True, one_parcel=True)
+        rows = stats.table()
+        assert rows[0] == ("add", 3, 75.0)
+        assert rows[1] == ("jmp", 1, 25.0)
+
+
+class TestProgramUtilities:
+    PROGRAM = """
+        .entry main
+        .word counter, 5
+main:   add counter, $1
+        halt
+    """
+
+    def test_code_end(self):
+        program = assemble(self.PROGRAM)
+        assert program.code_end == program.addresses[-1] + 2
+
+    def test_instruction_at(self):
+        program = assemble(self.PROGRAM)
+        instruction = program.instruction_at(program.entry)
+        assert instruction.opcode.value == "add"
+        with pytest.raises(KeyError):
+            program.instruction_at(program.entry + 1)
+
+    def test_symbol_lookup(self):
+        program = assemble(self.PROGRAM)
+        assert program.symbol("counter") == 0x8000
+        assert program.symbol("main") == program.entry
+
+    def test_empty_program_code_end(self):
+        program = assemble("")
+        assert program.code_end == program.code_base
+
+    def test_data_image_initial_values(self):
+        program = assemble(self.PROGRAM)
+        assert program.data_image()[0x8000] == 5

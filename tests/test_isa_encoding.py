@@ -1,0 +1,200 @@
+"""Unit and property tests for instruction encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    BranchMode,
+    BranchSpec,
+    Instruction,
+    Opcode,
+    absolute,
+    acc,
+    acc_ind,
+    imm,
+    sp_off,
+)
+from repro.isa.encoding import (
+    EncodingError,
+    decode_instruction,
+    encode_instruction,
+    encode_program,
+    instruction_length,
+)
+from repro.isa.instructions import nop, halt
+from repro.isa.opcodes import OpClass, is_short_branch_opcode, opcode_class
+
+
+def roundtrip(instruction):
+    parcels = encode_instruction(instruction)
+    decoded = decode_instruction(parcels)
+    assert decoded == instruction, f"{instruction} != {decoded}"
+    assert instruction_length(parcels[0]) == len(parcels)
+    assert len(parcels) == instruction.length_parcels()
+    return parcels
+
+
+class TestRoundtripExamples:
+    def test_one_parcel_alu(self):
+        roundtrip(Instruction(Opcode.ADD, (sp_off(4), imm(1))))
+
+    def test_unary_ops(self):
+        roundtrip(Instruction(Opcode.NOT, (acc(), sp_off(8))))
+        roundtrip(Instruction(Opcode.NEG, (sp_off(0), acc())))
+
+    def test_absolute_operand(self):
+        parcels = roundtrip(Instruction(Opcode.ADD, (absolute(0x1234), imm(1))))
+        assert len(parcels) == 3
+
+    def test_two_extensions(self):
+        parcels = roundtrip(
+            Instruction(Opcode.MOV, (absolute(0xDEADBEE0), imm(0x123456))))
+        assert len(parcels) == 5
+
+    def test_negative_immediate_extension(self):
+        roundtrip(Instruction(Opcode.ADD, (acc(), imm(-1000))))
+
+    def test_large_sp_offset(self):
+        roundtrip(Instruction(Opcode.MOV, (sp_off(4096), acc())))
+
+    def test_acc_indirect(self):
+        roundtrip(Instruction(Opcode.MOV, (acc_ind(), sp_off(4))))
+
+    def test_all_compares(self):
+        for opcode in Opcode:
+            if opcode.value.startswith("cmp"):
+                roundtrip(Instruction(opcode, (sp_off(0), imm(5))))
+
+    def test_three_op_alu(self):
+        roundtrip(Instruction(Opcode.AND3, (sp_off(4), imm(1))))
+
+    def test_short_jmp(self):
+        parcels = roundtrip(
+            Instruction(Opcode.JMP, (), BranchSpec(BranchMode.PC_RELATIVE, -8)))
+        assert len(parcels) == 1
+
+    def test_short_jmp_extremes(self):
+        roundtrip(Instruction(Opcode.JMP, (), BranchSpec(BranchMode.PC_RELATIVE, -1024)))
+        roundtrip(Instruction(Opcode.JMP, (), BranchSpec(BranchMode.PC_RELATIVE, 1022)))
+
+    def test_short_conditional_jumps(self):
+        for opcode in (Opcode.IFJMP_T_Y, Opcode.IFJMP_T_N,
+                       Opcode.IFJMP_F_Y, Opcode.IFJMP_F_N):
+            roundtrip(Instruction(opcode, (), BranchSpec(BranchMode.PC_RELATIVE, 16)))
+
+    def test_long_jmp_modes(self):
+        for mode, value in ((BranchMode.ABSOLUTE, 0x12345678),
+                            (BranchMode.INDIRECT_ABS, 0x2000),
+                            (BranchMode.INDIRECT_SP, 24)):
+            parcels = roundtrip(Instruction(Opcode.JMPL, (), BranchSpec(mode, value)))
+            assert len(parcels) == 3
+
+    def test_call(self):
+        roundtrip(Instruction(Opcode.CALL, (), BranchSpec(BranchMode.ABSOLUTE, 0x1000)))
+
+    def test_return_nop_halt(self):
+        roundtrip(Instruction(Opcode.RETURN))
+        roundtrip(nop())
+        roundtrip(halt())
+
+    def test_enter_both_forms(self):
+        assert len(roundtrip(Instruction(Opcode.ENTER, (imm(0),)))) == 1
+        assert len(roundtrip(Instruction(Opcode.ENTER, (imm(1022),)))) == 1
+        assert len(roundtrip(Instruction(Opcode.ENTER, (imm(1023),)))) == 3
+        assert len(roundtrip(Instruction(Opcode.ENTER, (imm(70000),)))) == 3
+
+
+class TestErrors:
+    def test_truncated_stream(self):
+        parcels = encode_instruction(
+            Instruction(Opcode.ADD, (absolute(0x1000), imm(1))))
+        with pytest.raises(EncodingError):
+            decode_instruction(parcels[:2])
+
+    def test_decode_past_end(self):
+        with pytest.raises(EncodingError):
+            decode_instruction([], 0)
+
+    def test_illegal_opcode_index(self):
+        with pytest.raises(EncodingError):
+            decode_instruction([0x3F << 10])
+
+
+class TestProgramEncoding:
+    def test_program_concatenation(self):
+        program = [
+            Instruction(Opcode.ENTER, (imm(8),)),
+            Instruction(Opcode.MOV, (sp_off(0), imm(0))),
+            Instruction(Opcode.ADD, (sp_off(0), imm(1))),
+            halt(),
+        ]
+        parcels = encode_program(program)
+        assert len(parcels) == sum(i.length_parcels() for i in program)
+        # decode back sequentially
+        decoded, offset = [], 0
+        while offset < len(parcels):
+            instr = decode_instruction(parcels, offset)
+            decoded.append(instr)
+            offset += instr.length_parcels()
+        assert decoded == program
+
+
+# ---- property-based roundtrip over the whole instruction space ----------
+
+_short_operands = st.one_of(
+    st.builds(imm, st.integers(-8, 7)),
+    st.builds(sp_off, st.integers(0, 9).map(lambda k: k * 4)),
+    st.just(acc()),
+    st.just(acc_ind()),
+)
+_long_operands = st.one_of(
+    st.builds(imm, st.integers(-(2 ** 31), 2 ** 31 - 1)),
+    st.builds(absolute, st.integers(0, 2 ** 32 - 1)),
+    st.builds(sp_off, st.integers(0, 2 ** 20)),
+)
+_operands = st.one_of(_short_operands, _long_operands)
+_writable = _operands.filter(lambda op: op.is_writable)
+
+_alu2_opcodes = st.sampled_from(
+    [op for op in Opcode if opcode_class(op) is OpClass.ALU2])
+_alu3_cmp_opcodes = st.sampled_from(
+    [op for op in Opcode
+     if opcode_class(op) in (OpClass.ALU3, OpClass.CMP)])
+_short_branch_opcodes = st.sampled_from(
+    [op for op in Opcode
+     if is_short_branch_opcode(op)])
+
+_instructions = st.one_of(
+    st.builds(lambda op, a, b: Instruction(op, (a, b)),
+              _alu2_opcodes, _writable, _operands),
+    st.builds(lambda op, a, b: Instruction(op, (a, b)),
+              _alu3_cmp_opcodes, _operands, _operands),
+    st.builds(
+        lambda op, d: Instruction(op, (), BranchSpec(BranchMode.PC_RELATIVE, d * 2)),
+        _short_branch_opcodes, st.integers(-512, 511)),
+    st.builds(
+        lambda v: Instruction(Opcode.JMPL, (), BranchSpec(BranchMode.ABSOLUTE, v)),
+        st.integers(0, 2 ** 32 - 1)),
+    st.builds(lambda v: Instruction(Opcode.ENTER, (imm(v),)),
+              st.integers(0, 2 ** 20)),
+)
+
+
+class TestPropertyRoundtrip:
+    @given(_instructions)
+    def test_encode_decode_roundtrip(self, instruction):
+        roundtrip(instruction)
+
+    @given(_instructions)
+    def test_length_is_architectural(self, instruction):
+        assert instruction.length_parcels() in (1, 3, 5)
+
+    @given(st.lists(_instructions, max_size=20))
+    def test_stream_decode(self, program):
+        parcels = encode_program(program)
+        decoded, offset = [], 0
+        while offset < len(parcels):
+            instr = decode_instruction(parcels, offset)
+            decoded.append(instr)
+            offset += instr.length_parcels()
+        assert decoded == program

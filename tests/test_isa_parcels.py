@@ -1,0 +1,77 @@
+"""Unit tests for parcel-level utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.parcels import (
+    SHORT_BRANCH_MAX,
+    SHORT_BRANCH_MIN,
+    fits_short_branch,
+    join_parcels,
+    split_word,
+    to_s10,
+    to_s32,
+    to_u16,
+    to_u32,
+)
+
+
+class TestTruncation:
+    def test_u16_masks_high_bits(self):
+        assert to_u16(0x12345) == 0x2345
+
+    def test_u16_preserves_in_range(self):
+        assert to_u16(0xFFFF) == 0xFFFF
+
+    def test_u32_masks_high_bits(self):
+        assert to_u32(0x1_0000_0001) == 1
+
+    def test_s32_positive(self):
+        assert to_s32(5) == 5
+
+    def test_s32_negative(self):
+        assert to_s32(0xFFFFFFFF) == -1
+
+    def test_s32_min(self):
+        assert to_s32(0x80000000) == -0x80000000
+
+    def test_s10_positive(self):
+        assert to_s10(0x1FF) == 511
+
+    def test_s10_negative(self):
+        assert to_s10(0x3FF) == -1
+
+    def test_s10_min(self):
+        assert to_s10(0x200) == -512
+
+
+class TestShortBranchRange:
+    def test_paper_range_endpoints(self):
+        # the paper: "a range of -1024 to +1022 bytes"
+        assert fits_short_branch(SHORT_BRANCH_MIN)
+        assert fits_short_branch(SHORT_BRANCH_MAX)
+
+    def test_out_of_range(self):
+        assert not fits_short_branch(SHORT_BRANCH_MIN - 2)
+        assert not fits_short_branch(SHORT_BRANCH_MAX + 2)
+
+    def test_unaligned_rejected(self):
+        assert not fits_short_branch(3)
+
+    def test_zero_displacement(self):
+        assert fits_short_branch(0)
+
+
+class TestWordSplitJoin:
+    def test_roundtrip_example(self):
+        high, low = split_word(0xDEADBEEF)
+        assert (high, low) == (0xDEAD, 0xBEEF)
+        assert join_parcels(high, low) == 0xDEADBEEF
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, word):
+        assert join_parcels(*split_word(word)) == word
+
+    @given(st.integers())
+    def test_s32_u32_consistency(self, value):
+        assert to_u32(to_s32(value)) == to_u32(value)

@@ -1,0 +1,110 @@
+"""Property tests of the architectural ALU and condition functions
+against plain-Python reference semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import (
+    ALU_FUNCTIONS,
+    CONDITION_FUNCTIONS,
+    Condition,
+    Opcode,
+)
+from repro.isa.parcels import to_s32, to_u32
+
+words = st.integers(0, 2 ** 32 - 1)
+nonzero_words = words.filter(lambda w: w != 0)
+
+
+class TestAluProperties:
+    @given(words, words)
+    def test_add_wraps(self, a, b):
+        assert to_u32(ALU_FUNCTIONS[Opcode.ADD](a, b)) == (a + b) % 2 ** 32
+
+    @given(words, words)
+    def test_sub_is_add_of_negation(self, a, b):
+        sub = to_u32(ALU_FUNCTIONS[Opcode.SUB](a, b))
+        neg = to_u32(ALU_FUNCTIONS[Opcode.NEG](0, b))
+        assert sub == to_u32(ALU_FUNCTIONS[Opcode.ADD](a, neg))
+
+    @given(words, nonzero_words)
+    def test_signed_division_identity(self, a, b):
+        quotient = to_s32(to_u32(ALU_FUNCTIONS[Opcode.DIV](a, b)))
+        remainder = to_s32(to_u32(ALU_FUNCTIONS[Opcode.REM](a, b)))
+        sa, sb = to_s32(a), to_s32(b)
+        if abs(sa) < 2 ** 31 - 1:  # skip the INT_MIN/-1 overflow corner
+            assert quotient * sb + remainder == sa
+            assert abs(remainder) < abs(sb)
+            # C truncation: remainder has the dividend's sign (or is 0)
+            assert remainder == 0 or (remainder < 0) == (sa < 0)
+
+    @given(words, nonzero_words)
+    def test_unsigned_division_identity(self, a, b):
+        quotient = to_u32(ALU_FUNCTIONS[Opcode.UDIV](a, b))
+        remainder = to_u32(ALU_FUNCTIONS[Opcode.UREM](a, b))
+        assert quotient * b + remainder == a
+        assert remainder < b
+
+    @given(words, st.integers(0, 31))
+    def test_shift_relationships(self, a, count):
+        logical = to_u32(ALU_FUNCTIONS[Opcode.SHR](a, count))
+        arithmetic = to_u32(ALU_FUNCTIONS[Opcode.SAR](a, count))
+        if to_s32(a) >= 0:
+            assert logical == arithmetic
+        else:
+            assert arithmetic >= logical
+
+    @given(words, st.integers(32, 1000))
+    def test_shift_count_uses_low_five_bits(self, a, count):
+        assert to_u32(ALU_FUNCTIONS[Opcode.SHL](a, count)) \
+            == to_u32(ALU_FUNCTIONS[Opcode.SHL](a, count & 31))
+
+    @given(words)
+    def test_not_is_involution(self, a):
+        once = to_u32(ALU_FUNCTIONS[Opcode.NOT](0, a))
+        twice = to_u32(ALU_FUNCTIONS[Opcode.NOT](0, once))
+        assert twice == a
+
+    @given(words, words)
+    def test_three_operand_forms_agree_with_two_operand(self, a, b):
+        for two, three in ((Opcode.ADD, Opcode.ADD3),
+                           (Opcode.MUL, Opcode.MUL3),
+                           (Opcode.XOR, Opcode.XOR3),
+                           (Opcode.SAR, Opcode.SAR3)):
+            assert to_u32(ALU_FUNCTIONS[two](a, b)) \
+                == to_u32(ALU_FUNCTIONS[three](a, b))
+
+
+class TestConditionProperties:
+    @given(words, words)
+    def test_trichotomy_signed(self, a, b):
+        lt = CONDITION_FUNCTIONS[Condition.SLT](a, b)
+        gt = CONDITION_FUNCTIONS[Condition.SGT](a, b)
+        eq = CONDITION_FUNCTIONS[Condition.EQ](a, b)
+        assert lt + gt + eq == 1
+
+    @given(words, words)
+    def test_trichotomy_unsigned(self, a, b):
+        lt = CONDITION_FUNCTIONS[Condition.ULT](a, b)
+        gt = CONDITION_FUNCTIONS[Condition.UGT](a, b)
+        eq = CONDITION_FUNCTIONS[Condition.EQ](a, b)
+        assert lt + gt + eq == 1
+
+    @given(words, words)
+    def test_complements(self, a, b):
+        assert CONDITION_FUNCTIONS[Condition.SLE](a, b) \
+            != CONDITION_FUNCTIONS[Condition.SGT](a, b)
+        assert CONDITION_FUNCTIONS[Condition.UGE](a, b) \
+            != CONDITION_FUNCTIONS[Condition.ULT](a, b)
+        assert CONDITION_FUNCTIONS[Condition.EQ](a, b) \
+            != CONDITION_FUNCTIONS[Condition.NE](a, b)
+
+    @given(words, words)
+    def test_signed_unsigned_agree_on_same_sign(self, a, b):
+        if (a >> 31) == (b >> 31):
+            assert CONDITION_FUNCTIONS[Condition.SLT](a, b) \
+                == CONDITION_FUNCTIONS[Condition.ULT](a, b)
+
+    def test_signed_unsigned_differ_across_signs(self):
+        minus_one, one = 0xFFFFFFFF, 1
+        assert CONDITION_FUNCTIONS[Condition.SLT](minus_one, one)
+        assert not CONDITION_FUNCTIONS[Condition.ULT](minus_one, one)

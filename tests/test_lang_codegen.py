@@ -1,0 +1,333 @@
+"""End-to-end compiler tests: compile mini-C, run, check results.
+
+These execute on the functional simulator, so they validate the whole
+stack: lexer → parser → sema → codegen → assembler → simulator.
+"""
+
+import pytest
+
+from repro.lang import CompilerOptions, PredictionMode, compile_source
+from repro.lang.compiler import compile_to_assembly
+from repro.sim.functional import run_program
+
+
+def run_main(source, **option_kwargs):
+    """Compile, run, and return main()'s value (left in the accumulator)."""
+    options = CompilerOptions(**option_kwargs) if option_kwargs else None
+    program = compile_source(source, options)
+    simulator = run_program(program)
+    from repro.isa.parcels import to_s32
+    return to_s32(simulator.state.accum)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run_main("int main() { return 2 + 3 * 4 - 1; }") == 13
+
+    def test_division_and_remainder(self):
+        assert run_main("int main() { return 17 / 5; }") == 3
+        assert run_main("int main() { return 17 % 5; }") == 2
+        assert run_main("int main() { int a = -17; return a / 5; }") == -3
+        assert run_main("int main() { int a = -17; return a % 5; }") == -2
+
+    def test_bitwise(self):
+        assert run_main("int main() { return (12 & 10) | (1 ^ 3); }") == 10
+        assert run_main("int main() { int x = 5; return x << 2; }") == 20
+        assert run_main("int main() { int x = -16; return x >> 2; }") == -4
+
+    def test_unary(self):
+        assert run_main("int main() { int x = 5; return -x; }") == -5
+        assert run_main("int main() { int x = 0; return !x; }") == 1
+        assert run_main("int main() { int x = 7; return !x; }") == 0
+        assert run_main("int main() { int x = 0; return ~x; }") == -1
+
+    def test_comparisons_as_values(self):
+        assert run_main("int main() { int a = 3; return (a < 5) + (a > 5); }") == 1
+        assert run_main("int main() { int a = 5; return a == 5; }") == 1
+        assert run_main("int main() { int a = 5; return a != 5; }") == 0
+
+    def test_logical_short_circuit(self):
+        # the right side would divide by zero if evaluated
+        source = """
+            int zero;
+            int main() { return zero && (1 / zero); }
+        """
+        assert run_main(source) == 0
+
+    def test_logical_or_value(self):
+        assert run_main("int main() { int a = 0; return a || 7; }") == 1
+
+    def test_ternary(self):
+        assert run_main("int main() { int a = 1; return a ? 10 : 20; }") == 10
+        assert run_main("int main() { int a = 0; return a ? 10 : 20; }") == 20
+
+    def test_chained_assignment(self):
+        assert run_main("""
+            int main() { int a; int b; int c; a = b = c = 4; return a+b+c; }
+        """) == 12
+
+    def test_compound_assignment(self):
+        assert run_main("""
+            int main() {
+                int a = 10;
+                a += 5; a -= 3; a *= 2; a /= 4; a %= 4; a <<= 3; a |= 1;
+                return a;
+            }
+        """) == ((((10 + 5 - 3) * 2 // 4) % 4) << 3) | 1
+
+    def test_increment_decrement(self):
+        assert run_main("""
+            int main() {
+                int i = 5;
+                int a = i++;
+                int b = ++i;
+                int c = i--;
+                int d = --i;
+                return 1000*a + 100*b + 10*c + d;
+            }
+        """) == 1000 * 5 + 100 * 7 + 10 * 7 + 5
+
+    def test_deeply_nested_expression(self):
+        assert run_main(
+            "int main() { return ((1+2)*(3+4)) - ((5-2)*(2+2)); }") == 9
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = """
+            int main() {
+                int x = %d;
+                if (x > 5) return 1; else return 2;
+            }
+        """
+        assert run_main(source % 9) == 1
+        assert run_main(source % 3) == 2
+
+    def test_while_loop(self):
+        assert run_main("""
+            int main() {
+                int i = 0; int sum = 0;
+                while (i < 10) { sum += i; i++; }
+                return sum;
+            }
+        """) == 45
+
+    def test_for_loop(self):
+        assert run_main("""
+            int main() {
+                int sum = 0;
+                for (int i = 1; i <= 5; i++) sum += i * i;
+                return sum;
+            }
+        """) == 55
+
+    def test_do_while(self):
+        assert run_main("""
+            int main() {
+                int i = 10; int n = 0;
+                do { n++; i--; } while (i > 7);
+                return n;
+            }
+        """) == 3
+
+    def test_do_while_runs_once(self):
+        assert run_main("""
+            int main() { int n = 0; do n++; while (0); return n; }
+        """) == 1
+
+    def test_break_continue(self):
+        assert run_main("""
+            int main() {
+                int sum = 0;
+                for (int i = 0; i < 100; i++) {
+                    if (i % 2) continue;
+                    if (i > 10) break;
+                    sum += i;
+                }
+                return sum;
+            }
+        """) == 0 + 2 + 4 + 6 + 8 + 10
+
+    def test_nested_loops(self):
+        assert run_main("""
+            int main() {
+                int count = 0;
+                for (int i = 0; i < 4; i++)
+                    for (int j = 0; j < 3; j++)
+                        count++;
+                return count;
+            }
+        """) == 12
+
+    def test_empty_for_infinite_with_break(self):
+        assert run_main("""
+            int main() {
+                int i = 0;
+                for (;;) { i++; if (i == 7) break; }
+                return i;
+            }
+        """) == 7
+
+
+class TestFunctions:
+    def test_simple_call(self):
+        assert run_main("""
+            int double_it(int x) { return x * 2; }
+            int main() { return double_it(21); }
+        """) == 42
+
+    def test_multiple_args(self):
+        assert run_main("""
+            int weighted(int a, int b, int c) { return a + 10*b + 100*c; }
+            int main() { return weighted(1, 2, 3); }
+        """) == 321
+
+    def test_recursion_factorial(self):
+        assert run_main("""
+            int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+            int main() { return fact(6); }
+        """) == 720
+
+    def test_recursion_fibonacci(self):
+        assert run_main("""
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { return fib(10); }
+        """) == 55
+
+    def test_nested_call_arguments(self):
+        assert run_main("""
+            int add(int a, int b) { return a + b; }
+            int main() { return add(add(1, 2), add(3, 4)); }
+        """) == 10
+
+    def test_void_function_side_effect(self):
+        assert run_main("""
+            int counter;
+            void bump() { counter += 1; }
+            int main() { bump(); bump(); bump(); return counter; }
+        """) == 3
+
+    def test_params_are_local_copies(self):
+        assert run_main("""
+            int clobber(int x) { x = 99; return x; }
+            int main() { int y = 5; clobber(y); return y; }
+        """) == 5
+
+    def test_locals_isolated_across_calls(self):
+        assert run_main("""
+            int leaf(int n) { int local = n * 2; return local; }
+            int main() { int a = leaf(3); int b = leaf(4); return a + b; }
+        """) == 14
+
+
+class TestArrays:
+    def test_constant_index(self):
+        assert run_main("""
+            int a[4];
+            int main() { a[0] = 5; a[3] = 7; return a[0] + a[3]; }
+        """) == 12
+
+    def test_dynamic_index(self):
+        assert run_main("""
+            int a[10];
+            int main() {
+                for (int i = 0; i < 10; i++) a[i] = i * i;
+                int sum = 0;
+                for (int i = 0; i < 10; i++) sum += a[i];
+                return sum;
+            }
+        """) == sum(i * i for i in range(10))
+
+    def test_array_element_compound_assign(self):
+        assert run_main("""
+            int a[3];
+            int main() { int i = 1; a[i] = 10; a[i] += 5; return a[1]; }
+        """) == 15
+
+    def test_array_to_array_copy(self):
+        assert run_main("""
+            int src[3]; int dst[3];
+            int main() {
+                for (int i = 0; i < 3; i++) src[i] = i + 1;
+                for (int i = 0; i < 3; i++) dst[i] = src[i];
+                return dst[0] + dst[1] + dst[2];
+            }
+        """) == 6
+
+    def test_array_index_expression(self):
+        assert run_main("""
+            int a[8];
+            int main() { int i = 2; a[i * 2 + 1] = 9; return a[5]; }
+        """) == 9
+
+    def test_array_increment(self):
+        assert run_main("""
+            int a[2];
+            int main() { int i = 0; a[i]++; a[i]++; return a[0]; }
+        """) == 2
+
+
+class TestGlobals:
+    def test_initializers(self):
+        assert run_main("""
+            int a = 7; int b = -2;
+            int main() { return a + b; }
+        """) == 5
+
+    def test_globals_persist_across_calls(self):
+        assert run_main("""
+            int total;
+            int accumulate(int x) { total += x; return total; }
+            int main() { accumulate(5); accumulate(6); return total; }
+        """) == 11
+
+
+class TestCompilerOptionsMatrix:
+    SOURCE = """
+        int odd; int even;
+        int main() {
+            int sum = 0;
+            for (int i = 0; i < 40; i++) {
+                sum += i;
+                if (i & 1) odd++; else even++;
+            }
+            return sum + odd * 1000 + even * 100000;
+        }
+    """
+    EXPECTED = sum(range(40)) + 20 * 1000 + 20 * 100000
+
+    @pytest.mark.parametrize("spreading", [False, True])
+    @pytest.mark.parametrize("prediction", [
+        PredictionMode.NOT_TAKEN, PredictionMode.TAKEN,
+        PredictionMode.HEURISTIC, PredictionMode.PROFILE])
+    def test_semantics_invariant_under_options(self, spreading, prediction):
+        # spreading and prediction bits must never change results
+        assert run_main(self.SOURCE, spreading=spreading,
+                        prediction=prediction) == self.EXPECTED
+
+
+class TestAssemblyShape:
+    def test_separate_compare_and_branch(self):
+        text = compile_to_assembly("""
+            int main() { int i = 0; while (i < 10) i++; return i; }
+        """)
+        assert "cmp.s<" in text
+        assert "iftjmp" in text
+
+    def test_inplace_add_for_accumulating_assignment(self):
+        # x = x + y must become the two-operand form (paper: add sum,i)
+        text = compile_to_assembly("""
+            int sum; int i;
+            int main() { sum = sum + i; sum += i; return sum; }
+        """)
+        adds = [line for line in text.splitlines() if "add sum, i" in line]
+        assert len(adds) == 2
+
+    def test_three_operand_for_subexpression(self):
+        # the paper's and3 i,1 shape for `i & 1`
+        text = compile_to_assembly("""
+            int i;
+            int main() { if (i & 1) return 1; return 0; }
+        """)
+        assert "and3 i, $1" in text
+        assert "cmp.!= Accum, $0" in text

@@ -1,0 +1,171 @@
+"""The AST simplification pass: exactness and effectiveness."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.vax import run_vax_model
+from repro.isa.parcels import to_s32
+from repro.lang import CompilerOptions, compile_source, compile_to_assembly
+from repro.lang.parser import parse
+from repro.lang.passes.simplify import is_pure, simplify_expr, simplify_unit
+from repro.sim.functional import run_program
+
+
+def run_main(source, simplify=True):
+    options = CompilerOptions(simplify=simplify)
+    simulator = run_program(compile_source(source, options))
+    return to_s32(simulator.state.accum)
+
+
+def instruction_count(source, simplify):
+    options = CompilerOptions(simplify=simplify)
+    program = compile_source(source, options)
+    return len(program.instructions)
+
+
+def expr_of(source_expr):
+    unit = parse(f"int x; int y; int f() {{ return {source_expr}; }} "
+                 f"int main() {{ return f(); }}")
+    return unit.function("f").body.statements[0].value
+
+
+class TestPurity:
+    @pytest.mark.parametrize("expr,pure", [
+        ("x + y", True),
+        ("x < y ? x : y", True),
+        ("-(x & 3)", True),
+        ("x++", False),
+        ("x = 3", False),
+        ("f()", False),
+        ("x + f()", False),
+    ])
+    def test_is_pure(self, expr, pure):
+        unit = parse(f"int x; int y; int f() {{ return 0; }} "
+                     f"int main() {{ return 0; }}")
+        from repro.lang.parser import Parser
+        from repro.lang.lexer import tokenize
+        parser = Parser(tokenize(expr))
+        node = parser._expression()
+        assert is_pure(node) == pure
+
+
+class TestFolding:
+    def folded(self, expr):
+        node = simplify_expr(expr_of(expr))
+        from repro.lang import astnodes as ast
+        assert isinstance(node, ast.IntLiteral), expr
+        return node.value
+
+    def test_arithmetic(self):
+        assert self.folded("2 + 3 * 4") == 14
+        assert self.folded("(10 - 4) / 2") == 3
+        assert self.folded("-7 % 2") == -1
+        assert self.folded("7 << 2") == 28
+
+    def test_comparisons_and_logic(self):
+        assert self.folded("3 < 5") == 1
+        assert self.folded("1 && 0") == 0
+        assert self.folded("0 || 7") == 1
+        assert self.folded("!5") == 0
+        assert self.folded("~0") == -1
+
+    def test_ternary(self):
+        assert self.folded("1 ? 10 : 20") == 10
+        assert self.folded("0 ? 10 : 20") == 20
+
+    def test_division_by_zero_not_folded(self):
+        from repro.lang import astnodes as ast
+        node = simplify_expr(expr_of("1 / 0"))
+        assert isinstance(node, ast.Binary)  # left for runtime
+
+
+class TestIdentities:
+    def simplified_text(self, body):
+        source = f"int x; int main() {{ return {body}; }}"
+        return compile_to_assembly(source, CompilerOptions(simplify=True))
+
+    def test_additive_identity(self):
+        text = self.simplified_text("x + 0")
+        assert "add" not in text.split("main:")[1].split("return")[0] \
+            or "add3" not in text
+
+    def test_fewer_instructions(self):
+        source = """
+            int x;
+            int main() {
+                return (x * 1) + (x & -1) + (x + 0) + (x << 0);
+            }
+        """
+        assert instruction_count(source, True) \
+            < instruction_count(source, False)
+
+    def test_impure_operand_preserved(self):
+        # x++ * 0 must still increment x
+        source = """
+            int x;
+            int bump() { x++; return 0; }
+            int main() { int dead = bump() * 0; return x + dead; }
+        """
+        assert run_main(source, simplify=True) == 1
+
+    def test_dead_branch_removed(self):
+        source = """
+            int main() {
+                if (0) return 99;
+                while (0) return 98;
+                return 7;
+            }
+        """
+        assert run_main(source) == 7
+        assert instruction_count(source, True) \
+            < instruction_count(source, False)
+
+    def test_short_circuit_literals(self):
+        source = """
+            int x;
+            int boom() { x = 99; return 1; }
+            int main() { int a = 0 && boom(); int b = 1 || boom();
+                         return a + b * 10 + x; }
+        """
+        # boom() must never run: C short-circuit semantics
+        assert run_main(source) == 10
+
+
+class TestSemanticsPreserved:
+    SOURCES = [
+        "int main() { int a = 5; return (a + 0) * 1 + (0 ? 9 : a); }",
+        """
+        int arr[4];
+        int main() {
+            int i;
+            for (i = 0; i < 4; i++) arr[i] = i * 1 + 0;
+            return arr[0] + arr[1] + arr[2] + arr[3];
+        }
+        """,
+        """
+        int main() {
+            int n = 0;
+            if (1) n += 3;
+            if (2 > 3) n += 100;
+            return n + (1 && 1) + (0 || 0);
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SOURCES)))
+    def test_same_result_with_and_without(self, index):
+        source = self.SOURCES[index]
+        assert run_main(source, True) == run_main(source, False)
+
+    def test_matches_interpreter(self):
+        for source in self.SOURCES:
+            assert run_main(source, True) == to_s32(
+                run_vax_model(source).return_value)
+
+
+class TestFuzzWithSimplify:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(__import__("test_differential_fuzz").programs())
+    def test_simplify_never_changes_results(self, source):
+        assert run_main(source, True) == run_main(source, False)

@@ -1,0 +1,168 @@
+"""``unsigned`` type support: the compiler path onto the ISA's
+``cmp.u*`` comparisons, logical right shift, and unsigned divide."""
+
+import pytest
+
+from repro.baselines.vax import run_vax_model
+from repro.isa.parcels import to_s32, to_u32
+from repro.lang import compile_source, compile_to_assembly
+from repro.sim.functional import run_program
+
+
+def run_main(source):
+    simulator = run_program(compile_source(source))
+    return to_u32(simulator.state.accum)
+
+
+class TestParsing:
+    def test_forms(self):
+        from repro.lang.parser import parse
+        unit = parse("""
+            unsigned a; unsigned int b;
+            unsigned f(unsigned x, int y) { return x; }
+            int main() { unsigned c = 1; return f(c, 2); }
+        """)
+        assert unit.globals[0].is_unsigned
+        assert unit.globals[1].is_unsigned
+        f = unit.function("f")
+        assert f.returns_unsigned
+        assert f.param_unsigned == [True, False]
+
+
+class TestSemantics:
+    def test_unsigned_comparison(self):
+        # -1 as unsigned is 4294967295: greater than 100
+        assert run_main("""
+            unsigned a;
+            int main() { a = 0 - 1; return a > 100; }
+        """) == 1
+        assert run_main("""
+            int a;
+            int main() { a = 0 - 1; return a > 100; }
+        """) == 0
+
+    def test_unsigned_wins_mixed_comparison(self):
+        # C's usual arithmetic conversions: int compares as unsigned
+        assert run_main("""
+            unsigned u; int s;
+            int main() { u = 1; s = -1; return s > u; }
+        """) == 1
+
+    def test_logical_vs_arithmetic_shift(self):
+        assert run_main("""
+            unsigned a;
+            int main() { a = 0 - 16; return a >> 28; }
+        """) == 15  # logical: zero-filled
+        result = run_main("""
+            int a;
+            int main() { a = -16; return a >> 28; }
+        """)
+        assert to_s32(result) == -1  # arithmetic: sign-filled
+
+    def test_unsigned_division(self):
+        assert run_main("""
+            unsigned a;
+            int main() { a = 0 - 2; return a / 2; }
+        """) == 0x7FFFFFFF
+        assert run_main("""
+            unsigned a;
+            int main() { a = 0 - 3; return a % 10; }
+        """) == (2 ** 32 - 3) % 10
+
+    def test_signed_division_unchanged(self):
+        result = run_main("int main() { int a = -7; return a / 2; }")
+        assert to_s32(result) == -3
+
+    def test_unsigned_loop_bound(self):
+        # classic pitfall made to work: counting down with unsigned
+        assert run_main("""
+            int main() {
+                unsigned u; int n;
+                n = 0;
+                for (u = 5; u > 0; u--) n++;
+                return n;
+            }
+        """) == 5
+
+    def test_unsigned_function_result_propagates(self):
+        assert run_main("""
+            unsigned big() { unsigned x = 0 - 1; return x; }
+            int main() { return big() > 10; }
+        """) == 1
+
+    def test_unsigned_compound_assign(self):
+        assert run_main("""
+            unsigned a;
+            int main() { a = 0 - 4; a /= 4; return a == 1073741823; }
+        """) == 1
+
+    def test_unsigned_array(self):
+        assert run_main("""
+            unsigned arr[3];
+            int main() { arr[1] = 0 - 1; return arr[1] > 1000; }
+        """) == 1
+
+
+class TestCodegenShape:
+    def test_unsigned_compare_opcodes(self):
+        text = compile_to_assembly("""
+            unsigned a;
+            int main() { if (a < 5) return 1; return 0; }
+        """)
+        assert "cmp.u<" in text
+        assert "cmp.s<" not in text
+
+    def test_logical_shift_opcode(self):
+        text = compile_to_assembly("""
+            unsigned a;
+            int main() { return a >> 3; }
+        """)
+        assert "shr3" in text
+
+    def test_unsigned_divide_opcode(self):
+        text = compile_to_assembly("""
+            unsigned a;
+            int main() { a = a / 7; return a; }
+        """)
+        assert "udiv" in text
+
+    def test_equality_stays_shared(self):
+        text = compile_to_assembly("""
+            unsigned a;
+            int main() { if (a == 5) return 1; return 0; }
+        """)
+        assert "cmp.=" in text
+
+
+class TestDifferential:
+    SOURCES = [
+        """
+        unsigned h;
+        unsigned hash(unsigned x) {
+            h = x * 2654435761;
+            h ^= h >> 16;
+            return h;
+        }
+        int main() {
+            unsigned acc; int i;
+            acc = 0;
+            for (i = 1; i <= 40; i++)
+                acc += hash(i) % 1000;
+            return acc;
+        }
+        """,
+        """
+        int main() {
+            unsigned u; int count;
+            count = 0;
+            for (u = 0 - 5; u != 0; u++) count++;
+            return count;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SOURCES)))
+    def test_matches_interpreter(self, index):
+        source = self.SOURCES[index]
+        vax = run_vax_model(source)
+        assert to_u32(vax.return_value) == run_main(source)

@@ -1,0 +1,174 @@
+"""Coverage for corners the larger suites reach only incidentally:
+the disassembler, direct semantics, and compiler control-flow edges."""
+
+import pytest
+
+from repro.asm import assemble, disassemble
+from repro.asm.disassembler import format_instruction
+from repro.isa import BranchMode, BranchSpec, Instruction, Opcode, imm, sp_off
+from repro.isa.encoding import encode_instruction
+from repro.isa.parcels import to_s32
+from repro.lang import compile_source
+from repro.sim.functional import run_program
+from repro.sim.memory import Memory
+from repro.sim.semantics import MachineState, branch_decision, execute
+
+
+class TestDisassembler:
+    def test_pc_relative_target_resolved(self):
+        branch = Instruction(Opcode.JMP, (),
+                             BranchSpec(BranchMode.PC_RELATIVE, -8))
+        text = format_instruction(branch, address=0x1010)
+        assert "0x1008" in text
+
+    def test_without_address_shows_displacement(self):
+        branch = Instruction(Opcode.JMP, (),
+                             BranchSpec(BranchMode.PC_RELATIVE, -8))
+        assert "-8" in format_instruction(branch)
+
+    def test_stream_annotates_addresses(self):
+        program = assemble("nop\nmov 0(sp), $3\nhalt")
+        image = program.parcel_image()
+        parcels = [image[a] for a in sorted(image)]
+        lines = disassemble(parcels, 0x1000)
+        assert lines[0].startswith("0x1000")
+        assert "mov" in lines[1]
+
+    def test_all_operand_kinds_render(self):
+        program = assemble("""
+            .word g, 0
+            mov g, $5
+            mov Accum, g+4
+            mov (Accum), 8(sp)
+            jmp (*0x2000)
+            halt
+        """)
+        image = program.parcel_image()
+        parcels = [image[a] for a in sorted(image)]
+        text = "\n".join(disassemble(parcels, 0x1000))
+        assert "Accum" in text and "(sp)" in text and "*0x8" in text
+
+
+class TestSemanticsDirect:
+    def state(self):
+        return MachineState(Memory(), pc=0x1000, sp=0x10000)
+
+    def test_branch_decision(self):
+        taken_true = Instruction(Opcode.IFJMP_T_Y, (),
+                                 BranchSpec(BranchMode.PC_RELATIVE, 4))
+        assert branch_decision(taken_true, True)
+        assert not branch_decision(taken_true, False)
+        always = Instruction(Opcode.JMP, (),
+                             BranchSpec(BranchMode.PC_RELATIVE, 4))
+        assert branch_decision(always, False)
+
+    def test_execute_reports_control(self):
+        state = self.state()
+        result = execute(state, Instruction(Opcode.NOP), 0x1000)
+        assert result.next_pc == 0x1002 and not result.is_branch
+        call = Instruction(Opcode.CALL, (),
+                           BranchSpec(BranchMode.ABSOLUTE, 0x2000))
+        result = execute(state, call, 0x1000)
+        assert result.next_pc == 0x2000 and result.is_branch
+        assert state.memory.read_word(state.sp) == 0x1006
+
+    def test_acc_ind_write(self):
+        state = self.state()
+        state.accum = 0x9000
+        from repro.isa.operands import acc_ind
+        state.write_operand(acc_ind(), 77)
+        assert state.memory.read_word(0x9000) == 77
+
+    def test_write_to_immediate_rejected(self):
+        from repro.sim.semantics import SimulationError
+        state = self.state()
+        with pytest.raises(SimulationError):
+            state.write_operand(imm(1), 5)
+
+    def test_sp_relative_wraps_consistently(self):
+        state = self.state()
+        state.sp = 4
+        state.write_operand(sp_off(8), 3)
+        assert state.memory.read_word(12) == 3
+
+
+class TestCompilerControlFlowEdges:
+    def run_main(self, source):
+        simulator = run_program(compile_source(source))
+        return to_s32(simulator.state.accum)
+
+    def test_continue_in_while(self):
+        assert self.run_main("""
+            int main() {
+                int i = 0; int n = 0;
+                while (i < 10) { i++; if (i & 1) continue; n++; }
+                return n;
+            }
+        """) == 5
+
+    def test_continue_in_do_while(self):
+        assert self.run_main("""
+            int main() {
+                int i = 0; int n = 0;
+                do { i++; if (i == 3) continue; n++; } while (i < 6);
+                return n;
+            }
+        """) == 5
+
+    def test_break_from_while(self):
+        assert self.run_main("""
+            int main() {
+                int i = 0;
+                while (1) { if (i == 9) break; i++; }
+                return i;
+            }
+        """) == 9
+
+    def test_nested_break_targets_inner_loop(self):
+        assert self.run_main("""
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 3; i++)
+                    for (int j = 0; j < 10; j++) {
+                        if (j == 2) break;
+                        total++;
+                    }
+                return total;
+            }
+        """) == 6
+
+    def test_return_from_loop_restores_stack(self):
+        assert self.run_main("""
+            int find(int target) {
+                for (int i = 0; i < 100; i++)
+                    if (i * i >= target) return i;
+                return -1;
+            }
+            int main() { return find(26) * 10 + find(25); }
+        """) == 6 * 10 + 5
+
+    def test_empty_function_body(self):
+        assert self.run_main("""
+            void nothing() { }
+            int main() { nothing(); return 4; }
+        """) == 4
+
+    def test_deep_expression_spills(self):
+        # forces many accumulator spills through temp slots
+        assert self.run_main("""
+            int main() {
+                int a = 1; int b = 2; int c = 3; int d = 4;
+                return ((a+b)*(c+d)) + ((a*c)+(b*d)) + ((a+d)*(b+c));
+            }
+        """) == 21 + 11 + 25
+
+    def test_call_in_condition(self):
+        assert self.run_main("""
+            int check(int x) { return x > 5; }
+            int main() {
+                int n = 0;
+                for (int i = 0; i < 10; i++)
+                    if (check(i)) n++;
+                return n;
+            }
+        """) == 4

@@ -1,0 +1,191 @@
+"""Unit tests for the branch-predictor zoo."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predict import (
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+    BranchTargetBuffer,
+    CounterPredictor,
+    JumpTrace,
+    OptimalStaticPredictor,
+    PredictionStudy,
+)
+from repro.trace.events import BranchEvent
+
+
+def feed(predictor, outcomes, pc=0x1000, target=0x900):
+    for taken in outcomes:
+        predictor.observe(pc, taken, target)
+    return predictor
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        predictor = feed(AlwaysTakenPredictor(), [True, True, False, True])
+        assert predictor.accuracy == 0.75
+
+    def test_backward_taken_heuristic(self):
+        predictor = BackwardTakenPredictor()
+        predictor.observe(0x1000, True, 0x900)  # backward, taken: right
+        predictor.observe(0x1000, False, 0x900)  # backward, not: wrong
+        predictor.observe(0x2000, False, 0x3000)  # forward, not: right
+        assert predictor.correct == 2
+
+    def test_optimal_static_majority(self):
+        predictor = feed(OptimalStaticPredictor(),
+                         [True] * 9 + [False])
+        assert predictor.accuracy == 0.9
+
+    def test_optimal_static_alternating_is_half(self):
+        # the paper's explanation: alternation gives static exactly 50%
+        predictor = feed(OptimalStaticPredictor(), [True, False] * 50)
+        assert predictor.accuracy == 0.5
+
+    def test_optimal_static_multiple_branches(self):
+        predictor = OptimalStaticPredictor()
+        for taken in [True] * 8 + [False] * 2:
+            predictor.observe(0x1000, taken)
+        for taken in [False] * 10:
+            predictor.observe(0x2000, taken)
+        assert predictor.accuracy == (8 + 10) / 20
+        bits = predictor.optimal_bits()
+        assert bits[0x1000] is True
+        assert bits[0x2000] is False
+
+
+class TestCounterPredictors:
+    def test_one_bit_predicts_last_direction(self):
+        predictor = CounterPredictor(1)
+        predictor.observe(0x1000, True)
+        assert predictor.predict(0x1000) is True
+        predictor.observe(0x1000, False)
+        assert predictor.predict(0x1000) is False
+
+    def test_one_bit_alternating_is_zero(self):
+        # paper: "for the case where branches alternate direction ...
+        # all the dynamic schemes get 0% correct"
+        predictor = CounterPredictor(1)
+        predictor.observe(0x1000, True)  # first prediction may differ
+        for taken in [False, True] * 30:
+            predictor.observe(0x1000, taken)
+        assert predictor.correct == 0
+
+    def test_two_bit_alternating_is_zero(self):
+        predictor = CounterPredictor(2)
+        feed(predictor, [True, False] * 30)
+        assert predictor.accuracy < 0.1
+
+    def test_two_bit_hysteresis_on_loops(self):
+        # a loop that exits once: the 2-bit counter mispredicts only the
+        # exit; the 1-bit counter also mispredicts the re-entry
+        pattern = ([True] * 9 + [False]) * 10
+        one = feed(CounterPredictor(1), pattern)
+        two = feed(CounterPredictor(2), pattern)
+        assert two.accuracy > one.accuracy
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            CounterPredictor(0)
+
+    def test_saturation_bounds(self):
+        predictor = CounterPredictor(2)
+        feed(predictor, [True] * 100)
+        assert predictor._counters[0x1000] == 3
+        feed(predictor, [False] * 100)
+        assert predictor._counters[0x1000] == 0
+
+    def test_table_size_counts_static_branches(self):
+        predictor = CounterPredictor(2)
+        for pc in (0x1000, 0x2000, 0x3000):
+            predictor.observe(pc, True)
+        assert predictor.table_size == 3
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_accuracy_bounded(self, outcomes):
+        for bits in (1, 2, 3):
+            predictor = feed(CounterPredictor(bits), outcomes)
+            assert 0.0 <= predictor.accuracy <= 1.0
+            assert predictor.total == len(outcomes)
+
+
+class TestBranchTargetBuffer:
+    def test_miss_predicts_not_taken(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(0x1000) is False
+
+    def test_allocates_on_taken_only(self):
+        btb = BranchTargetBuffer()
+        btb.observe(0x1000, False, 0x900)
+        assert btb.occupancy == 0
+        btb.observe(0x1000, True, 0x900)
+        assert btb.occupancy == 1
+
+    def test_supplies_target_on_hit(self):
+        btb = BranchTargetBuffer()
+        btb.observe(0x1000, True, 0x900)
+        assert btb.predicted_target(0x1000) == 0x900
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.observe(0x1000, True, 0x10)
+        btb.observe(0x2000, True, 0x20)
+        btb.observe(0x1000, True, 0x10)  # refresh 0x1000
+        btb.observe(0x3000, True, 0x30)  # evicts 0x2000
+        assert btb.predicted_target(0x2000) is None
+        assert btb.predicted_target(0x1000) == 0x10
+
+    def test_counter_decay_to_not_taken(self):
+        btb = BranchTargetBuffer()
+        btb.observe(0x1000, True, 0x900)
+        btb.observe(0x1000, False, 0x900)
+        btb.observe(0x1000, False, 0x900)
+        assert btb.predict(0x1000) is False
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=100)
+
+
+class TestJumpTrace:
+    def test_hit_predicts_taken(self):
+        trace = JumpTrace()
+        trace.observe(0x1000, True, 0x500)
+        assert trace.predict(0x1000) is True
+        assert trace.predicted_target(0x1000) == 0x500
+
+    def test_not_taken_removes_entry(self):
+        trace = JumpTrace()
+        trace.observe(0x1000, True, 0x500)
+        trace.observe(0x1000, False, 0x500)
+        assert trace.predict(0x1000) is False
+
+    def test_fifo_capacity(self):
+        trace = JumpTrace(entries=8)
+        for i in range(10):
+            trace.observe(0x1000 + 4 * i, True, 0x500)
+        assert trace.predict(0x1000) is False  # evicted
+        assert trace.predict(0x1000 + 4 * 9) is True
+
+
+class TestPredictionStudy:
+    def test_all_predictors_see_all_events(self):
+        study = PredictionStudy()
+        events = [BranchEvent(0x1000, True), BranchEvent(0x1000, False)]
+        study.observe_all(events)
+        assert study.events == 2
+        for predictor in study.predictors:
+            assert predictor.total == 2
+
+    def test_unconditional_branches_skipped(self):
+        study = PredictionStudy()
+        study.observe(BranchEvent(0x1000, True, conditional=False))
+        assert study.events == 0
+
+    def test_accuracies_keyed_by_name(self):
+        study = PredictionStudy()
+        study.observe(BranchEvent(0x1000, True))
+        names = set(study.accuracies())
+        assert names == {"static-optimal", "1-bit-dynamic",
+                         "2-bit-dynamic", "3-bit-dynamic"}

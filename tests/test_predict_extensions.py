@@ -1,0 +1,104 @@
+"""Finite-table and two-level (gshare) predictor tests."""
+
+import pytest
+
+from repro.predict import (
+    CounterPredictor,
+    FiniteCounterPredictor,
+    GsharePredictor,
+    OptimalStaticPredictor,
+    PredictionStudy,
+)
+from repro.trace import TROFF_LIKE
+from repro.trace.events import BranchEvent
+
+
+def feed(predictor, outcomes, pc=0x1000):
+    for taken in outcomes:
+        predictor.observe(pc, taken)
+    return predictor
+
+
+class TestFiniteCounterPredictor:
+    def test_behaves_like_infinite_without_aliasing(self):
+        pattern = ([True] * 9 + [False]) * 20
+        finite = feed(FiniteCounterPredictor(2, 64), pattern)
+        infinite = feed(CounterPredictor(2), pattern)
+        assert finite.accuracy == infinite.accuracy
+
+    def test_aliasing_degrades_accuracy(self):
+        # two branches with opposite behaviour mapped to the same entry
+        tiny = FiniteCounterPredictor(2, entries=1)
+        roomy = FiniteCounterPredictor(2, entries=64)
+        for _ in range(200):
+            for predictor in (tiny, roomy):
+                predictor.observe(0x1000, True)
+                predictor.observe(0x1004, False)  # distinct low PC bits
+        assert roomy.accuracy > 0.9
+        assert tiny.accuracy < roomy.accuracy
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            FiniteCounterPredictor(2, entries=100)
+        with pytest.raises(ValueError):
+            FiniteCounterPredictor(0, entries=64)
+
+    def test_reset(self):
+        predictor = feed(FiniteCounterPredictor(2, 16), [True] * 10)
+        predictor.reset()
+        assert predictor.total == 0
+        assert predictor.predict(0x1000) is False
+
+
+class TestGshare:
+    def test_learns_alternating_branch(self):
+        # THE case static wins in the paper: gshare solves it outright
+        gshare = GsharePredictor(history_bits=4, entries=64)
+        outcomes = [bool(i % 2) for i in range(400)]
+        feed(gshare, outcomes)
+        # after warmup, every prediction is right
+        late = GsharePredictor(history_bits=4, entries=64)
+        for taken in outcomes[:100]:
+            late.observe(0x1000, taken)
+        late.correct = late.total = 0
+        for taken in outcomes[100:]:
+            late.observe(0x1000, taken)
+        assert late.accuracy == 1.0
+
+    def test_learns_period_three_pattern(self):
+        gshare = GsharePredictor(history_bits=6, entries=256)
+        outcomes = ([True, True, False] * 150)
+        for taken in outcomes[:150]:
+            gshare.observe(0x1000, taken)
+        gshare.correct = gshare.total = 0
+        for taken in outcomes[150:]:
+            gshare.observe(0x1000, taken)
+        assert gshare.accuracy > 0.95
+
+    def test_beats_counters_on_correlated_benchmark_mix(self):
+        # alternating + biased mix: gshare >= 2-bit counters
+        study = PredictionStudy([
+            OptimalStaticPredictor(),
+            CounterPredictor(2),
+            GsharePredictor(history_bits=8, entries=4096),
+        ])
+        outcome = True
+        for i in range(4000):
+            study.observe(BranchEvent(0x1000, bool(i % 2)))
+            study.observe(BranchEvent(0x2000, i % 10 != 9))
+        accuracies = study.accuracies()
+        assert accuracies["gshare-h8-4096"] > accuracies["2-bit-dynamic"]
+        assert accuracies["gshare-h8-4096"] > accuracies["static-optimal"]
+
+    def test_reasonable_on_large_synthetic_trace(self):
+        study = PredictionStudy([
+            CounterPredictor(2),
+            GsharePredictor(history_bits=10, entries=4096),
+        ])
+        study.observe_all(TROFF_LIKE.generate(40_000))
+        accuracies = study.accuracies()
+        assert accuracies["gshare-h10-4096"] > 0.9
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=100)

@@ -1,0 +1,192 @@
+"""White-box tests of the Execution Unit: drive it directly with
+hand-built decoded entries (no PDU, no cache) for exact control of the
+per-cycle behaviour."""
+
+import pytest
+
+from repro.core.decoded import DecodedEntry
+from repro.core.nextpc import compute_next_pcs
+from repro.isa import BranchMode, BranchSpec, Instruction, Opcode, imm, sp_off
+from repro.isa.operands import absolute
+from repro.sim.eu import ExecutionUnit
+from repro.sim.memory import Memory
+from repro.sim.semantics import MachineState
+from repro.sim.stats import PipelineStats
+
+
+def entry_for(pc, body=None, branch_instr=None):
+    length = (body.length_bytes() if body else 0) + \
+        (branch_instr.length_bytes() if branch_instr else 0)
+    next_pc, alt = compute_next_pcs(pc, body, branch_instr, length)
+    return DecodedEntry(pc, body, branch_instr, next_pc, alt, length)
+
+
+def add_to(address, value=1):
+    return Instruction(Opcode.ADD, (absolute(address), imm(value)))
+
+
+def cmp_eq(a, b):
+    return Instruction(Opcode.CMP_EQ, (imm(a), imm(b)))
+
+
+def cond_branch(displacement, predicted=True):
+    opcode = Opcode.IFJMP_T_Y if predicted else Opcode.IFJMP_T_N
+    return Instruction(opcode, (), BranchSpec(BranchMode.PC_RELATIVE,
+                                              displacement))
+
+
+class Harness:
+    """Feeds a fixed entry map to the EU the way the CPU would."""
+
+    def __init__(self, entries, start):
+        self.memory = Memory()
+        self.state = MachineState(self.memory, pc=start, sp=0x10000)
+        self.stats = PipelineStats()
+        self.eu = ExecutionUnit(self.state, self.stats)
+        self.entries = {entry.address: entry for entry in entries}
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            fetched = None
+            if self.eu.ir_next_pc is not None:
+                fetched = self.entries.get(self.eu.ir_next_pc)
+            self.eu.tick(fetched)
+            if self.eu.halted:
+                break
+        return self.stats
+
+
+def halt_entry(pc):
+    return entry_for(pc, Instruction(Opcode.HALT))
+
+
+def layout(pc, *instruction_pairs):
+    """Build sequential entries at their true byte lengths.
+
+    Each element is a body instruction or a (body, branch) pair.
+    Returns (entries, next_free_pc).
+    """
+    entries = []
+    for element in instruction_pairs:
+        body, branch_instr = (element if isinstance(element, tuple)
+                              else (element, None))
+        entry = entry_for(pc, body, branch_instr)
+        entries.append(entry)
+        pc += entry.length_bytes
+    return entries, pc
+
+
+class TestBasicFlow:
+    def test_three_cycle_fetch_to_execute(self):
+        entries, _ = layout(0x1000, add_to(0x8000),
+                            Instruction(Opcode.HALT))
+        harness = Harness(entries, 0x1000)
+        harness.run(20)
+        assert harness.memory.read_word(0x8000) == 1
+        assert harness.eu.halted
+        assert harness.stats.issued_instructions == 2
+
+    def test_steady_stream_one_per_cycle(self):
+        entries, _ = layout(
+            0x1000, *[add_to(0x8000) for _ in range(10)],
+            Instruction(Opcode.HALT))
+        harness = Harness(entries, 0x1000)
+        harness.run(50)
+        assert harness.memory.read_word(0x8000) == 10
+        # 10 adds + halt issued with zero bubbles after the 3-cycle fill
+        assert harness.stats.stall_cycles == 3
+
+
+class TestSquashMechanics:
+    def build_mispredict(self, fillers, fold_cmp=False):
+        """cmp (false) [... fillers ...] folded branch predicted taken.
+
+        ``fold_cmp`` folds the compare with the branch itself (d=0);
+        otherwise the compare is its own entry ``fillers`` entries ahead
+        (d = fillers + 1).
+        """
+        if fold_cmp:
+            body = cmp_eq(1, 2)
+            entries, fall_through = layout(
+                0x1000, (body, cond_branch(0x40)))
+        else:
+            body = add_to(0x8004)
+            entries, fall_through = layout(
+                0x1000,
+                cmp_eq(1, 2),
+                *[add_to(0x8000) for _ in range(fillers)],
+                (body, cond_branch(0x40)),
+            )
+        branch_pc = entries[-1].address + body.length_bytes()
+        entries += layout(fall_through, Instruction(Opcode.HALT))[0]
+        # wrong-path entries (predicted target): poison writes that must
+        # never land
+        target = branch_pc + 0x40
+        wrong, _ = layout(target, add_to(0x8008, 99),
+                          Instruction(Opcode.HALT))
+        entries += wrong
+        return entries, fall_through
+
+    def test_folded_compare_and_branch_costs_three(self):
+        entries, _ = self.build_mispredict(0, fold_cmp=True)
+        harness = Harness(entries, 0x1000)
+        harness.run(60)
+        assert harness.stats.mispredictions == 1
+        assert harness.stats.misprediction_penalty_cycles == 3
+        assert harness.memory.read_word(0x8008) == 0
+
+    @pytest.mark.parametrize("fillers,penalty", [(0, 2), (1, 1)])
+    def test_penalties_by_distance(self, fillers, penalty):
+        # the compare is its own entry: distance = fillers + 1
+        entries, _ = self.build_mispredict(fillers)
+        harness = Harness(entries, 0x1000)
+        harness.run(60)
+        assert harness.eu.halted
+        assert harness.stats.mispredictions == 1
+        assert harness.stats.misprediction_penalty_cycles == penalty
+        # the wrong-path write never lands
+        assert harness.memory.read_word(0x8008) == 0
+
+    def test_distance_three_is_free(self):
+        entries, _ = self.build_mispredict(2)  # cmp + 2 fillers = d 3
+        harness = Harness(entries, 0x1000)
+        harness.run(60)
+        assert harness.stats.mispredictions == 0
+        assert harness.stats.zero_cost_overrides == 1
+        assert harness.memory.read_word(0x8008) == 0
+
+    def test_correct_path_work_retires(self):
+        entries, _ = self.build_mispredict(0)
+        harness = Harness(entries, 0x1000)
+        harness.run(60)
+        # the folded body (0x8004) is architecturally before the branch
+        assert harness.memory.read_word(0x8004) == 1
+
+    def test_wrong_path_never_retires_at_any_distance(self):
+        for fillers in range(4):
+            entries, _ = self.build_mispredict(fillers)
+            harness = Harness(entries, 0x1000)
+            harness.run(60)
+            assert harness.eu.halted
+            assert harness.memory.read_word(0x8008) == 0, fillers
+
+
+class TestSequenceNumbers:
+    def test_two_compares_govern_their_own_branches(self):
+        # cmp(false); folded[add+br predicted-taken->WRONG];
+        # on the corrected path: cmp(true); folded[add+br predicted-taken
+        # ->RIGHT]; both resolve independently
+        body1 = add_to(0x8004)
+        entries, fall = layout(0x1000, cmp_eq(1, 2),
+                               (body1, cond_branch(0x40)))
+        body2 = add_to(0x800C)
+        more, after = layout(fall, cmp_eq(3, 3),
+                             (body2, cond_branch(0x20)))
+        entries += more
+        second_branch_pc = more[-1].address + body2.length_bytes()
+        entries += layout(second_branch_pc + 0x20,
+                          Instruction(Opcode.HALT))[0]
+        harness = Harness(entries, 0x1000)
+        harness.run(80)
+        assert harness.eu.halted
+        assert harness.stats.mispredictions == 1  # only the first

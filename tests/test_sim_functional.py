@@ -1,0 +1,242 @@
+"""Unit tests for the functional (architectural) simulator."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import FunctionalSimulator, SimulationError
+from repro.sim.functional import run_program
+
+
+def run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestArithmetic:
+    def test_mov_and_add(self):
+        sim = run("""
+            .word x, 5
+            .word y, 0
+            mov y, x
+            add y, $3
+            halt
+        """)
+        assert sim.read_symbol("y") == 8
+
+    def test_three_operand_to_accumulator(self):
+        sim = run("""
+            .word a, 12
+            and3 a, $10
+            mov a, Accum
+            halt
+        """)
+        assert sim.read_symbol("a") == 8
+
+    def test_sub_and_neg_wrap(self):
+        sim = run("""
+            .word a, 1
+            sub a, $3
+            halt
+        """)
+        assert sim.read_symbol("a") == 0xFFFFFFFE
+
+    def test_mul_div_rem(self):
+        sim = run("""
+            .word a, 7
+            .word b, 0
+            .word c, 0
+            mul3 a, $6
+            mov b, Accum
+            div3 b, $5
+            mov c, Accum
+            rem3 b, $5
+            mov a, Accum
+            halt
+        """)
+        assert sim.read_symbol("b") == 42
+        assert sim.read_symbol("c") == 8
+        assert sim.read_symbol("a") == 2
+
+    def test_signed_division_truncates_toward_zero(self):
+        sim = run("""
+            .word a, 0
+            div3 $-7, $2
+            mov a, Accum
+            halt
+        """)
+        assert sim.read_symbol("a") == 0xFFFFFFFD  # -3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            run("div3 $1, $0\nhalt")
+
+    def test_shifts(self):
+        sim = run("""
+            .word a, 0
+            .word b, 0
+            shl3 $1, $4
+            mov a, Accum
+            sar3 $-16, $2
+            mov b, Accum
+            halt
+        """)
+        assert sim.read_symbol("a") == 16
+        assert sim.read_symbol("b") == 0xFFFFFFFC  # -4
+
+    def test_not(self):
+        sim = run("""
+            .word a, 0
+            not a, $0
+            halt
+        """)
+        assert sim.read_symbol("a") == 0xFFFFFFFF
+
+
+class TestControlFlow:
+    def test_counting_loop(self):
+        sim = run("""
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $10
+            iftjmpy loop
+            halt
+        """)
+        assert sim.read_symbol("i") == 10
+
+    def test_branch_senses(self):
+        sim = run("""
+            .word r, 0
+            cmp.= $1, $2
+            iffjmpy was_false
+            halt
+was_false:  mov r, $7
+            halt
+        """)
+        assert sim.read_symbol("r") == 7
+
+    def test_unconditional_jump(self):
+        sim = run("""
+            .word r, 1
+            jmp over
+            mov r, $99
+over:       halt
+        """)
+        assert sim.read_symbol("r") == 1
+
+    def test_call_and_return(self):
+        sim = run("""
+            .entry main
+            .word r, 0
+f:          mov r, $5
+            return
+main:       call f
+            add r, $1
+            halt
+        """)
+        assert sim.read_symbol("r") == 6
+
+    def test_enter_spadd_frame(self):
+        sim = run("""
+            .entry main
+            .word r, 0
+main:       enter 8
+            mov 0(sp), $11
+            mov 4(sp), $31
+            add 0(sp), 4(sp)
+            mov r, 0(sp)
+            spadd 8
+            halt
+        """)
+        assert sim.read_symbol("r") == 42
+
+    def test_indirect_jump_through_memory(self):
+        sim = run("""
+            .entry main
+            .word vec, 0
+            .word r, 0
+main:       mov vec, $target
+            jmp (*0x8000)
+            mov r, $1
+target:     halt
+        """)
+        assert sim.read_symbol("r") == 0
+
+    def test_accumulator_indirect_addressing(self):
+        sim = run("""
+            .word table, 10, 20, 30
+            .word r, 0
+            mov Accum, $table
+            add Accum, $8
+            mov r, (Accum)
+            halt
+        """)
+        assert sim.read_symbol("r") == 30
+
+    def test_nested_calls(self):
+        sim = run("""
+            .entry main
+            .word r, 0
+g:          add r, $1
+            return
+f:          call g
+            call g
+            return
+main:       call f
+            call f
+            halt
+        """)
+        assert sim.read_symbol("r") == 4
+
+
+class TestGuards:
+    def test_runaway_program_detected(self):
+        with pytest.raises(SimulationError):
+            run("loop: jmp loop", max_instructions=100)
+
+    def test_jump_to_non_boundary_detected(self):
+        program = assemble("""
+            jmp *0x1001
+            halt
+        """)
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(program).run()
+
+
+class TestStats:
+    def test_instruction_and_branch_counts(self):
+        sim = run("""
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $4
+            iftjmpy loop
+            halt
+        """)
+        stats = sim.stats
+        assert stats.instructions == 3 * 4 + 1
+        assert stats.branches == 4
+        assert stats.conditional_branches == 4
+        assert stats.taken_branches == 3
+        assert stats.opcode_counts["add"] == 4
+
+    def test_one_parcel_branch_fraction(self):
+        sim = run("""
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $4
+            iftjmpy loop
+            halt
+        """)
+        assert sim.stats.one_parcel_branch_fraction == 1.0
+
+    def test_branch_hook_sees_every_branch(self):
+        events = []
+        program = assemble("""
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $3
+            iftjmpy loop
+            halt
+        """)
+        sim = FunctionalSimulator(
+            program, branch_hook=lambda pc, instr, taken: events.append(taken))
+        sim.run()
+        assert events == [True, True, False]

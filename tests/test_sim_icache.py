@@ -1,0 +1,82 @@
+"""Unit tests for the Decoded Instruction Cache."""
+
+import pytest
+
+from repro.core.decoded import DecodedEntry
+from repro.isa import Instruction, Opcode, imm, sp_off
+from repro.sim.icache import DecodedICache
+
+
+def entry_at(address):
+    body = Instruction(Opcode.ADD, (sp_off(0), imm(1)))
+    return DecodedEntry(address, body, None, address + 2, None, 2)
+
+
+class TestGeometry:
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            DecodedICache(24)
+        with pytest.raises(ValueError):
+            DecodedICache(0)
+
+    def test_index_uses_parcel_address(self):
+        cache = DecodedICache(32)
+        # "the low five bits are used to address the cache" — of the
+        # parcel-aligned PC
+        assert cache.index_of(0x1000) == (0x1000 // 2) % 32
+        assert cache.index_of(0x1002) == cache.index_of(0x1000) + 1
+
+    def test_wraparound(self):
+        cache = DecodedICache(32)
+        assert cache.index_of(0x1000) == cache.index_of(0x1000 + 64)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = DecodedICache(32)
+        assert cache.lookup(0x1000) is None
+        cache.fill(entry_at(0x1000))
+        assert cache.lookup(0x1000) is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_tag_mismatch_is_miss(self):
+        cache = DecodedICache(32)
+        cache.fill(entry_at(0x1000))
+        # same index (64 bytes apart), different tag
+        assert cache.lookup(0x1000 + 64) is None
+
+    def test_conflict_replaces(self):
+        cache = DecodedICache(32)
+        cache.fill(entry_at(0x1000))
+        cache.fill(entry_at(0x1000 + 64))
+        assert cache.lookup(0x1000) is None
+        assert cache.lookup(0x1000 + 64) is not None
+
+    def test_probe_does_not_count(self):
+        cache = DecodedICache(32)
+        cache.fill(entry_at(0x1000))
+        assert cache.probe(0x1000)
+        assert not cache.probe(0x2000)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_invalidate(self):
+        cache = DecodedICache(32)
+        cache.fill(entry_at(0x1000))
+        cache.invalidate()
+        assert not cache.probe(0x1000)
+
+    def test_hit_rate(self):
+        cache = DecodedICache(32)
+        cache.fill(entry_at(0x1000))
+        cache.lookup(0x1000)
+        cache.lookup(0x1000)
+        cache.lookup(0x2000)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_adjacent_instructions_coexist(self):
+        # entries at consecutive parcel addresses occupy distinct lines
+        cache = DecodedICache(32)
+        for offset in range(0, 32, 2):
+            cache.fill(entry_at(0x1000 + offset))
+        for offset in range(0, 32, 2):
+            assert cache.probe(0x1000 + offset)

@@ -1,0 +1,175 @@
+"""Focused tests for the Prefetch and Decode Unit's timing model."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import FoldPolicy
+from repro.sim import CpuConfig, CrispCpu
+from repro.sim.icache import DecodedICache
+from repro.sim.memory import Memory
+from repro.sim.pdu import PrefetchDecodeUnit
+
+
+def make_pdu(source, **kwargs):
+    program = assemble(source)
+    memory = Memory()
+    memory.load_program(program)
+    icache = DecodedICache(32)
+    pdu = PrefetchDecodeUnit(memory, icache, FoldPolicy.crisp(), **kwargs)
+    return pdu, icache, program
+
+
+STRAIGHT = """
+    nop
+    nop
+    nop
+    nop
+    halt
+"""
+
+
+class TestDemandTiming:
+    def test_fill_latency(self):
+        # demand -> memory (2) + PDR/PIR (2) + fill: entry present after
+        # a handful of ticks, not before
+        pdu, icache, program = make_pdu(STRAIGHT, mem_latency=2,
+                                        decode_latency=2)
+        pdu.demand(program.entry)
+        ticks = 0
+        while not icache.probe(program.entry):
+            pdu.tick()
+            ticks += 1
+            assert ticks < 20
+        assert ticks >= 4  # memory + decode pipeline can't be instant
+
+    def test_higher_memory_latency_delays_fill(self):
+        def fill_time(latency):
+            pdu, icache, program = make_pdu(STRAIGHT, mem_latency=latency)
+            pdu.demand(program.entry)
+            ticks = 0
+            while not icache.probe(program.entry):
+                pdu.tick()
+                ticks += 1
+            return ticks
+
+        assert fill_time(8) > fill_time(1)
+
+    def test_demand_is_idempotent_while_fetching(self):
+        pdu, icache, program = make_pdu(STRAIGHT)
+        pdu.demand(program.entry)
+        pdu.tick()
+        accesses = pdu.memory_accesses
+        pdu.demand(program.entry)  # same address: no restart
+        pdu.tick()
+        assert pdu.memory_accesses == accesses
+
+    def test_redirect_cancels_old_stream(self):
+        pdu, icache, program = make_pdu(STRAIGHT)
+        pdu.demand(program.entry)
+        for _ in range(3):
+            pdu.tick()
+        pdu.demand(program.addresses[3])
+        for _ in range(12):
+            pdu.tick()
+        assert icache.probe(program.addresses[3])
+
+
+class TestPrefetch:
+    def test_prefetch_runs_ahead(self):
+        pdu, icache, program = make_pdu(STRAIGHT, prefetch_depth=16)
+        pdu.demand(program.entry)
+        for _ in range(40):
+            pdu.tick()
+        # every instruction decoded without further demands
+        assert all(icache.probe(address) for address in program.addresses)
+
+    def test_prefetch_depth_limits_runahead(self):
+        pdu, icache, program = make_pdu(STRAIGHT, prefetch_depth=2)
+        pdu.demand(program.entry)
+        for _ in range(40):
+            pdu.tick()
+        assert pdu.decoded_entries <= 2
+
+    def test_prefetch_follows_predicted_taken_branch(self):
+        source = """
+start:      add *0x8100, $1
+            jmp target
+            nop
+            nop
+target:     halt
+        """
+        pdu, icache, program = make_pdu(source)
+        pdu.demand(program.symbols["start"])
+        for _ in range(40):
+            pdu.tick()
+        # the fall-through nops are never on the predicted path
+        assert icache.probe(program.symbols["target"])
+        assert not icache.probe(program.addresses[2])
+
+    def test_prefetch_stops_at_dynamic_target(self):
+        source = """
+            nop
+            return
+            nop
+        """
+        pdu, icache, program = make_pdu(source)
+        pdu.demand(program.addresses[0])
+        for _ in range(40):
+            pdu.tick()
+        assert icache.probe(program.addresses[1])  # the return itself
+        assert pdu.decode_pc is None  # waiting for the EU
+
+    def test_prefetch_stops_after_halt(self):
+        pdu, icache, program = make_pdu(STRAIGHT)
+        pdu.demand(program.entry)
+        for _ in range(60):
+            pdu.tick()
+        assert pdu.decode_pc is None
+
+
+class TestQueueBehaviour:
+    def test_five_parcel_instruction_needs_two_fetches(self):
+        source = """
+            mov *0x8000, $123456
+            halt
+        """
+        pdu, icache, program = make_pdu(source, mem_latency=1)
+        pdu.demand(program.entry)
+        ticks = 0
+        while not icache.probe(program.entry):
+            pdu.tick()
+            ticks += 1
+            assert ticks < 30
+        assert pdu.memory_accesses >= 2  # 5 parcels > one 4-parcel access
+
+    def test_fold_peek_waits_for_next_parcel(self):
+        # a 3-parcel body at the end of a 4-parcel block: the fold peek
+        # needs the next block before the entry can decode
+        source = """
+            nop
+            add *0x8100, $1
+            jmp done
+done:       halt
+        """
+        pdu, icache, program = make_pdu(source)
+        pdu.demand(program.entry)
+        for _ in range(40):
+            pdu.tick()
+        entry_address = program.addresses[1]
+        assert icache.probe(entry_address)
+        entry = icache.lookup(entry_address)
+        assert entry is not None and entry.is_folded
+
+
+class TestEndToEndMissCosts:
+    def test_cold_start_overhead_band(self):
+        # the paper charges ~50 cycles of startup overhead; ours is the
+        # same order of magnitude
+        source = """
+            .word x, 0
+            add x, $1
+            halt
+        """
+        cpu = CrispCpu(assemble(source))
+        cpu.run()
+        assert 5 < cpu.stats.cycles < 60

@@ -1,0 +1,308 @@
+"""Tests for the cycle-accurate pipeline: folding, penalties, recovery."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import FoldPolicy
+from repro.sim import CpuConfig, CrispCpu
+from repro.sim.cpu import run_cycle_accurate
+from repro.sim.functional import run_program
+
+# note: $7 keeps the compare at three parcels (short immediate), so it
+# folds with the branch under the CRISP policy
+COUNT_LOOP = """
+    .word i, 0
+loop:   add i, $1
+        cmp.s< i, $7
+        iftjmpy loop
+        halt
+"""
+
+
+def run(source, config=None):
+    return run_cycle_accurate(assemble(source), config)
+
+
+class TestBasicExecution:
+    def test_straight_line(self):
+        cpu = run("""
+            .word r, 0
+            mov r, $3
+            add r, $4
+            halt
+        """)
+        assert cpu.read_symbol("r") == 7
+        assert cpu.halted
+
+    def test_loop_result_matches_functional(self):
+        cpu = run(COUNT_LOOP)
+        sim = run_program(assemble(COUNT_LOOP))
+        assert cpu.read_symbol("i") == sim.read_symbol("i") == 7
+
+    def test_executed_count_matches_functional(self):
+        cpu = run(COUNT_LOOP)
+        sim = run_program(assemble(COUNT_LOOP))
+        assert (cpu.stats.executed_instructions
+                == sim.stats.instructions)
+
+    def test_call_return(self):
+        cpu = run("""
+            .entry main
+            .word r, 0
+f:          mov r, $5
+            return
+main:       call f
+            add r, $2
+            halt
+        """)
+        assert cpu.read_symbol("r") == 7
+
+
+class TestFolding:
+    def test_folded_branches_counted(self):
+        cpu = run(COUNT_LOOP)
+        # cmp.s< folds with iftjmpy: every loop branch is folded
+        assert cpu.stats.folded_branches == 7
+        assert (cpu.stats.issued_instructions
+                == cpu.stats.executed_instructions - 7)
+
+    def test_no_folding_when_disabled(self):
+        config = CpuConfig(fold_policy=FoldPolicy.none())
+        cpu = run(COUNT_LOOP, config)
+        assert cpu.stats.folded_branches == 0
+        assert (cpu.stats.issued_instructions
+                == cpu.stats.executed_instructions)
+
+    def test_folding_reduces_cycles(self):
+        folded = run(COUNT_LOOP).stats.cycles
+        unfolded = run(COUNT_LOOP,
+                       CpuConfig(fold_policy=FoldPolicy.none())).stats.cycles
+        assert folded < unfolded
+
+    def test_unconditional_branch_folds_to_zero_time(self):
+        # loop with a folded jmp: issued slots per iteration must not
+        # include the jmp
+        source = """
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $100
+            iffjmpn done
+            add i, $0
+            jmp loop
+done:       halt
+        """
+        cpu = run(source)
+        sim = run_program(assemble(source))
+        jmp_count = sim.stats.opcode_counts["jmp"]
+        assert jmp_count == 99
+        assert cpu.stats.folded_branches >= jmp_count
+
+
+class TestMispredictionPenalties:
+    """The paper's 3/2/1/0-cycle recovery costs by compare-branch distance."""
+
+    def _penalty(self, source, config=None):
+        # warm the cache so entries flow back-to-back: the per-distance
+        # penalties are steady-state properties, not cold-start ones
+        cpu = CrispCpu(assemble(source), config)
+        cpu.warm_cache()
+        cpu.run()
+        return cpu.stats
+
+    def test_folded_compare_and_branch_costs_three(self):
+        # d=0: cmp folds with the branch; predicted taken but not taken
+        stats = self._penalty("""
+            cmp.= $1, $2
+            iftjmpy elsewhere
+            halt
+elsewhere:  halt
+        """)
+        assert stats.mispredictions == 1
+        assert stats.misprediction_penalty_cycles == 3
+
+    def test_compare_one_ahead_of_folded_branch_costs_two(self):
+        # d=1: cmp, then a filler folded with the branch
+        stats = self._penalty("""
+            .word x, 0
+            cmp.= $1, $2
+            add x, $1
+            iftjmpy elsewhere
+            halt
+elsewhere:  halt
+        """)
+        assert stats.mispredictions == 1
+        assert stats.misprediction_penalty_cycles == 2
+
+    def test_compare_two_ahead_of_folded_branch_costs_one(self):
+        stats = self._penalty("""
+            .word x, 0
+            cmp.= $1, $2
+            add x, $1
+            add x, $1
+            iftjmpy elsewhere
+            halt
+elsewhere:  halt
+        """)
+        assert stats.mispredictions == 1
+        assert stats.misprediction_penalty_cycles == 1
+
+    def test_compare_three_ahead_costs_nothing(self):
+        # the Branch Spreading case: flag is architectural at fetch; the
+        # wrong static bit is overridden for free
+        stats = self._penalty("""
+            .word x, 0
+            cmp.= $1, $2
+            add x, $1
+            add x, $1
+            add x, $1
+            iftjmpy elsewhere
+            halt
+elsewhere:  halt
+        """)
+        assert stats.mispredictions == 0
+        assert stats.misprediction_penalty_cycles == 0
+        assert stats.zero_cost_overrides == 1
+
+    def test_unfolded_adjacent_compare_costs_three(self):
+        # without folding there is no early recovery: the branch resolves
+        # at its own RR stage
+        stats = self._penalty("""
+            cmp.= $1, $2
+            iftjmpy elsewhere
+            halt
+elsewhere:  halt
+        """, CpuConfig(fold_policy=FoldPolicy.none()))
+        assert stats.mispredictions == 1
+        assert stats.misprediction_penalty_cycles == 3
+
+    def test_correct_prediction_costs_nothing(self):
+        stats = self._penalty("""
+            cmp.= $1, $1
+            iftjmpy elsewhere
+            halt
+elsewhere:  halt
+        """)
+        assert stats.mispredictions == 0
+
+    def test_wrong_path_side_effects_are_squashed(self):
+        # the wrong path writes to r; the write must never land
+        cpu = run("""
+            .word r, 0
+            cmp.= $1, $2
+            iftjmpy wrong
+            mov r, $1
+            halt
+wrong:      mov r, $99
+            mov r, $98
+            mov r, $97
+            halt
+        """)
+        assert cpu.read_symbol("r") == 1
+
+
+class TestDifferentialAgainstFunctional:
+    PROGRAMS = {
+        "alternating": """
+            .word i, 0
+            .word odd, 0
+            .word even, 0
+loop:       and3 i, $1
+            cmp.= Accum, $0
+            iftjmpy is_even
+            add odd, $1
+            jmp next
+is_even:    add even, $1
+next:       add i, $1
+            cmp.s< i, $50
+            iftjmpy loop
+            halt
+        """,
+        "nested_calls": """
+            .entry main
+            .word r, 0
+g:          add r, $3
+            return
+f:          call g
+            add r, $1
+            return
+main:       call f
+            call f
+            halt
+        """,
+        "indirect": """
+            .entry main
+            .word vec, 0
+            .word r, 0
+main:       mov vec, $t2
+            jmp (*0x8000)
+t1:         add r, $100
+            halt
+t2:         add r, $7
+            halt
+        """,
+    }
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_same_results(self, name):
+        source = self.PROGRAMS[name]
+        program = assemble(source)
+        functional = run_program(program)
+        cpu = run_cycle_accurate(assemble(source))
+        assert cpu.stats.executed_instructions == functional.stats.instructions
+        for symbol in program.symbols:
+            if program.symbols[symbol] >= 0x8000:
+                assert cpu.read_symbol(symbol) == functional.read_symbol(symbol)
+
+
+class TestCacheBehaviour:
+    def test_steady_state_loop_hits_cache(self):
+        cpu = run("""
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $1000
+            iftjmpy loop
+            halt
+        """)
+        assert cpu.stats.icache_hit_rate > 0.98
+
+    def test_tiny_cache_thrashes(self):
+        big_body = "\n".join("add *0x8100, $1" for _ in range(40))
+        source = f"""
+            .word i, 0
+            .word x, 0
+loop:       {big_body}
+            add i, $1
+            cmp.s< i, $20
+            iftjmpy loop
+            halt
+        """
+        big = run(source, CpuConfig(icache_entries=256)).stats
+        small = run(source, CpuConfig(icache_entries=8)).stats
+        assert small.cycles > big.cycles
+        assert small.icache_hit_rate < big.icache_hit_rate
+
+    def test_memory_latency_slows_cold_start(self):
+        fast = run(COUNT_LOOP, CpuConfig(mem_latency=1)).stats.cycles
+        slow = run(COUNT_LOOP, CpuConfig(mem_latency=8)).stats.cycles
+        assert slow > fast
+
+
+class TestSteadyStateThroughput:
+    def test_spread_loop_issues_one_per_cycle(self):
+        # fully spread + folded loop: near 1.0 issued CPI, and apparent
+        # CPI well below 1 (the paper's headline: >1 instruction/cycle)
+        source = """
+            .word i, 0
+            .word a, 0
+            .word b, 0
+loop:       cmp.s< i, $2000
+            add a, $1
+            add b, $1
+            add i, $1
+            iftjmpy loop
+            halt
+        """
+        stats = run(source).stats
+        assert stats.issued_cpi < 1.1
+        assert stats.apparent_cpi < 0.95
+        assert stats.apparent_ipc > 1.05

@@ -1,0 +1,114 @@
+"""Tests for the pipeline tracer and the stack-cache locality model."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.lang import compile_source
+from repro.sim import CrispCpu
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.stackcache import StackCacheModel, attach
+from repro.sim.tracer import PipelineTrace
+
+LOOP = """
+    .word i, 0
+loop:   add i, $1
+        cmp.s< i, $6
+        iftjmpy loop
+        halt
+"""
+
+
+class TestPipelineTrace:
+    def test_records_every_cycle(self):
+        trace = PipelineTrace(CrispCpu(assemble(LOOP)))
+        trace.run()
+        assert len(trace.records) == trace.cpu.stats.cycles
+        assert trace.records[-1].halted
+
+    def test_folded_entries_visible(self):
+        trace = PipelineTrace(CrispCpu(assemble(LOOP)))
+        trace.run()
+        assert any("+iftjmpy" in record.rr for record in trace.records)
+
+    def test_bubble_accounting_matches_stats(self):
+        trace = PipelineTrace(CrispCpu(assemble(LOOP)))
+        trace.run()
+        assert trace.bubbles() == trace.cpu.stats.stall_cycles
+
+    def test_cold_start_misses_visible(self):
+        trace = PipelineTrace(CrispCpu(assemble(LOOP)))
+        trace.run()
+        assert trace.records[0].icache_miss  # nothing decoded yet
+
+    def test_format_window(self):
+        trace = PipelineTrace(CrispCpu(assemble(LOOP)))
+        trace.run()
+        text = trace.format_window(0, 10)
+        assert "IR" in text and "RR" in text
+        assert len(text.splitlines()) == 11
+
+    def test_speculative_marker(self):
+        # a folded conditional with its compare one ahead shows as
+        # speculative (?) somewhere in flight
+        source = """
+            .word x, 0
+            cmp.= $1, $2
+            add x, $1
+            iftjmpy off
+            halt
+off:        halt
+        """
+        cpu = CrispCpu(assemble(source))
+        cpu.warm_cache()
+        trace = PipelineTrace(cpu)
+        trace.run()
+        assert any(record.ir.startswith("?") or record.or_.startswith("?")
+                   for record in trace.records)
+
+
+class TestStackCacheModel:
+    def test_classification(self):
+        model = StackCacheModel(words=32)
+        sp = 0x1000
+        model.observe(0x1000, sp)  # top of stack
+        model.observe(0x1000 + 4 * 31, sp)  # last cached word
+        model.observe(0x1000 + 4 * 32, sp)  # just beyond
+        model.observe(0x8000 + 0, 0x100000)  # global below sp
+        assert model.hits == 2
+        assert model.stack_misses == 1
+        assert model.global_accesses == 1
+        assert model.hit_rate == 0.5
+
+    def test_locals_hit_the_stack_cache(self):
+        program = compile_source("""
+            int main() {
+                int a, b, s;
+                s = 0;
+                for (a = 0; a < 50; a++) { b = a * 2; s += b; }
+                return s;
+            }
+        """)
+        simulator = FunctionalSimulator(program)
+        model = attach(simulator.state)
+        simulator.run()
+        # everything is a local: near-perfect stack-cache locality
+        assert model.hit_rate > 0.95
+
+    def test_globals_miss_the_stack_cache(self):
+        program = compile_source("""
+            int g;
+            int main() {
+                for (g = 0; g < 50; g++) ;
+                return g;
+            }
+        """)
+        simulator = FunctionalSimulator(program)
+        model = attach(simulator.state)
+        simulator.run()
+        assert model.global_accesses > 50
+        assert model.hit_rate < 0.5
+
+    def test_summary_text(self):
+        model = StackCacheModel()
+        model.observe(0, 0)
+        assert "stack-cache" in model.summary()

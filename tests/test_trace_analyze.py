@@ -1,0 +1,109 @@
+"""Per-branch trace analytics and behaviour classification."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.trace import capture_trace
+from repro.trace.analyze import BranchSiteStats, profile_trace
+from repro.trace.events import BranchEvent
+from repro.trace.synthetic import TROFF_LIKE
+from repro.workloads import FIGURE3
+
+
+def events_for(pc, outcomes):
+    return [BranchEvent(pc, taken) for taken in outcomes]
+
+
+class TestSiteStats:
+    def build(self, outcomes):
+        site = BranchSiteStats(0x1000)
+        for taken in outcomes:
+            site.observe(taken)
+        return site
+
+    def test_bias(self):
+        site = self.build([True] * 9 + [False])
+        assert site.taken_fraction == 0.9
+        assert site.bias == 0.9
+
+    def test_switch_rate_alternating(self):
+        site = self.build([True, False] * 10)
+        assert site.switch_rate == 1.0
+        assert site.classification == "alternating"
+
+    def test_biased_classification(self):
+        assert self.build([True] * 50).classification == "biased"
+        assert self.build([False] * 49 + [True]).classification == "biased"
+
+    def test_loop_classification(self):
+        # back edge of an 8-iteration loop entered 6 times
+        pattern = ([True] * 8 + [False]) * 6
+        assert self.build(pattern).classification == "loop"
+
+    def test_phased_classification(self):
+        pattern = [True] * 40 + [False] * 40
+        assert self.build(pattern).classification == "phased"
+
+    def test_mixed_classification(self):
+        import random
+        rng = random.Random(3)
+        pattern = [rng.random() < 0.55 for _ in range(200)]
+        assert self.build(pattern).classification == "mixed"
+
+    def test_tiny_sample_is_mixed(self):
+        assert self.build([True, False]).classification == "mixed"
+
+
+class TestTraceProfile:
+    def test_aggregation(self):
+        events = events_for(0x1000, [True] * 5) + \
+            events_for(0x2000, [False] * 3)
+        profile = profile_trace(events)
+        assert profile.static_sites == 2
+        assert profile.events == 8
+        assert profile.sites[0x1000].executions == 5
+
+    def test_optimal_static_matches_predictor(self):
+        from repro.predict import OptimalStaticPredictor
+        events = events_for(0x1000, [True, False] * 20) + \
+            events_for(0x2000, [True] * 30 + [False] * 3)
+        profile = profile_trace(events)
+        predictor = OptimalStaticPredictor()
+        for event in events:
+            predictor.observe(event.pc, event.taken)
+        assert profile.optimal_static_accuracy() \
+            == pytest.approx(predictor.accuracy)
+
+    def test_unconditional_filtered(self):
+        events = [BranchEvent(0x1000, True, conditional=False)]
+        assert profile_trace(events).events == 0
+
+    def test_hottest_ordering(self):
+        events = events_for(0x1000, [True] * 3) + \
+            events_for(0x2000, [True] * 10)
+        hottest = profile_trace(events).hottest(1)
+        assert hottest[0].pc == 0x2000
+
+
+class TestOnRealPrograms:
+    def test_figure3_contains_an_alternator_and_a_loop(self):
+        program = compile_source(FIGURE3)
+        profile = profile_trace(capture_trace(program))
+        classes = {site.classification
+                   for site in profile.sites.values()
+                   if site.executions > 100}
+        assert "alternating" in classes
+        assert "biased" in classes or "loop" in classes
+
+    def test_figure3_mixture_is_half_alternating(self):
+        program = compile_source(FIGURE3)
+        mixture = profile_trace(capture_trace(program)).class_mixture()
+        assert mixture.get("alternating", 0) == pytest.approx(0.5, abs=0.05)
+
+    def test_synthetic_troff_mixture_matches_design(self):
+        # the calibrated generator's dominant class must be 'biased',
+        # matching its design (54% strongly biased dispatch + loops)
+        profile = profile_trace(TROFF_LIKE.generate(30_000))
+        mixture = profile.class_mixture()
+        assert max(mixture, key=mixture.get) in ("biased", "loop")
+        assert profile.optimal_static_accuracy() > 0.9

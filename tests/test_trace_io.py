@@ -1,0 +1,90 @@
+"""Trace-tape serialization tests."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.predict import PredictionStudy
+from repro.trace import (
+    BranchEvent,
+    TraceFormatError,
+    capture_trace,
+    load_trace,
+    save_trace,
+    trace_to_string,
+)
+from repro.trace.io import read_events
+
+
+events_strategy = st.lists(st.builds(
+    BranchEvent,
+    pc=st.integers(0, 2 ** 31 - 1),
+    taken=st.booleans(),
+    conditional=st.booleans(),
+    target=st.one_of(st.none(), st.integers(0, 2 ** 31 - 1)),
+), max_size=50)
+
+
+class TestRoundtrip:
+    @given(events_strategy)
+    def test_string_roundtrip(self, events):
+        text = trace_to_string(events)
+        assert list(read_events(io.StringIO(text))) == events
+
+    def test_file_roundtrip(self, tmp_path):
+        events = [BranchEvent(0x1006, True, True, 0x1000),
+                  BranchEvent(0x1014, False, False, None)]
+        path = tmp_path / "run.trace"
+        assert save_trace(path, events) == 2
+        assert load_trace(path) == events
+
+    def test_captured_program_trace_roundtrips(self, tmp_path):
+        program = assemble("""
+            .word i, 0
+loop:       add i, $1
+            cmp.s< i, $5
+            iftjmpy loop
+            halt
+        """)
+        events = capture_trace(program)
+        path = tmp_path / "loop.trace"
+        save_trace(path, events)
+        assert load_trace(path) == events
+
+    def test_replay_gives_identical_study(self, tmp_path):
+        program = assemble("""
+            .word i, 0
+loop:       add i, $1
+            and3 i, $3
+            cmp.= Accum, $0
+            iffjmpn skip
+            add i, $1
+skip:       cmp.s< i, $40
+            iftjmpy loop
+            halt
+        """)
+        live = PredictionStudy()
+        live.observe_all(capture_trace(program, conditional_only=True))
+        path = tmp_path / "tape.trace"
+        save_trace(path, capture_trace(program, conditional_only=True))
+        replayed = PredictionStudy()
+        replayed.observe_all(load_trace(path))
+        assert replayed.accuracies() == live.accuracies()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="not a crisp-trace"):
+            list(read_events(io.StringIO("garbage\n")))
+
+    def test_bad_record(self):
+        text = "# crisp-trace v1\n1000 X c -\n"
+        with pytest.raises(TraceFormatError, match="bad record"):
+            list(read_events(io.StringIO(text)))
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# crisp-trace v1\n\n# comment\n1000 T c -\n"
+        events = list(read_events(io.StringIO(text)))
+        assert len(events) == 1

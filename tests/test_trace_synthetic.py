@@ -1,0 +1,133 @@
+"""Tests for trace capture and the calibrated synthetic generators."""
+
+import itertools
+
+import pytest
+
+from repro.asm import assemble
+from repro.lang import compile_source
+from repro.predict.harness import PredictionStudy
+from repro.trace import (
+    BranchEvent,
+    CC_LIKE,
+    DRC_LIKE,
+    TROFF_LIKE,
+    capture_trace,
+    synthetic_workloads,
+)
+from repro.trace.synthetic import alternating, bias, loop, runs
+
+
+class TestBehaviours:
+    def rng(self):
+        import random
+        return random.Random(7)
+
+    def take(self, behaviour, n):
+        return list(itertools.islice(behaviour(self.rng()), n))
+
+    def test_bias_extremes(self):
+        assert all(self.take(bias(1.0), 50))
+        assert not any(self.take(bias(0.0), 50))
+
+    def test_loop_pattern(self):
+        assert self.take(loop(3), 8) == [True, True, True, False,
+                                         True, True, True, False]
+
+    def test_runs_pattern(self):
+        assert self.take(runs(2, 3), 10) == [True, True, False, False,
+                                             False, True, True, False,
+                                             False, False]
+
+    def test_alternating_pattern(self):
+        assert self.take(alternating(), 4) == [True, False, True, False]
+
+
+class TestSyntheticWorkloads:
+    def test_deterministic_per_seed(self):
+        first = list(TROFF_LIKE.generate(500, seed=3))
+        second = list(TROFF_LIKE.generate(500, seed=3))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [e.taken for e in TROFF_LIKE.generate(500, seed=1)]
+        b = [e.taken for e in TROFF_LIKE.generate(500, seed=2)]
+        assert a != b
+
+    def test_event_count(self):
+        assert sum(1 for _ in CC_LIKE.generate(1234)) == 1234
+
+    def test_all_conditional_with_targets(self):
+        for event in DRC_LIKE.generate(100):
+            assert event.conditional
+            assert event.target is not None
+
+    @pytest.mark.parametrize("workload", [TROFF_LIKE, CC_LIKE, DRC_LIKE],
+                             ids=lambda w: w.name)
+    def test_calibration_matches_paper_row(self, workload):
+        """Each synthetic trace must reproduce its Table-1 row within a
+        few points — this is the substitution's acceptance test."""
+        study = PredictionStudy()
+        study.observe_all(workload.generate(60_000, seed=1987))
+        for measured, paper in zip(study.row(), workload.paper_row):
+            assert abs(measured - paper) < 0.05, (
+                f"{workload.name}: measured {measured:.3f} vs "
+                f"paper {paper:.3f}")
+
+    def test_ordering_effects(self):
+        """The qualitative Table-1 claims: dynamic beats static on the
+        DRC-like trace; everything lands in the .70s on the compiler-like
+        trace; troff-like sits in the low .90s for all schemes."""
+        rows = {}
+        for workload in (TROFF_LIKE, CC_LIKE, DRC_LIKE):
+            study = PredictionStudy()
+            study.observe_all(workload.generate(40_000))
+            rows[workload.name] = study.row()
+        static, one, two, three = rows["vlsi_drc"]
+        assert one > static and two > static
+        assert all(0.68 <= value <= 0.82 for value in rows["ccom"])
+        assert all(value >= 0.90 for value in rows["troff"])
+
+    def test_registry(self):
+        names = set(synthetic_workloads())
+        assert names == {"troff", "ccom", "vlsi_drc"}
+
+
+class TestCaptureTrace:
+    SOURCE = """
+        .word i, 0
+loop:   add i, $1
+        cmp.s< i, $5
+        iftjmpy loop
+        jmp done
+done:   halt
+    """
+
+    def test_capture_all_branches(self):
+        events = capture_trace(assemble(self.SOURCE))
+        conditional = [e for e in events if e.conditional]
+        unconditional = [e for e in events if not e.conditional]
+        assert len(conditional) == 5
+        assert [e.taken for e in conditional] == [True] * 4 + [False]
+        assert len(unconditional) == 1
+
+    def test_conditional_only_filter(self):
+        events = capture_trace(assemble(self.SOURCE), conditional_only=True)
+        assert all(e.conditional for e in events)
+
+    def test_targets_resolved(self):
+        events = capture_trace(assemble(self.SOURCE))
+        loop_events = [e for e in events if e.conditional]
+        assert all(e.target == 0x1000 + 6 for e in loop_events) or \
+            all(e.target is not None for e in loop_events)
+
+    def test_capture_from_compiled_program(self):
+        program = compile_source("""
+            int main() {
+                int n = 0;
+                for (int i = 0; i < 10; i++) if (i % 3 == 0) n++;
+                return n;
+            }
+        """)
+        events = capture_trace(program, conditional_only=True)
+        assert len(events) >= 20  # 10 loop tests + 10 if tests (+ entry)

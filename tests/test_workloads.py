@@ -1,0 +1,98 @@
+"""Workload-suite correctness: every program runs identically on the
+tree-walking interpreter, the functional simulator, and the
+cycle-accurate pipeline (with and without folding)."""
+
+import pytest
+
+from repro.baselines.vax import run_vax_model
+from repro.core import FoldPolicy
+from repro.isa.parcels import to_s32
+from repro.lang import CompilerOptions, PredictionMode, compile_source
+from repro.sim import CpuConfig
+from repro.sim.cpu import run_cycle_accurate
+from repro.sim.functional import run_program
+from repro.workloads import FIGURE3, SUITE, get_workload
+
+# cycle-accurate runs are slower; keep them to the smaller programs
+PIPELINE_WORKLOADS = ("alternating", "strings", "matrix")
+
+
+@pytest.fixture(scope="module")
+def interpreter_results():
+    return {name: to_s32(run_vax_model(wl.source).return_value)
+            for name, wl in SUITE.items()}
+
+
+class TestSuite:
+    def test_suite_contents(self):
+        assert {"puzzle", "dhry_like", "cwhet_int", "sort", "strings",
+                "matrix", "alternating", "sieve", "queens", "fib",
+                "collatz"} == set(SUITE)
+
+    def test_get_workload(self):
+        assert get_workload("puzzle").name == "puzzle"
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_functional_matches_interpreter(self, name, interpreter_results):
+        simulator = run_program(compile_source(SUITE[name].source))
+        assert to_s32(simulator.state.accum) == interpreter_results[name]
+
+    @pytest.mark.parametrize("name", PIPELINE_WORKLOADS)
+    def test_pipeline_matches_interpreter(self, name, interpreter_results):
+        cpu = run_cycle_accurate(compile_source(SUITE[name].source))
+        from repro.isa.parcels import to_s32 as s32
+        assert s32(cpu.state.accum) == interpreter_results[name]
+
+    @pytest.mark.parametrize("name", PIPELINE_WORKLOADS)
+    def test_pipeline_folding_never_changes_results(self, name):
+        source = SUITE[name].source
+        program = compile_source(source)
+        folded = run_cycle_accurate(program)
+        unfolded = run_cycle_accurate(
+            compile_source(source),
+            CpuConfig(fold_policy=FoldPolicy.none()))
+        assert folded.state.accum == unfolded.state.accum
+        assert (folded.stats.executed_instructions
+                == unfolded.stats.executed_instructions)
+        assert folded.stats.cycles <= unfolded.stats.cycles
+
+    @pytest.mark.parametrize("name", ["alternating", "matrix"])
+    def test_spreading_never_changes_results(self, name):
+        source = SUITE[name].source
+        plain = run_program(compile_source(source))
+        spread = run_program(compile_source(
+            source, CompilerOptions(spreading=True)))
+        assert plain.state.accum == spread.state.accum
+        assert plain.stats.instructions == spread.stats.instructions
+
+
+class TestFigure3:
+    def test_result_value(self):
+        simulator = run_program(compile_source(FIGURE3))
+        # j == sum == 0+1+...+1023
+        assert to_s32(simulator.state.accum) == sum(range(1024))
+
+    def test_odd_even_split(self):
+        simulator = run_program(compile_source(FIGURE3))
+        assert simulator.read_symbol("odd") == 512
+        assert simulator.read_symbol("even") == 512
+
+    def test_instruction_count_near_paper(self):
+        # paper: 9734 total (we add a startup call/halt and one extra
+        # loop-entry test)
+        simulator = run_program(compile_source(FIGURE3))
+        assert abs(simulator.stats.instructions - 9734) < 20
+
+    def test_if_branch_alternates(self):
+        from repro.trace import capture_trace
+        program = compile_source(FIGURE3)
+        events = [e for e in capture_trace(program, conditional_only=True)]
+        by_pc = {}
+        for event in events:
+            by_pc.setdefault(event.pc, []).append(event.taken)
+        alternators = [outcomes for outcomes in by_pc.values()
+                       if len(outcomes) > 100
+                       and all(a != b for a, b in zip(outcomes, outcomes[1:]))]
+        assert alternators, "Figure 3 must contain an alternating branch"
