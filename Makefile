@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench eval report examples clean
+.PHONY: install test bench eval report examples obs obs-overhead clean
 
 install:
 	pip install -e .
@@ -19,6 +19,14 @@ eval:
 report:
 	$(PYTHON) -m repro.eval.cli report
 
+obs:
+	$(PYTHON) -m repro.obs.cli --workload figure3 \
+		--trace obs_trace.json --manifest obs_run.json \
+		--metrics obs_metrics.jsonl
+
+obs-overhead:
+	$(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
+
 examples:
 	@for example in examples/*.py; do \
 		echo "== $$example =="; \
@@ -28,3 +36,4 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .benchmarks build *.egg-info
+	rm -f obs_trace.json obs_run.json obs_metrics.jsonl

@@ -1,8 +1,14 @@
-"""``crisp-eval``: print any reproduced table or figure."""
+"""``crisp-eval``: print any reproduced table or figure.
+
+``--json`` switches every exhibit to machine-readable output — one JSON
+object per exhibit on stdout (see :mod:`repro.eval.jsonout`), diffable by
+tooling the way the terminal tables are not.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -17,15 +23,29 @@ def main(argv: list[str] | None = None) -> int:
              "as markdown)")
     parser.add_argument("--events", type=int, default=100_000,
                         help="synthetic-trace length for table1")
+    parser.add_argument("--json", action="store_true",
+                        help="emit each exhibit as one JSON object on "
+                             "stdout instead of terminal tables")
     args = parser.parse_args(argv)
 
     if args.exhibit == "report":
         from repro.eval.report import generate_report
-        print(generate_report(args.events))
+        report = generate_report(args.events)
+        if args.json:
+            print(json.dumps({"exhibit": "report", "markdown": report}))
+        else:
+            print(report)
         return 0
 
     wanted = (["table1", "table2", "table3", "table4", "figures",
                "branch-stats"] if args.exhibit == "all" else [args.exhibit])
+
+    if args.json:
+        from repro.eval.jsonout import exhibit_json
+        for name in wanted:
+            print(json.dumps(exhibit_json(name, args.events),
+                             sort_keys=True))
+        return 0
 
     if "table1" in wanted:
         from repro.eval.table1 import format_table1, run_table1

@@ -1,0 +1,114 @@
+"""Machine-readable views of every reproduced exhibit.
+
+``crisp-eval <exhibit> --json`` prints one JSON object per exhibit so
+tooling can diff reproduced numbers across runs (the same motivation as
+the :mod:`repro.obs.manifest` run documents — these are the evaluation-
+layer equivalent). Each document carries ``exhibit`` plus the measured
+rows and, where the paper states them, the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any
+
+
+def table1_json(synthetic_events: int) -> dict[str, Any]:
+    from repro.eval.table1 import PAPER_TABLE1, run_table1
+    rows = []
+    for row in run_table1(synthetic_events):
+        data = asdict(row)
+        data["paper"] = PAPER_TABLE1[row.program]
+        rows.append(data)
+    return {"exhibit": "table1", "rows": rows}
+
+
+def table2_json() -> dict[str, Any]:
+    from repro.eval.table2 import (
+        PAPER_CRISP_COUNTS,
+        PAPER_CRISP_TOTAL,
+        PAPER_VAX_COUNTS,
+        PAPER_VAX_TOTAL,
+        run_table2,
+    )
+    result = run_table2()
+    return {
+        "exhibit": "table2",
+        "crisp": {"total": result.crisp.instructions,
+                  "paper_total": PAPER_CRISP_TOTAL,
+                  "grouped_counts": result.crisp_grouped(),
+                  "paper_counts": dict(PAPER_CRISP_COUNTS)},
+        "vax": {"total": result.vax.total_instructions,
+                "paper_total": PAPER_VAX_TOTAL,
+                "opcode_counts": dict(result.vax.opcode_counts),
+                "paper_counts": dict(PAPER_VAX_COUNTS)},
+    }
+
+
+def table3_json() -> dict[str, Any]:
+    from repro.eval.table3 import run_table3
+    result = run_table3()
+    return {
+        "exhibit": "table3",
+        "unspread_gaps": result.unspread_gaps,
+        "spread_gaps": result.spread_gaps,
+        "if_branch_spread_distance": result.if_branch_spread_distance,
+        "unspread_listing": result.unspread_listing,
+        "spread_listing": result.spread_listing,
+    }
+
+
+def table4_json() -> dict[str, Any]:
+    from repro.eval.table4 import PAPER_TABLE4, run_table4
+    rows = []
+    for row in run_table4():
+        rows.append({
+            "case": row.case.name,
+            "folding": row.case.folding,
+            "prediction": row.case.prediction,
+            "spreading": row.case.spreading,
+            "relative_performance": row.relative_performance,
+            "paper": PAPER_TABLE4[row.case.name],
+            "metrics": row.stats.as_dict(),
+        })
+    return {"exhibit": "table4", "rows": rows}
+
+
+def figures_json() -> dict[str, Any]:
+    from repro.eval.figures import nextpc_datapath_cases, pipeline_structure
+    return {
+        "exhibit": "figures",
+        "figure1_blocks": [asdict(report)
+                           for report in pipeline_structure()],
+        "figure2_nextpc_cases": [asdict(case)
+                                 for case in nextpc_datapath_cases()],
+    }
+
+
+def branch_stats_json() -> dict[str, Any]:
+    from repro.eval.branch_stats import (
+        aggregate_one_parcel_fraction,
+        run_branch_stats,
+    )
+    rows = run_branch_stats()
+    return {
+        "exhibit": "branch-stats",
+        "rows": [asdict(row) for row in rows],
+        "one_parcel_fraction": aggregate_one_parcel_fraction(rows),
+    }
+
+
+def exhibit_json(name: str, synthetic_events: int = 100_000) -> dict[str, Any]:
+    """The JSON document for one exhibit name (as the CLI spells it)."""
+    builders = {
+        "table1": lambda: table1_json(synthetic_events),
+        "table2": table2_json,
+        "table3": table3_json,
+        "table4": table4_json,
+        "figures": figures_json,
+        "branch-stats": branch_stats_json,
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise ValueError(f"no JSON view for exhibit {name!r}") from None

@@ -25,6 +25,7 @@ from repro.lang.passes.predict import (
 )
 from repro.lang.passes.spreading import SPREAD_DISTANCE, spread_module
 from repro.lang.sema import analyze
+from repro.obs.events import EventBus, NULL_BUS
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,8 @@ class CompilerOptions:
 
 
 def compile_unit(source: str,
-                 options: CompilerOptions | None = None) -> AsmModule:
+                 options: CompilerOptions | None = None,
+                 obs: EventBus = NULL_BUS) -> AsmModule:
     """Compile to the assembly-level IR (before prediction bits)."""
     options = options or CompilerOptions()
     unit = parse(source)
@@ -61,30 +63,33 @@ def compile_unit(source: str,
     if options.peephole:
         peephole_module(module)
     if options.spreading:
-        spread_module(module, options.spread_distance)
+        spread_module(module, options.spread_distance, obs)
     return module
 
 
 def compile_to_assembly(source: str,
-                        options: CompilerOptions | None = None) -> str:
+                        options: CompilerOptions | None = None,
+                        obs: EventBus = NULL_BUS) -> str:
     """Compile to assembler source text."""
     options = options or CompilerOptions()
-    module = compile_unit(source, options)
+    module = compile_unit(source, options, obs)
     if options.prediction is PredictionMode.PROFILE:
-        _profile_and_annotate(module, options)
+        _profile_and_annotate(module, options, obs)
     else:
-        apply_prediction(module, options.prediction)
+        apply_prediction(module, options.prediction, obs)
     return module.render()
 
 
 def compile_source(source: str,
-                   options: CompilerOptions | None = None) -> Program:
+                   options: CompilerOptions | None = None,
+                   obs: EventBus = NULL_BUS) -> Program:
     """Compile and assemble into a runnable Program."""
-    return assemble(compile_to_assembly(source, options))
+    return assemble(compile_to_assembly(source, options, obs))
 
 
 def _profile_and_annotate(module: AsmModule,
-                          options: CompilerOptions) -> None:
+                          options: CompilerOptions,
+                          obs: EventBus = NULL_BUS) -> None:
     from repro.sim.functional import FunctionalSimulator
 
     apply_prediction(module, PredictionMode.HEURISTIC)
@@ -102,4 +107,5 @@ def _profile_and_annotate(module: AsmModule,
     simulator = FunctionalSimulator(program, branch_hook=hook)
     simulator.run(options.profile_instruction_budget)
     apply_profile(module, {index: (taken, total)
-                           for index, (taken, total) in counts.items()})
+                           for index, (taken, total) in counts.items()},
+                  obs)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 
 from repro.lang.asmir import AsmItem, AsmModule
+from repro.obs.events import EventBus, NULL_BUS
 
 
 class PredictionMode(enum.Enum):
@@ -39,7 +40,16 @@ def _label_positions(items: list[AsmItem]) -> dict[str, int]:
             for index, item in enumerate(items) if item.is_label}
 
 
-def apply_prediction(module: AsmModule, mode: PredictionMode) -> None:
+def _set_bit(item: AsmItem, taken: bool, obs: EventBus) -> None:
+    updated = _with_bit(item.mnemonic, taken)
+    obs.counter("predict.bits_set").inc()
+    if updated != item.mnemonic:
+        obs.counter("predict.bit_flips").inc()
+    item.mnemonic = updated
+
+
+def apply_prediction(module: AsmModule, mode: PredictionMode,
+                     obs: EventBus = NULL_BUS) -> None:
     """Set every conditional branch's prediction bit (non-profile modes)."""
     if mode is PredictionMode.PROFILE:
         raise ValueError("use apply_profile() for profile-guided prediction")
@@ -55,11 +65,12 @@ def apply_prediction(module: AsmModule, mode: PredictionMode) -> None:
             else:  # HEURISTIC: backward taken, forward not taken
                 target_index = labels.get(item.target, index + 1)
                 taken = target_index <= index
-            item.mnemonic = _with_bit(item.mnemonic, taken)
+            _set_bit(item, taken, obs)
 
 
 def apply_profile(module: AsmModule,
-                  taken_counts: dict[int, tuple[int, int]]) -> None:
+                  taken_counts: dict[int, tuple[int, int]],
+                  obs: EventBus = NULL_BUS) -> None:
     """Set prediction bits from a profile.
 
     ``taken_counts`` maps a module-order instruction index (as produced by
@@ -72,4 +83,4 @@ def apply_profile(module: AsmModule,
         taken, total = taken_counts.get(index, (0, 0))
         if total == 0:
             continue
-        item.mnemonic = _with_bit(item.mnemonic, taken * 2 > total)
+        _set_bit(item, taken * 2 > total, obs)

@@ -29,6 +29,7 @@ from repro.lang.asmir import (
     AsmModule,
     items_conflict,
 )
+from repro.obs.events import EventBus, NULL_BUS
 
 SPREAD_DISTANCE = 3
 """Instructions needed between compare and branch for zero-cost resolution
@@ -190,7 +191,8 @@ def _pull_from_join(items: list[AsmItem], site: _Site,
 
 
 def spread_function(function: AsmFunction,
-                    distance: int = SPREAD_DISTANCE) -> int:
+                    distance: int = SPREAD_DISTANCE,
+                    obs: EventBus = NULL_BUS) -> int:
     """Spread every compare/branch pair in a function.
 
     Returns the number of instructions moved.
@@ -207,14 +209,19 @@ def spread_function(function: AsmFunction,
             if _hoist_past_compare(items, site) \
                     or _pull_from_join(items, site, protected):
                 moved += 1
+                obs.counter("spread.moved").inc()
                 progressed = True
                 break  # indices shifted: recompute sites
         if not progressed:
             break
+    if obs.enabled:
+        for site in _find_sites(items):
+            obs.histogram("spread.distance").observe(site.gap)
     return moved
 
 
-def spread_module(module: AsmModule, distance: int = SPREAD_DISTANCE) -> int:
+def spread_module(module: AsmModule, distance: int = SPREAD_DISTANCE,
+                  obs: EventBus = NULL_BUS) -> int:
     """Spread every function; returns total instructions moved."""
-    return sum(spread_function(function, distance)
+    return sum(spread_function(function, distance, obs)
                for function in module.functions)

@@ -1,0 +1,43 @@
+"""Unified telemetry: the ``repro.obs`` event bus and its exporters.
+
+Every simulator component publishes named probes — counters, gauges and
+histograms — to an :class:`~repro.obs.events.EventBus`. With no sink
+attached the bus is a handful of integer updates per *event* (never per
+cycle), cheap enough to leave on permanently
+(``benchmarks/bench_obs_overhead.py`` guards the cost); attach a sink and
+every probe update becomes a structured record.
+
+Exporters (:mod:`repro.obs.export`) turn a run into machine-readable
+artefacts: a JSONL metrics dump, a Chrome/Perfetto trace-event file built
+from :class:`~repro.sim.tracer.PipelineTrace`, and a run manifest
+(:mod:`repro.obs.manifest`) capturing config, workload, git SHA and final
+metrics in one JSON document. ``crisp-obs`` (:mod:`repro.obs.cli`) drives
+all of it from the command line.
+
+Only the lightweight core is imported here; exporters and the CLI import
+the simulator and are loaded on demand.
+"""
+
+from repro.obs.events import (
+    Counter,
+    EventBus,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MemorySink,
+    NULL_BUS,
+)
+from repro.obs.registry import CATALOGUE, ProbeSpec, spec_for
+
+__all__ = [
+    "CATALOGUE",
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_BUS",
+    "ProbeSpec",
+    "spec_for",
+]

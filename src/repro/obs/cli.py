@@ -1,0 +1,178 @@
+"""``crisp-obs``: run a workload with full telemetry attached.
+
+One command produces every observability artefact for a run: a Perfetto
+trace (`--trace`), a run manifest (`--manifest`), a JSONL dump of the
+final probe values (`--metrics`), a live JSONL stream of every probe
+update (`--events`), and a terminal summary with a cycle-breakdown bar.
+
+Examples::
+
+    python -m repro.obs.cli --workload figure3 --trace out.json \\
+        --manifest run.json
+    python -m repro.obs.cli --workload puzzle --no-fold --window 24
+    python -m repro.obs.cli --table4-baseline BENCH_obs_baseline.json
+    python -m repro.obs.cli --probes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.obs.events import EventBus, JsonlSink
+
+BAR_WIDTH = 40
+_BAR_GLYPHS = {"issue": "#", "penalty": "!", "other_stall": ".",
+               "residual": "~"}
+
+
+def breakdown_bar(breakdown: dict[str, float],
+                  width: int = BAR_WIDTH) -> str:
+    """Render the cycle breakdown as a fixed-width segment bar."""
+    cells: list[str] = []
+    for key, glyph in _BAR_GLYPHS.items():
+        cells.extend(glyph * round(breakdown.get(key, 0.0) * width))
+    del cells[width:]
+    cells.extend("~" * (width - len(cells)))  # rounding slack
+    return "[" + "".join(cells) + "]"
+
+
+def _format_summary(workload: str, stats, breakdown) -> list[str]:
+    lines = [f"== {workload} ==", stats.summary(), ""]
+    lines.append("cycle breakdown "
+                 + " ".join(f"{glyph} {key} {100 * breakdown[key]:.1f}%"
+                            for key, glyph in _BAR_GLYPHS.items()))
+    lines.append(f"{breakdown_bar(breakdown)} {stats.cycles} cycles")
+    return lines
+
+
+def _workload_source(name: str) -> str:
+    if name == "figure3":
+        from repro.workloads import FIGURE3
+        return FIGURE3
+    from repro.workloads import get_workload
+    return get_workload(name).source
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs",
+        description="Run a workload and emit telemetry artefacts "
+                    "(Perfetto trace, run manifest, metrics).")
+    parser.add_argument("--workload", default="figure3",
+                        help="figure3 or a workload-suite name "
+                             "(default: figure3)")
+    parser.add_argument("--spread", action="store_true",
+                        help="enable Branch Spreading")
+    parser.add_argument("--predict", default="heuristic",
+                        choices=["not_taken", "taken", "heuristic",
+                                 "profile"],
+                        help="static prediction-bit policy")
+    parser.add_argument("--no-fold", action="store_true",
+                        help="disable Branch Folding")
+    parser.add_argument("--icache", type=int, default=None, metavar="N",
+                        help="decoded-cache entries (power of two)")
+    parser.add_argument("--mem-latency", type=int, default=None,
+                        metavar="N", help="cycles per instruction fetch")
+    parser.add_argument("--max-cycles", type=int, default=50_000_000)
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Perfetto trace-event JSON file")
+    parser.add_argument("--manifest", metavar="PATH",
+                        help="write the run-manifest JSON document")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write final probe values as JSONL")
+    parser.add_argument("--events", metavar="PATH",
+                        help="stream every probe update as JSONL "
+                             "(slow: attaches a live sink)")
+    parser.add_argument("--window", type=int, default=0, metavar="N",
+                        help="print the first N trace cycles as a "
+                             "pipeline diagram")
+    parser.add_argument("--table4-baseline", metavar="PATH",
+                        help="emit the Table-4 A-E baseline manifests "
+                             "and exit")
+    parser.add_argument("--probes", action="store_true",
+                        help="print the probe catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.probes:
+        from repro.obs.registry import catalogue_rows
+        for name, kind, unit, description in catalogue_rows():
+            print(f"{name:<28} {kind:<10} {unit:<13} {description}")
+        return 0
+
+    if args.table4_baseline:
+        from repro.obs.manifest import table4_baseline, write_manifest
+        write_manifest(args.table4_baseline, table4_baseline())
+        print(f"wrote Table-4 baseline -> {args.table4_baseline}")
+        return 0
+
+    from repro.core.policy import FoldPolicy
+    from repro.lang import CompilerOptions, PredictionMode, compile_source
+    from repro.lang.lexer import CompileError
+    from repro.obs.export import write_metrics, write_trace
+    from repro.obs.manifest import manifest_for_cpu, write_manifest
+    from repro.sim.cpu import CpuConfig, CrispCpu
+    from repro.sim.tracer import PipelineTrace
+
+    obs = EventBus()
+    events_stream = None
+    if args.events:
+        events_stream = open(args.events, "w", encoding="utf-8")
+        obs.attach(JsonlSink(events_stream))
+
+    try:
+        source = _workload_source(args.workload)
+    except KeyError:
+        parser.error(f"unknown workload {args.workload!r}")
+    options = CompilerOptions(
+        spreading=args.spread,
+        prediction=PredictionMode(args.predict))
+    try:
+        program = compile_source(source, options, obs)
+    except CompileError as error:
+        print(f"error: {error}")
+        return 1
+
+    config_kwargs = {}
+    if args.no_fold:
+        config_kwargs["fold_policy"] = FoldPolicy.none()
+    if args.icache is not None:
+        config_kwargs["icache_entries"] = args.icache
+    if args.mem_latency is not None:
+        config_kwargs["mem_latency"] = args.mem_latency
+    config = CpuConfig(**config_kwargs)
+
+    cpu = CrispCpu(program, config, obs=obs)
+    trace = PipelineTrace(cpu)
+    trace.run(args.max_cycles)
+    if events_stream is not None:
+        events_stream.close()
+
+    stats = cpu.stats
+    for line in _format_summary(args.workload, stats, stats.breakdown()):
+        print(line)
+
+    if args.window:
+        print()
+        print(trace.format_window(0, args.window))
+
+    if args.trace:
+        events = write_trace(args.trace, trace.records)
+        print(f"wrote {len(events)} trace events -> {args.trace} "
+              f"(open at ui.perfetto.dev)")
+    if args.manifest:
+        write_manifest(args.manifest, manifest_for_cpu(args.workload, cpu))
+        print(f"wrote run manifest -> {args.manifest}")
+    if args.metrics:
+        write_metrics(args.metrics, obs)
+        print(f"wrote probe metrics -> {args.metrics}")
+    if args.events:
+        print(f"wrote live event stream -> {args.events}")
+    print()
+    print("probe counters: "
+          + json.dumps(obs.counters(), sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

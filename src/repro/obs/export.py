@@ -1,0 +1,113 @@
+"""Exporters: JSONL metrics dumps and Chrome/Perfetto trace-event files.
+
+The trace exporter turns a :class:`~repro.sim.tracer.PipelineTrace` into
+the Trace Event Format consumed by ``ui.perfetto.dev`` and
+``chrome://tracing``: one timeline row per EU stage (IR/OR/RR), a one-
+cycle slice per occupied stage slot, instant events for icache demand
+misses, and a counter track of stage occupancy. Time is measured in
+cycles (1 cycle = 1 "µs" on the viewer's axis). Every event carries the
+``ph``/``ts``/``pid``/``tid``/``name`` quintuple, so the file is a plain
+list of dicts that any trace tooling can parse.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable
+
+from repro.obs.events import EventBus
+
+PID = 1
+_STAGE_TIDS = (("ir", 1, "IR (fetch/decode read)"),
+               ("or_", 2, "OR (operand)"),
+               ("rr", 3, "RR (result/resolve)"))
+_MISS_TID = 4
+
+
+def _slice(name: str, ts: int, tid: int, *,
+           dur: int = 1, cat: str = "stage",
+           args: dict[str, Any] | None = None) -> dict[str, Any]:
+    event: dict[str, Any] = {"ph": "X", "ts": ts, "dur": dur, "pid": PID,
+                             "tid": tid, "name": name, "cat": cat}
+    if args:
+        event["args"] = args
+    return event
+
+
+def _metadata(name: str, tid: int, label: str) -> dict[str, Any]:
+    return {"ph": "M", "ts": 0, "pid": PID, "tid": tid, "name": name,
+            "args": {"name": label}}
+
+
+def trace_events(records: Iterable[Any]) -> list[dict[str, Any]]:
+    """Build Trace Event Format dicts from ``PipelineTrace`` records.
+
+    ``records`` is any iterable of objects with the
+    :class:`~repro.sim.tracer.CycleRecord` fields; the trace module is not
+    imported so this stays usable on recorded/deserialized data too.
+    """
+    events: list[dict[str, Any]] = [
+        _metadata("process_name", 0, "CrispCpu"),
+        _metadata("thread_name", _MISS_TID, "icache demand misses"),
+    ]
+    for _, tid, label in _STAGE_TIDS:
+        events.append(_metadata("thread_name", tid, label))
+
+    for record in records:
+        ts = record.cycle - 1  # record.cycle counts cycles *completed*
+        occupied = 0
+        for attr, tid, _ in _STAGE_TIDS:
+            text = getattr(record, attr)
+            if text == "-":
+                continue
+            occupied += 1
+            squashed = text.startswith("x(")
+            speculative = text.startswith("?")
+            args: dict[str, Any] = {}
+            if squashed:
+                args["squashed"] = True
+            if speculative:
+                args["speculative"] = True
+            events.append(_slice(
+                text, ts, tid,
+                cat="squash" if squashed else "stage",
+                args=args or None))
+        if record.icache_miss:
+            events.append({"ph": "i", "ts": ts, "pid": PID,
+                           "tid": _MISS_TID, "name": "icache miss",
+                           "cat": "icache", "s": "t"})
+        events.append({"ph": "C", "ts": ts, "pid": PID, "tid": 0,
+                       "name": "eu_occupancy",
+                       "args": {"stages": occupied}})
+        if record.halted:
+            events.append({"ph": "i", "ts": ts, "pid": PID, "tid": 3,
+                           "name": "halt", "cat": "stage", "s": "g"})
+    return events
+
+
+def write_trace(path: str, records: Iterable[Any]) -> list[dict[str, Any]]:
+    """Write a Perfetto-loadable JSON array of trace events to ``path``."""
+    events = trace_events(records)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(events, stream)
+    return events
+
+
+def metrics_lines(bus: EventBus) -> list[str]:
+    """One JSON object per probe: the JSONL metrics dump."""
+    return [json.dumps({"probe": name, **snap})
+            for name, snap in bus.snapshot().items()]
+
+
+def write_metrics(path: str, bus: EventBus) -> None:
+    """Dump every probe's final value as JSONL."""
+    with open(path, "w", encoding="utf-8") as stream:
+        for line in metrics_lines(bus):
+            stream.write(line + "\n")
+
+
+def event_stream_writer(stream: IO[str]):
+    """A live sink writing every published probe update to ``stream``
+    (convenience re-export of :class:`~repro.obs.events.JsonlSink`)."""
+    from repro.obs.events import JsonlSink
+    return JsonlSink(stream)

@@ -1,0 +1,124 @@
+"""The run manifest: one JSON document describing one simulated run.
+
+A manifest captures everything needed to compare runs over time — the
+machine configuration (:class:`~repro.sim.cpu.CpuConfig` including the
+fold policy), the workload identity, the repository git SHA, the final
+:class:`~repro.sim.stats.PipelineStats` metrics and the telemetry probe
+snapshot. ``BENCH_obs_baseline.json`` (the perf-trajectory seed) is a
+list of these, one per Table-4 case.
+
+Schema (``schema`` = 1)::
+
+    {
+      "schema": 1,
+      "kind": "crisp-run-manifest",
+      "workload": "figure3",
+      "git_sha": "..." | null,
+      "config": {"icache_entries": ..., "fold_policy": {...}, ...},
+      "metrics": PipelineStats.as_dict(),
+      "probes": EventBus.snapshot(),
+      "extra": {...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import EventBus
+from repro.sim.cpu import CpuConfig, CrispCpu
+from repro.sim.stats import PipelineStats
+
+SCHEMA_VERSION = 1
+MANIFEST_KIND = "crisp-run-manifest"
+
+
+def git_sha() -> str | None:
+    """The repository HEAD this run was produced from, if discoverable."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def config_dict(config: CpuConfig) -> dict[str, Any]:
+    """JSON-ready view of a machine configuration."""
+    policy = config.fold_policy
+    return {
+        "icache_entries": config.icache_entries,
+        "mem_latency": config.mem_latency,
+        "decode_latency": config.decode_latency,
+        "prefetch_depth": config.prefetch_depth,
+        "fold_policy": {
+            "enabled": policy.enabled,
+            "body_lengths": sorted(policy.body_lengths),
+            "branch_lengths": sorted(policy.branch_lengths),
+            "fold_calls": policy.fold_calls,
+            "next_address_fields": policy.next_address_fields,
+        },
+    }
+
+
+def build_manifest(workload: str, config: CpuConfig,
+                   stats: PipelineStats,
+                   obs: EventBus | None = None,
+                   extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Assemble the manifest document for one finished run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": MANIFEST_KIND,
+        "workload": workload,
+        "git_sha": git_sha(),
+        "config": config_dict(config),
+        "metrics": stats.as_dict(),
+        "probes": obs.snapshot() if obs is not None else {},
+        "extra": extra or {},
+    }
+
+
+def manifest_for_cpu(workload: str, cpu: CrispCpu,
+                     extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Manifest for a run that finished on ``cpu``."""
+    return build_manifest(workload, cpu.config, cpu.stats, cpu.obs, extra)
+
+
+def write_manifest(path: str, manifest: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(manifest, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def table4_baseline() -> dict[str, Any]:
+    """Manifests for the Table-4 cases A–E: the perf-trajectory seed.
+
+    Future PRs diff their own manifests against this document to prove a
+    speedup (or catch a regression) per case.
+    """
+    from repro.core.policy import FoldPolicy
+    from repro.eval.table4 import CASE_DEFINITIONS, run_case
+
+    cases = []
+    for case in CASE_DEFINITIONS:
+        stats = run_case(case)
+        config = CpuConfig(fold_policy=(FoldPolicy.crisp() if case.folding
+                                        else FoldPolicy.none()))
+        cases.append(build_manifest(
+            f"figure3/case_{case.name}", config, stats,
+            extra={"case": case.name, "folding": case.folding,
+                   "prediction": case.prediction,
+                   "spreading": case.spreading}))
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "crisp-bench-baseline",
+        "bench": "table4_cases",
+        "git_sha": git_sha(),
+        "cases": cases,
+    }

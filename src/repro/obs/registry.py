@@ -1,0 +1,116 @@
+"""The probe catalogue: every canonical probe name, typed and documented.
+
+Components may create ad-hoc probes, but everything the simulator,
+predictor harness and compiler passes publish is declared here so tooling
+(the manifest writer, the docs, dashboards diffing two runs) can rely on
+stable names and meanings. ``docs/observability.md`` renders this
+catalogue; a consistency test keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import EventBus
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """Declaration of one canonical probe."""
+
+    name: str
+    kind: str  #: "counter" | "gauge" | "histogram"
+    unit: str
+    description: str
+
+
+CATALOGUE: tuple[ProbeSpec, ...] = (
+    # ---- execution unit ----------------------------------------------------
+    ProbeSpec("branch.executed", "counter", "branches",
+              "Branches retired by the EU (folded or not)."),
+    ProbeSpec("fold.succeeded", "counter", "branches",
+              "Executed branches that were folded — never occupied an EU "
+              "slot. Reconciles with PipelineStats.folded_branches."),
+    ProbeSpec("mispredict.count", "counter", "events",
+              "Wrong-path branch resolutions. Reconciles with "
+              "PipelineStats.mispredictions."),
+    ProbeSpec("mispredict.penalty_cycles", "counter", "cycles",
+              "Recovery bubbles charged to mispredictions (3/2/1 by "
+              "resolving stage)."),
+    ProbeSpec("squash.slots", "counter", "slots",
+              "Pipeline slots invalidated by recovery or interrupts. "
+              "Reconciles with PipelineStats.squashed_slots."),
+    ProbeSpec("zero_cost.overrides", "counter", "branches",
+              "Fetch-time flag reads that overrode a wrong prediction bit "
+              "for free (what Branch Spreading engineers)."),
+    ProbeSpec("eu.interrupts", "counter", "events",
+              "Precise interrupts delivered to the EU."),
+    # ---- decoded instruction cache ----------------------------------------
+    ProbeSpec("icache.demand_hit", "counter", "fetches",
+              "EU fetches served directly by the Decoded Instruction "
+              "Cache."),
+    ProbeSpec("icache.demand_miss", "counter", "fetches",
+              "EU fetches that missed and raised a PDU demand. Reconciles "
+              "with PipelineStats.icache_misses."),
+    ProbeSpec("icache.miss.latency", "histogram", "cycles",
+              "Cycles from a demand miss to the first hit at that address "
+              "(the EU-visible fill latency)."),
+    ProbeSpec("icache.fills", "counter", "entries",
+              "Decoded entries written into the cache."),
+    ProbeSpec("icache.conflict_evictions", "counter", "entries",
+              "Fills that displaced a live entry with a different tag "
+              "(direct-mapped conflicts)."),
+    # ---- prefetch/decode unit ---------------------------------------------
+    ProbeSpec("pdu.decoded", "counter", "entries",
+              "Entries decoded by the PDR stage."),
+    ProbeSpec("fold.attempted", "counter", "entries",
+              "Decodes where the folder peeked past a non-branch body "
+              "looking for a foldable branch."),
+    ProbeSpec("fold.decoded", "counter", "entries",
+              "Decodes that produced a folded (body + branch) entry."),
+    ProbeSpec("pdu.memory_accesses", "counter", "accesses",
+              "Four-parcel instruction-memory fetches issued."),
+    ProbeSpec("pdu.queue.depth", "gauge", "parcels",
+              "Instruction-queue occupancy, sampled when a fetch lands."),
+    ProbeSpec("pdu.prefetch.ahead", "gauge", "entries",
+              "How far decode ran past the last EU demand, sampled per "
+              "decode."),
+    # ---- prediction harness -----------------------------------------------
+    ProbeSpec("predict.events", "counter", "branches",
+              "Dynamic branch events scored by the prediction study."),
+    # ---- compiler passes ---------------------------------------------------
+    ProbeSpec("spread.moved", "counter", "instructions",
+              "Instructions relocated by the Branch Spreading pass."),
+    ProbeSpec("spread.distance", "histogram", "instructions",
+              "Final compare-to-branch gap at each spreading site."),
+    ProbeSpec("predict.bits_set", "counter", "branches",
+              "Conditional branches whose static prediction bit was "
+              "assigned."),
+    ProbeSpec("predict.bit_flips", "counter", "branches",
+              "Assignments that changed the branch's existing bit."),
+)
+
+_BY_NAME = {spec.name: spec for spec in CATALOGUE}
+
+
+def spec_for(name: str) -> ProbeSpec | None:
+    """Catalogue entry for ``name``, or None for ad-hoc probes."""
+    return _BY_NAME.get(name)
+
+
+def validate(bus: EventBus) -> list[str]:
+    """Probe names on ``bus`` whose kind disagrees with the catalogue.
+
+    Ad-hoc (uncatalogued) probes are allowed and not reported.
+    """
+    problems = []
+    for name, probe in bus.probes.items():
+        spec = _BY_NAME.get(name)
+        if spec is not None and spec.kind != probe.kind:
+            problems.append(f"{name}: declared {spec.kind}, got {probe.kind}")
+    return problems
+
+
+def catalogue_rows() -> list[tuple[str, str, str, str]]:
+    """(name, kind, unit, description) rows for docs and ``--probes``."""
+    return [(s.name, s.kind, s.unit, s.description) for s in CATALOGUE]

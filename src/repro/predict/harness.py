@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.asm.program import Program
+from repro.obs.events import EventBus, NULL_BUS
 from repro.predict.base import BranchPredictor
 from repro.predict.dynamic import CounterPredictor
 from repro.predict.static import OptimalStaticPredictor
@@ -32,17 +33,21 @@ class PredictionStudy:
     """Applies many predictors to one stream of branch events."""
 
     def __init__(self, predictors: Iterable[BranchPredictor] | None = None,
-                 conditional_only: bool = True) -> None:
+                 conditional_only: bool = True,
+                 obs: EventBus = NULL_BUS) -> None:
         self.predictors = (list(predictors) if predictors is not None
                            else standard_predictors())
         self.conditional_only = conditional_only
         self.events = 0
+        self.obs = obs
+        self._p_events = obs.counter("predict.events")
 
     def observe(self, event: BranchEvent) -> None:
         """Feed one dynamic branch to every predictor."""
         if self.conditional_only and not event.conditional:
             return
         self.events += 1
+        self._p_events.inc()
         for predictor in self.predictors:
             predictor.observe(event.pc, event.taken, event.target)
 
@@ -52,6 +57,9 @@ class PredictionStudy:
 
     def accuracies(self) -> dict[str, float]:
         """Accuracy per predictor name."""
+        for predictor in self.predictors:
+            self.obs.gauge(f"predict.accuracy.{predictor.name}").set(
+                predictor.accuracy)
         return {p.name: p.accuracy for p in self.predictors}
 
     def row(self) -> list[float]:
@@ -62,13 +70,13 @@ class PredictionStudy:
 def measure_predictors(program: Program,
                        predictors: Iterable[BranchPredictor] | None = None,
                        max_instructions: int = 50_000_000,
-                       ) -> PredictionStudy:
+                       obs: EventBus = NULL_BUS) -> PredictionStudy:
     """Run ``program`` on the functional simulator with every predictor
     attached to the branch hook (the paper's in-situ method)."""
     from repro.sim.functional import FunctionalSimulator
     from repro.isa.instructions import BranchMode
 
-    study = PredictionStudy(predictors)
+    study = PredictionStudy(predictors, obs=obs)
 
     def hook(pc: int, instruction, taken: bool) -> None:
         target = None

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.asm.program import Program
 from repro.core.policy import FoldPolicy
+from repro.obs.events import EventBus
 from repro.sim.eu import ExecutionUnit
 from repro.sim.icache import DecodedICache
 from repro.sim.memory import Memory
@@ -42,23 +43,33 @@ class CrispCpu:
     """Cycle-accurate simulator of the CRISP-like machine."""
 
     def __init__(self, program: Program,
-                 config: CpuConfig | None = None) -> None:
+                 config: CpuConfig | None = None,
+                 obs: EventBus | None = None) -> None:
         self.program = program
         self.config = config or CpuConfig()
+        #: per-run telemetry namespace; pass a shared bus to aggregate, or
+        #: ``EventBus(enabled=False)`` to strip instrumentation entirely
+        self.obs = obs if obs is not None else EventBus()
         self.memory = Memory()
         self.memory.load_program(program)
         self.state = MachineState(
             self.memory, pc=program.entry, sp=program.stack_top)
         self.stats = PipelineStats()
-        self.icache = DecodedICache(self.config.icache_entries)
+        self.icache = DecodedICache(self.config.icache_entries, obs=self.obs)
         self.pdu = PrefetchDecodeUnit(
             self.memory, self.icache, self.config.fold_policy,
             mem_latency=self.config.mem_latency,
             decode_latency=self.config.decode_latency,
-            prefetch_depth=self.config.prefetch_depth)
-        self.eu = ExecutionUnit(self.state, self.stats)
+            prefetch_depth=self.config.prefetch_depth,
+            obs=self.obs)
+        self.eu = ExecutionUnit(self.state, self.stats, obs=self.obs)
         self._pending_interrupt: int | None = None
         self.interrupts_taken = 0
+        self._p_demand_hit = self.obs.counter("icache.demand_hit")
+        self._p_demand_miss = self.obs.counter("icache.demand_miss")
+        self._p_miss_latency = self.obs.histogram("icache.miss.latency")
+        self._miss_address: int | None = None  #: demand miss being timed
+        self._miss_cycle = 0
         # cold start: the PDU begins decoding at the entry point
         self.pdu.demand(program.entry)
 
@@ -73,14 +84,24 @@ class CrispCpu:
 
         fetched = None
         if self.eu.ir_next_pc is not None:
-            entry = self.icache.lookup(self.eu.ir_next_pc)
+            address = self.eu.ir_next_pc
+            entry = self.icache.lookup(address)
             if entry is not None:
                 fetched = entry
+                if address == self._miss_address:
+                    self._p_miss_latency.observe(
+                        self.stats.cycles - self._miss_cycle)
+                    self._miss_address = None
             else:
                 self.stats.icache_misses += 1
-                self.pdu.demand(self.eu.ir_next_pc)
+                self._p_demand_miss.inc(address=address)
+                if address != self._miss_address:
+                    self._miss_address = address
+                    self._miss_cycle = self.stats.cycles
+                self.pdu.demand(address)
         if fetched is not None:
             self.stats.icache_hits += 1
+            self._p_demand_hit.inc()
 
         self.eu.tick(fetched)
         self.stats.cycles += 1
@@ -130,8 +151,9 @@ class CrispCpu:
 
 def run_cycle_accurate(program: Program,
                        config: CpuConfig | None = None,
-                       max_cycles: int = 50_000_000) -> CrispCpu:
+                       max_cycles: int = 50_000_000,
+                       obs: EventBus | None = None) -> CrispCpu:
     """Run ``program`` on the cycle-accurate machine and return the CPU."""
-    cpu = CrispCpu(program, config)
+    cpu = CrispCpu(program, config, obs=obs)
     cpu.run(max_cycles)
     return cpu

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.core.decoded import DecodedEntry
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.parcels import to_u32
+from repro.obs.events import EventBus, NULL_BUS
 from repro.sim.semantics import MachineState, execute
 from repro.sim.stats import PipelineStats
 
@@ -52,9 +53,18 @@ class StageSlot:
 class ExecutionUnit:
     """Cycle-level model of the CRISP execution pipeline."""
 
-    def __init__(self, state: MachineState, stats: PipelineStats) -> None:
+    def __init__(self, state: MachineState, stats: PipelineStats,
+                 obs: EventBus = NULL_BUS) -> None:
         self.state = state
         self.stats = stats
+        self.obs = obs
+        self._p_branch = obs.counter("branch.executed")
+        self._p_folded = obs.counter("fold.succeeded")
+        self._p_mispredict = obs.counter("mispredict.count")
+        self._p_penalty = obs.counter("mispredict.penalty_cycles")
+        self._p_squash = obs.counter("squash.slots")
+        self._p_override = obs.counter("zero_cost.overrides")
+        self._p_interrupt = obs.counter("eu.interrupts")
         self.ir: StageSlot | None = None
         self.or_: StageSlot | None = None
         self.rr: StageSlot | None = None
@@ -88,6 +98,7 @@ class ExecutionUnit:
             if seen and candidate is not None and candidate.valid:
                 candidate.valid = False
                 self.stats.squashed_slots += 1
+                self._p_squash.inc()
 
     # ---- the clock ----------------------------------------------------------
 
@@ -152,6 +163,7 @@ class ExecutionUnit:
 
         if entry.is_folded:
             self.stats.folded_branches += 1
+            self._p_folded.inc()
         self.stats.executed_instructions += 1
 
         if branch.op_class is OpClass.RETURN:
@@ -208,6 +220,8 @@ class ExecutionUnit:
             if slot.chosen_taken != correct:
                 self.stats.mispredictions += 1
                 self.stats.misprediction_penalty_cycles += 3
+                self._p_mispredict.inc(stage="RR", folded=False)
+                self._p_penalty.inc(3)
                 slot.chosen_taken = correct
                 self._squash_younger(slot, fetched)
                 assert slot.other_pc is not None
@@ -218,6 +232,7 @@ class ExecutionUnit:
         self._record_branch(branch, taken=bool(slot.chosen_taken))
 
     def _record_branch(self, branch, *, taken: bool) -> None:
+        self._p_branch.inc()
         self.stats.execution.record(
             branch.opcode.value,
             is_branch=True,
@@ -251,6 +266,8 @@ class ExecutionUnit:
                 penalty = 1
             self.stats.mispredictions += 1
             self.stats.misprediction_penalty_cycles += penalty
+            self._p_mispredict.inc(stage=stage, folded=True)
+            self._p_penalty.inc(penalty)
             slot.chosen_taken = correct
             self._squash_younger(slot, fetched)
             assert slot.other_pc is not None
@@ -271,10 +288,12 @@ class ExecutionUnit:
         handler. ``reti`` restores both.
         """
         state = self.state
+        self._p_interrupt.inc(vector=vector)
         for slot in (self.rr, self.or_, self.ir):
             if slot is not None and slot.valid:
                 slot.valid = False
                 self.stats.squashed_slots += 1
+                self._p_squash.inc()
         state.sp = to_u32(state.sp - 4)
         state.memory.write_word(state.sp, self.retire_next_pc)
         state.sp = to_u32(state.sp - 4)
@@ -316,6 +335,7 @@ class ExecutionUnit:
             actual = entry.taken_when(self.state.flag)
             if actual != predicted:
                 self.stats.zero_cost_overrides += 1
+                self._p_override.inc()
             slot.chosen_taken = actual
             slot.resolved = True
             chosen = taken_pc if actual else fall_pc

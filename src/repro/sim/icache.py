@@ -16,18 +16,22 @@ from __future__ import annotations
 
 from repro.core.decoded import DecodedEntry
 from repro.isa.parcels import PARCEL_BYTES
+from repro.obs.events import EventBus, NULL_BUS
 
 
 class DecodedICache:
     """Direct-mapped cache of :class:`~repro.core.decoded.DecodedEntry`."""
 
-    def __init__(self, entries: int = 32) -> None:
+    def __init__(self, entries: int = 32, *,
+                 obs: EventBus = NULL_BUS) -> None:
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("cache size must be a positive power of two")
         self.size = entries
         self._lines: list[DecodedEntry | None] = [None] * entries
         self.hits = 0
         self.misses = 0
+        self._p_fills = obs.counter("icache.fills")
+        self._p_evictions = obs.counter("icache.conflict_evictions")
 
     def index_of(self, address: int) -> int:
         """Cache index: low bits of the parcel-aligned address."""
@@ -49,7 +53,12 @@ class DecodedICache:
 
     def fill(self, entry: DecodedEntry) -> None:
         """Write a decoded entry (replacing any conflicting line)."""
-        self._lines[self.index_of(entry.address)] = entry
+        index = self.index_of(entry.address)
+        previous = self._lines[index]
+        if previous is not None and previous.address != entry.address:
+            self._p_evictions.inc()
+        self._p_fills.inc()
+        self._lines[index] = entry
 
     def invalidate(self) -> None:
         """Clear every line (machine reset)."""

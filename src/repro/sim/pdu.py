@@ -33,6 +33,7 @@ from repro.core.folder import BranchFolder
 from repro.core.policy import FoldPolicy
 from repro.isa.encoding import EncodingError
 from repro.isa.parcels import PARCEL_BYTES
+from repro.obs.events import EventBus, NULL_BUS
 from repro.sim.icache import DecodedICache
 from repro.sim.memory import Memory
 
@@ -53,13 +54,21 @@ class PrefetchDecodeUnit:
 
     def __init__(self, memory: Memory, icache: DecodedICache,
                  policy: FoldPolicy, *, mem_latency: int = 2,
-                 decode_latency: int = 2, prefetch_depth: int = 16) -> None:
+                 decode_latency: int = 2, prefetch_depth: int = 16,
+                 obs: EventBus = NULL_BUS) -> None:
         self.memory = memory
         self.icache = icache
         self.folder = BranchFolder(memory.read_parcel, policy)
         self.mem_latency = mem_latency
         self.decode_latency = decode_latency
         self.prefetch_depth = prefetch_depth
+        self.obs = obs
+        self._p_decoded = obs.counter("pdu.decoded")
+        self._p_fold_attempted = obs.counter("fold.attempted")
+        self._p_fold_decoded = obs.counter("fold.decoded")
+        self._p_accesses = obs.counter("pdu.memory_accesses")
+        self._p_queue_depth = obs.gauge("pdu.queue.depth")
+        self._p_ahead = obs.gauge("pdu.prefetch.ahead")
 
         self.decode_pc: int | None = None  #: next address to decode
         self.queue_base = 0  #: byte address of the first buffered parcel
@@ -113,6 +122,7 @@ class PrefetchDecodeUnit:
             self.fetch_countdown -= 1
             if self.fetch_countdown == 0:
                 self.queue_parcels += self.FETCH_PARCELS
+                self._p_queue_depth.set(self.queue_parcels)
 
     def _parcels_buffered(self, address: int) -> int:
         """How many buffered parcels are available from ``address`` on."""
@@ -145,6 +155,16 @@ class PrefetchDecodeUnit:
         self.inflight.append(_InFlight(entry, self.decode_latency))
         self.decoded_entries += 1
         self.entries_ahead += 1
+        self._p_decoded.inc()
+        self._p_ahead.set(self.entries_ahead)
+        if entry.is_folded:
+            self._p_fold_attempted.inc()
+            self._p_fold_decoded.inc()
+        elif (entry.body is not None
+              and self.folder.policy.enabled
+              and entry.body.length_parcels()
+              in self.folder.policy.body_lengths):
+            self._p_fold_attempted.inc()  # peeked at a follower, no fold
 
         sequential = entry.address + entry.length_bytes
         if entry.next_pc is None:
@@ -182,3 +202,4 @@ class PrefetchDecodeUnit:
                 return
         self.fetch_countdown = self.mem_latency
         self.memory_accesses += 1
+        self._p_accesses.inc()

@@ -57,6 +57,19 @@ class ExecutionStats:
         return [(name, count, 100.0 * count / total)
                 for name, count in self.opcode_counts.most_common()]
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (opcode histogram included)."""
+        return {
+            "instructions": self.instructions,
+            "branches": self.branches,
+            "conditional_branches": self.conditional_branches,
+            "taken_branches": self.taken_branches,
+            "one_parcel_branches": self.one_parcel_branches,
+            "branch_fraction": self.branch_fraction,
+            "one_parcel_branch_fraction": self.one_parcel_branch_fraction,
+            "opcode_counts": dict(self.opcode_counts),
+        }
+
 
 @dataclass
 class PipelineStats:
@@ -100,19 +113,52 @@ class PipelineStats:
         return self.icache_hits / total if total else 0.0
 
     def breakdown(self) -> dict[str, float]:
-        """Where the cycles went, as fractions of the total.
+        """Where the cycles went, as fractions summing to exactly 1.0.
 
         ``issue`` is useful work; ``penalty`` the misprediction recovery
         bubbles; ``other_stall`` everything else the RR stage sat idle
-        for (cache misses, fetch stalls behind dynamic targets).
+        for (cache misses, fetch stalls behind dynamic targets);
+        ``residual`` is whatever the first three fail to attribute.
+        Charged penalty cycles can exceed the observed stall cycles (a
+        recovery bubble may be refilled early by a cache hit on the
+        corrected path), so ``penalty`` is capped at the stalls actually
+        seen and the unattributed remainder is reported explicitly rather
+        than letting the buckets drift away from 1.0.
         """
         total = self.cycles or 1
-        penalty = self.misprediction_penalty_cycles
-        other = max(0, self.stall_cycles - penalty)
+        penalty = min(self.misprediction_penalty_cycles, self.stall_cycles)
+        other = self.stall_cycles - penalty
+        residual = max(
+            0, self.cycles - self.issued_instructions - self.stall_cycles)
         return {
             "issue": self.issued_instructions / total,
             "penalty": penalty / total,
             "other_stall": other / total,
+            "residual": residual / total,
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-ready view of every counter and derived metric — the
+        metrics block of an :mod:`repro.obs.manifest` document."""
+        return {
+            "cycles": self.cycles,
+            "issued_instructions": self.issued_instructions,
+            "executed_instructions": self.executed_instructions,
+            "folded_branches": self.folded_branches,
+            "mispredictions": self.mispredictions,
+            "misprediction_penalty_cycles":
+                self.misprediction_penalty_cycles,
+            "zero_cost_overrides": self.zero_cost_overrides,
+            "icache_misses": self.icache_misses,
+            "icache_hits": self.icache_hits,
+            "icache_hit_rate": self.icache_hit_rate,
+            "stall_cycles": self.stall_cycles,
+            "squashed_slots": self.squashed_slots,
+            "issued_cpi": self.issued_cpi,
+            "apparent_cpi": self.apparent_cpi,
+            "apparent_ipc": self.apparent_ipc,
+            "breakdown": self.breakdown(),
+            "execution": self.execution.as_dict(),
         }
 
     def summary(self) -> str:

@@ -152,3 +152,58 @@ class TestCrispEval:
         out = capsys.readouterr().out
         assert "Execution Unit" in out
         assert "tpcmx" in out or "10-bit" in out
+
+    def test_json_mode_single_exhibit(self, capsys):
+        import json
+        assert eval_main(["table3", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["exhibit"] == "table3"
+        assert document["if_branch_spread_distance"] >= 3
+        assert document["spread_gaps"]
+
+    def test_json_mode_table4_matches_stats(self, capsys):
+        import json
+        from repro.eval.table4 import run_table4
+        assert eval_main(["table4", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        rows = {row["case"]: row for row in document["rows"]}
+        assert sorted(rows) == ["A", "B", "C", "D", "E"]
+        measured = {row.case.name: row.stats for row in run_table4()}
+        for name, row in rows.items():
+            assert row["metrics"]["cycles"] == measured[name].cycles
+            assert list(row["paper"])  # paper reference carried along
+
+    def test_json_mode_figures(self, capsys):
+        import json
+        assert eval_main(["figures", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["exhibit"] == "figures"
+        assert document["figure1_blocks"]
+        assert document["figure2_nextpc_cases"]
+
+    def test_json_mode_each_line_is_one_document(self, capsys):
+        import json
+        assert eval_main(["branch-stats", "--json"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if line.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["exhibit"] == "branch-stats"
+
+
+class TestCrispObs:
+    def test_trace_and_manifest(self, tmp_path, capsys):
+        import json
+        from repro.obs.cli import main as obs_main
+        trace_path = tmp_path / "out.json"
+        manifest_path = tmp_path / "run.json"
+        assert obs_main(["--workload", "alternating",
+                         "--trace", str(trace_path),
+                         "--manifest", str(manifest_path),
+                         "--window", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle breakdown" in out
+        assert "RR" in out  # the pipeline-diagram window printed
+        events = json.loads(trace_path.read_text())
+        assert {"ph", "ts", "pid", "tid", "name"} <= set(events[-1])
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["workload"] == "alternating"

@@ -60,6 +60,44 @@ class TestPipelineStatsDerivations:
         assert sum(breakdown.values()) == pytest.approx(1.0)
         assert breakdown["issue"] > 0.5
 
+    def test_breakdown_property_sums_to_one(self):
+        """Property: for any stats obeying the simulator's invariant
+        (every cycle either issues or stalls), the four breakdown
+        buckets are non-negative and sum to exactly 1.0 — even when the
+        charged penalty exceeds the observed stalls (overlapping
+        recovery windows), the case the pre-residual buckets got wrong.
+        """
+        import random
+        rng = random.Random(1987)
+        for _ in range(500):
+            issued = rng.randrange(1, 10_000)
+            stalls = rng.randrange(0, 5_000)
+            penalty = rng.randrange(0, 8_000)  # may exceed stalls
+            stats = PipelineStats(
+                cycles=issued + stalls,
+                issued_instructions=issued,
+                stall_cycles=stalls,
+                mispredictions=rng.randrange(0, 100),
+                misprediction_penalty_cycles=penalty)
+            breakdown = stats.breakdown()
+            assert set(breakdown) == {"issue", "penalty", "other_stall",
+                                      "residual"}
+            assert all(value >= 0.0 for value in breakdown.values())
+            assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_breakdown_penalty_capped_at_observed_stalls(self):
+        stats = PipelineStats(cycles=100, issued_instructions=98,
+                              stall_cycles=2,
+                              misprediction_penalty_cycles=30)
+        breakdown = stats.breakdown()
+        assert breakdown["penalty"] == pytest.approx(0.02)
+        assert breakdown["other_stall"] == 0.0
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty_stats(self):
+        breakdown = PipelineStats().breakdown()
+        assert sum(breakdown.values()) == 0.0
+
     def test_empty_stats_are_safe(self):
         stats = PipelineStats()
         assert stats.issued_cpi == 0.0

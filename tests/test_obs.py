@@ -1,0 +1,363 @@
+"""The telemetry layer: event bus, exporters, manifest, reconciliation."""
+
+import json
+
+import pytest
+
+from repro.lang import CompilerOptions, PredictionMode, compile_source
+from repro.obs.events import EventBus, JsonlSink, MemorySink, NULL_BUS
+from repro.obs.export import metrics_lines, trace_events, write_trace
+from repro.obs.manifest import (
+    MANIFEST_KIND,
+    SCHEMA_VERSION,
+    build_manifest,
+    manifest_for_cpu,
+    table4_baseline,
+)
+from repro.obs.registry import CATALOGUE, spec_for, validate
+from repro.sim.cpu import CpuConfig, CrispCpu, run_cycle_accurate
+from repro.sim.tracer import PipelineTrace
+from repro.workloads import FIGURE3
+
+
+@pytest.fixture(scope="module")
+def figure3_cpu():
+    """Case-C-style run (folding + prediction, no spreading): exercises
+    folds, mispredictions, squashes and cache misses all at once."""
+    program = compile_source(
+        FIGURE3, CompilerOptions(prediction=PredictionMode.HEURISTIC))
+    cpu = CrispCpu(program)
+    cpu.run()
+    return cpu
+
+
+class TestEventBus:
+    def test_counter_counts(self):
+        bus = EventBus()
+        probe = bus.counter("x")
+        probe.inc()
+        probe.inc(4)
+        assert probe.value == 5
+        assert bus.counters() == {"x": 5}
+
+    def test_probe_identity_by_name(self):
+        bus = EventBus()
+        assert bus.counter("a") is bus.counter("a")
+
+    def test_kind_mismatch_rejected(self):
+        bus = EventBus()
+        bus.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            bus.gauge("a")
+
+    def test_gauge_tracks_range(self):
+        bus = EventBus()
+        gauge = bus.gauge("depth")
+        for value in (4, 8, 2):
+            gauge.set(value)
+        assert gauge.value == 2
+        assert (gauge.low, gauge.high, gauge.samples) == (2, 8, 3)
+
+    def test_histogram_buckets_and_mean(self):
+        bus = EventBus()
+        histogram = bus.histogram("latency")
+        for value in (1, 2, 3, 8):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(3.5)
+        snap = histogram.snapshot()
+        assert snap["buckets"] == {"0": 1, "1": 1, "2": 1, "3": 1}
+
+    def test_memory_sink_receives_structured_events(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        bus.counter("hits").inc(2, address=64)
+        bus.emit("phase", label="warmup")
+        kinds = [event["kind"] for event in sink.events]
+        assert kinds == ["counter", "event"]
+        assert sink.events[0]["probe"] == "hits"
+        assert sink.events[0]["address"] == 64
+        assert sink.events[0]["seq"] < sink.events[1]["seq"]
+
+    def test_jsonl_sink_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with open(path, "w") as stream:
+            bus.attach(JsonlSink(stream))
+            bus.counter("x").inc()
+            bus.gauge("y").set(3)
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["probe"] for line in lines] == ["x", "y"]
+
+    def test_disabled_bus_is_inert(self):
+        bus = EventBus(enabled=False)
+        probe = bus.counter("x")
+        probe.inc(100)
+        probe.set(1)
+        probe.observe(2)
+        assert bus.snapshot() == {}
+        with pytest.raises(ValueError):
+            bus.attach(MemorySink())
+
+    def test_null_bus_shared_and_disabled(self):
+        assert NULL_BUS.enabled is False
+        assert NULL_BUS.counter("anything").inc() is None
+
+    def test_merge_sums_counters(self):
+        buses = []
+        for amount in (1, 2):
+            bus = EventBus()
+            bus.counter("n").inc(amount)
+            buses.append(bus)
+        total = EventBus()
+        total.merge(buses)
+        assert total.counter("n").value == 3
+
+
+class TestRegistry:
+    def test_catalogue_names_unique(self):
+        names = [spec.name for spec in CATALOGUE]
+        assert len(names) == len(set(names))
+
+    def test_spec_lookup(self):
+        spec = spec_for("fold.succeeded")
+        assert spec is not None and spec.kind == "counter"
+        assert spec_for("no.such.probe") is None
+
+    def test_simulator_probes_match_catalogue(self, figure3_cpu):
+        assert validate(figure3_cpu.obs) == []
+
+    def test_validate_flags_kind_drift(self):
+        bus = EventBus()
+        bus.gauge("fold.succeeded")  # catalogued as a counter
+        assert validate(bus) == ["fold.succeeded: declared counter, "
+                                 "got gauge"]
+
+    def test_catalogue_documented(self):
+        from pathlib import Path
+        doc = (Path(__file__).resolve().parent.parent
+               / "docs" / "observability.md").read_text(encoding="utf-8")
+        for spec in CATALOGUE:
+            assert f"`{spec.name}`" in doc, (
+                f"probe {spec.name} missing from docs/observability.md")
+
+
+class TestReconciliation:
+    """Probe counters must agree with PipelineStats for the same run."""
+
+    def test_counters_match_stats(self, figure3_cpu):
+        stats = figure3_cpu.stats
+        counters = figure3_cpu.obs.counters()
+        assert counters["fold.succeeded"] == stats.folded_branches
+        assert counters["mispredict.count"] == stats.mispredictions
+        assert (counters["mispredict.penalty_cycles"]
+                == stats.misprediction_penalty_cycles)
+        assert counters["squash.slots"] == stats.squashed_slots
+        assert counters["icache.demand_miss"] == stats.icache_misses
+        assert counters["icache.demand_hit"] == stats.icache_hits
+        assert (counters["zero_cost.overrides"]
+                == stats.zero_cost_overrides)
+        assert counters["branch.executed"] == stats.execution.branches
+
+    def test_pdu_counters_match_pdu(self, figure3_cpu):
+        counters = figure3_cpu.obs.counters()
+        assert counters["pdu.decoded"] == figure3_cpu.pdu.decoded_entries
+        assert (counters["pdu.memory_accesses"]
+                == figure3_cpu.pdu.memory_accesses)
+        assert counters["fold.decoded"] <= counters["fold.attempted"]
+
+    def test_miss_latency_histogram_populated(self, figure3_cpu):
+        histogram = figure3_cpu.obs.probes["icache.miss.latency"]
+        assert histogram.count > 0
+        # every observed fill takes at least a cycle; a prefetch may have
+        # the line nearly ready, but some (cold) miss must pay at least
+        # the full memory latency
+        assert histogram.low >= 1
+        assert histogram.high >= figure3_cpu.config.mem_latency
+
+    def test_compiler_pass_probes(self):
+        bus = EventBus()
+        compile_source(FIGURE3,
+                       CompilerOptions(spreading=True,
+                                       prediction=PredictionMode.HEURISTIC),
+                       bus)
+        counters = bus.counters()
+        assert counters["spread.moved"] >= 3  # the paper moves three
+        assert counters["predict.bits_set"] >= 2
+        assert counters["predict.bit_flips"] <= counters["predict.bits_set"]
+        distances = bus.probes["spread.distance"]
+        assert distances.count >= 1 and distances.high >= 3
+
+    def test_prediction_study_probe(self):
+        from repro.predict.harness import measure_predictors
+        bus = EventBus()
+        program = compile_source(FIGURE3)
+        study = measure_predictors(program, obs=bus)
+        assert bus.counters()["predict.events"] == study.events
+        study.accuracies()
+        assert bus.probes["predict.accuracy.static-optimal"].value > 0
+
+
+class TestTraceExport:
+    def test_every_event_has_required_keys(self, figure3_cpu):
+        trace = PipelineTrace(CrispCpu(figure3_cpu.program))
+        trace.run(200)
+        events = trace_events(trace.records)
+        assert events
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+
+    def test_stage_slices_and_misses(self):
+        program = compile_source(FIGURE3)
+        trace = PipelineTrace(CrispCpu(program))
+        trace.run(300)
+        events = trace_events(trace.records)
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i", "C"}
+        slices = [e for e in events if e["ph"] == "X"]
+        # one slice per occupied stage per cycle, spread over 3 stage rows
+        assert {e["tid"] for e in slices} == {1, 2, 3}
+        rr_busy = sum(1 for e in slices if e["tid"] == 3
+                      and not e.get("args", {}).get("squashed"))
+        assert rr_busy <= trace.cpu.stats.cycles
+
+    def test_squash_slices_marked(self, figure3_cpu):
+        trace = PipelineTrace(CrispCpu(figure3_cpu.program))
+        trace.run()
+        events = trace_events(trace.records)
+        squashed = [e for e in events
+                    if e.get("args", {}).get("squashed")]
+        assert squashed, "mispredicting run must export squashed slices"
+        assert all(e["cat"] == "squash" for e in squashed)
+
+    def test_write_trace_round_trips(self, tmp_path):
+        program = compile_source(FIGURE3)
+        trace = PipelineTrace(CrispCpu(program))
+        trace.run(100)
+        path = tmp_path / "trace.json"
+        written = write_trace(str(path), trace.records)
+        assert json.loads(path.read_text()) == written
+
+    def test_metrics_lines_jsonl(self, figure3_cpu):
+        lines = metrics_lines(figure3_cpu.obs)
+        parsed = [json.loads(line) for line in lines]
+        assert any(entry["probe"] == "fold.succeeded"
+                   and entry["value"] == figure3_cpu.stats.folded_branches
+                   for entry in parsed)
+
+
+class TestManifest:
+    def test_manifest_matches_stats(self, figure3_cpu):
+        manifest = manifest_for_cpu("figure3", figure3_cpu)
+        assert manifest["schema"] == SCHEMA_VERSION
+        assert manifest["kind"] == MANIFEST_KIND
+        metrics = manifest["metrics"]
+        stats = figure3_cpu.stats
+        assert metrics["cycles"] == stats.cycles
+        assert metrics["folded_branches"] == stats.folded_branches
+        assert metrics["issued_cpi"] == stats.issued_cpi
+        assert sum(metrics["breakdown"].values()) == pytest.approx(1.0)
+        assert (manifest["probes"]["fold.succeeded"]["value"]
+                == stats.folded_branches)
+        json.dumps(manifest)  # fully serializable
+
+    def test_config_captured(self, figure3_cpu):
+        manifest = build_manifest("w", CpuConfig(icache_entries=64),
+                                  figure3_cpu.stats)
+        assert manifest["config"]["icache_entries"] == 64
+        assert manifest["config"]["fold_policy"]["enabled"] is True
+        assert manifest["config"]["fold_policy"]["body_lengths"] == [1, 3]
+
+    def test_table4_baseline_document(self):
+        document = table4_baseline()
+        assert document["kind"] == "crisp-bench-baseline"
+        cases = {entry["extra"]["case"]: entry
+                 for entry in document["cases"]}
+        assert sorted(cases) == ["A", "B", "C", "D", "E"]
+        assert cases["A"]["metrics"]["folded_branches"] == 0
+        assert cases["D"]["metrics"]["folded_branches"] > 0
+        assert (cases["D"]["metrics"]["cycles"]
+                < cases["A"]["metrics"]["cycles"])
+
+    def test_committed_baseline_current(self):
+        """BENCH_obs_baseline.json must match what the code reproduces."""
+        from pathlib import Path
+        path = (Path(__file__).resolve().parent.parent
+                / "BENCH_obs_baseline.json")
+        committed = json.loads(path.read_text(encoding="utf-8"))
+        fresh = table4_baseline()
+        for committed_case, fresh_case in zip(committed["cases"],
+                                              fresh["cases"]):
+            assert (committed_case["metrics"]["cycles"]
+                    == fresh_case["metrics"]["cycles"])
+            assert (committed_case["workload"] == fresh_case["workload"])
+
+
+class TestObsCli:
+    def test_acceptance_invocation(self, tmp_path, capsys):
+        """The ISSUE's acceptance command: trace + manifest in one run."""
+        from repro.obs.cli import main as obs_main
+        trace_path = tmp_path / "out.json"
+        manifest_path = tmp_path / "run.json"
+        assert obs_main(["--workload", "figure3",
+                         "--trace", str(trace_path),
+                         "--manifest", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cycle breakdown" in out and "issue" in out
+
+        events = json.loads(trace_path.read_text())
+        assert isinstance(events, list) and events
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+
+        manifest = json.loads(manifest_path.read_text())
+        # independently re-run the same configuration: metrics must match
+        program = compile_source(FIGURE3)
+        reference = run_cycle_accurate(program).stats
+        assert manifest["metrics"]["cycles"] == reference.cycles
+        assert (manifest["metrics"]["folded_branches"]
+                == reference.folded_branches)
+
+    def test_metrics_and_events_outputs(self, tmp_path, capsys):
+        from repro.obs.cli import main as obs_main
+        metrics = tmp_path / "metrics.jsonl"
+        events = tmp_path / "events.jsonl"
+        assert obs_main(["--workload", "alternating",
+                         "--metrics", str(metrics),
+                         "--events", str(events)]) == 0
+        assert all(json.loads(line)
+                   for line in metrics.read_text().splitlines())
+        streamed = [json.loads(line)
+                    for line in events.read_text().splitlines()]
+        assert any(event["probe"] == "fold.succeeded"
+                   for event in streamed)
+
+    def test_probe_catalogue_listing(self, capsys):
+        from repro.obs.cli import main as obs_main
+        assert obs_main(["--probes"]) == 0
+        out = capsys.readouterr().out
+        assert "fold.succeeded" in out and "histogram" in out
+
+    def test_no_fold_run(self, tmp_path, capsys):
+        from repro.obs.cli import main as obs_main
+        manifest_path = tmp_path / "run.json"
+        assert obs_main(["--workload", "figure3", "--no-fold",
+                         "--manifest", str(manifest_path)]) == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["metrics"]["folded_branches"] == 0
+        assert manifest["config"]["fold_policy"]["enabled"] is False
+
+    def test_unknown_workload_errors(self):
+        from repro.obs.cli import main as obs_main
+        with pytest.raises(SystemExit):
+            obs_main(["--workload", "nonsense"])
+
+    def test_breakdown_bar_width_fixed(self):
+        from repro.obs.cli import breakdown_bar
+        bar = breakdown_bar({"issue": 0.7, "penalty": 0.2,
+                             "other_stall": 0.05, "residual": 0.05})
+        assert len(bar) == 42  # 40 cells plus the brackets
+        assert bar.count("#") == 28

@@ -1,0 +1,92 @@
+"""PipelineTrace coverage: bubble accounting and diagram rendering."""
+
+import pytest
+
+from repro.core.policy import FoldPolicy
+from repro.lang import CompilerOptions, PredictionMode, compile_source
+from repro.sim.cpu import CpuConfig, CrispCpu
+from repro.sim.tracer import PipelineTrace
+from repro.workloads import FIGURE3
+
+ALTERNATING_LOOP = """
+int odd; int even;
+int main() {
+    for (int i = 0; i < 40; i++)
+        if (i & 1) odd++; else even++;
+    return odd;
+}
+"""
+
+
+def _traced_run(source=FIGURE3, *, spreading=False,
+                config=None, max_cycles=100_000):
+    program = compile_source(
+        source, CompilerOptions(spreading=spreading,
+                                prediction=PredictionMode.HEURISTIC))
+    trace = PipelineTrace(CrispCpu(program, config))
+    trace.run(max_cycles)
+    return trace
+
+
+class TestBubbleAccounting:
+    def test_bubbles_agree_with_stall_cycles(self):
+        trace = _traced_run(ALTERNATING_LOOP)
+        assert trace.cpu.halted
+        assert trace.bubbles() == trace.cpu.stats.stall_cycles
+
+    def test_bubbles_agree_on_mispredicting_figure3(self):
+        trace = _traced_run()  # case C: heavy mispredict traffic
+        assert trace.cpu.stats.mispredictions > 0
+        assert trace.bubbles() == trace.cpu.stats.stall_cycles
+
+    def test_bubbles_agree_without_folding(self):
+        trace = _traced_run(
+            ALTERNATING_LOOP,
+            config=CpuConfig(fold_policy=FoldPolicy.none()))
+        assert trace.bubbles() == trace.cpu.stats.stall_cycles
+
+    def test_record_count_matches_cycles(self):
+        trace = _traced_run(ALTERNATING_LOOP)
+        assert len(trace.records) == trace.cpu.stats.cycles
+        assert [record.cycle for record in trace.records] == list(
+            range(1, trace.cpu.stats.cycles + 1))
+
+
+class TestFormatWindow:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return _traced_run(ALTERNATING_LOOP)
+
+    def test_header_row(self, trace):
+        window = trace.format_window(0, 5)
+        header = window.splitlines()[0]
+        for column in ("cyc", "miss", "IR", "OR", "RR"):
+            assert column in header
+
+    def test_squashed_slots_rendered(self, trace):
+        assert trace.cpu.stats.squashed_slots > 0
+        squashed_at = next(index
+                           for index, record in enumerate(trace.records)
+                           if "x(" in record.ir or "x(" in record.or_
+                           or "x(" in record.rr)
+        window = trace.format_window(squashed_at, 1)
+        assert "x(" in window
+
+    def test_speculative_slots_rendered(self, trace):
+        speculative_at = next(
+            index for index, record in enumerate(trace.records)
+            if record.ir.startswith("?") or record.or_.startswith("?")
+            or record.rr.startswith("?"))
+        window = trace.format_window(speculative_at, 1)
+        assert "?" in window
+
+    def test_miss_marker_rendered(self, trace):
+        assert any(record.icache_miss for record in trace.records)
+        window = trace.format_window(0, len(trace.records))
+        assert "*" in window
+
+    def test_window_bounds_respected(self, trace):
+        window = trace.format_window(3, 4)
+        lines = window.splitlines()
+        assert len(lines) == 1 + 4  # header + requested cycles
+        assert lines[1].lstrip().startswith("4")  # cycles are 1-based
