@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench eval report examples obs obs-overhead clean
+.PHONY: install test bench eval report examples obs obs-overhead gate \
+	annotate clean
 
 install:
 	pip install -e .
@@ -26,6 +27,13 @@ obs:
 
 obs-overhead:
 	$(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
+
+gate:
+	$(PYTHON) -m repro.obs.cli gate --baseline BENCH_obs_baseline.json \
+		--threshold 2% --update-trajectory BENCH_table4_trajectory.json
+
+annotate:
+	$(PYTHON) -m repro.obs.cli annotate --workload figure3 --spread
 
 examples:
 	@for example in examples/*.py; do \

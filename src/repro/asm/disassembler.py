@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.isa.encoding import decode_instruction
 from repro.isa.instructions import BranchMode, Instruction
@@ -36,4 +36,33 @@ def disassemble(parcels: Sequence[int], base_address: int = 0) -> list[str]:
         address = base_address + offset * PARCEL_BYTES
         lines.append(f"{address:#06x}  {format_instruction(instruction, address)}")
         offset += instruction.length_parcels()
+    return lines
+
+
+def annotated_listing(program, margin_for: Callable[[int], str],
+                      margin_width: int = 0,
+                      interleave: Callable[[int], list[str]] | None = None
+                      ) -> list[str]:
+    """A program listing with a caller-supplied left margin per address.
+
+    ``margin_for(address)`` returns the margin text for each instruction
+    (``""`` for an empty margin); ``interleave(address)``, if given,
+    returns extra full-width lines (e.g. source text) printed *before*
+    the instruction. Labels are kept, indented past the margin — the
+    "perf annotate" presentation the attribution profiler renders.
+    """
+    by_address: dict[int, list[str]] = {}
+    for name, address in program.symbols.items():
+        by_address.setdefault(address, []).append(name)
+    pad = " " * margin_width
+    lines: list[str] = []
+    for address, instruction in zip(program.addresses,
+                                    program.instructions):
+        if interleave is not None:
+            lines.extend(f"{pad}  {text}" for text in interleave(address))
+        for name in sorted(by_address.get(address, ())):
+            lines.append(f"{pad}  {name}:")
+        margin = margin_for(address)
+        lines.append(f"{margin:>{margin_width}}  {address:#06x}  "
+                     f"{format_instruction(instruction, address)}")
     return lines

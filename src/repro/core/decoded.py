@@ -72,6 +72,18 @@ class DecodedEntry:
         return self.sets_cc and self.uses_cc
 
     @property
+    def branch_pc(self) -> int:
+        """Byte address of the branch instruction itself — the *static
+        branch site* telemetry keys on. For a folded pair this is the
+        branch's own address (past the body), so attribution stays stable
+        whether or not folding is enabled."""
+        if self.branch is None:
+            raise ValueError("entry has no branch")
+        if self.body is None:
+            return self.address
+        return self.address + self.body.length_bytes()
+
+    @property
     def dynamic_target(self) -> bool:
         """True when the target is only known at execute time."""
         return self.branch is not None and self.next_pc is None

@@ -60,8 +60,12 @@ class Table4Row:
         return self.stats.cycles
 
 
-def run_case(case: CaseDefinition, source: str = FIGURE3) -> PipelineStats:
-    """Run one Table-4 configuration on the cycle-accurate machine."""
+def case_program_config(case: CaseDefinition, source: str = FIGURE3):
+    """Compile ``source`` for one Table-4 configuration.
+
+    Returns ``(program, config)`` so callers can choose how to run it
+    (plain, traced, or with per-site attribution attached).
+    """
     options = CompilerOptions(
         spreading=case.spreading,
         prediction=(PredictionMode.HEURISTIC if case.prediction
@@ -69,6 +73,12 @@ def run_case(case: CaseDefinition, source: str = FIGURE3) -> PipelineStats:
     program = compile_source(source, options)
     config = CpuConfig(fold_policy=(FoldPolicy.crisp() if case.folding
                                     else FoldPolicy.none()))
+    return program, config
+
+
+def run_case(case: CaseDefinition, source: str = FIGURE3) -> PipelineStats:
+    """Run one Table-4 configuration on the cycle-accurate machine."""
+    program, config = case_program_config(case, source)
     return run_cycle_accurate(program, config).stats
 
 

@@ -21,17 +21,21 @@ Typical use::
 from repro.lang.compiler import (
     CompileError,
     CompilerOptions,
+    DebugInfo,
     PredictionMode,
     compile_source,
     compile_to_assembly,
     compile_unit,
+    compile_with_debug,
 )
 
 __all__ = [
     "CompileError",
     "CompilerOptions",
+    "DebugInfo",
     "PredictionMode",
     "compile_source",
     "compile_to_assembly",
     "compile_unit",
+    "compile_with_debug",
 ]

@@ -68,6 +68,7 @@ class AsmItem:
     label: str | None = None  #: set for label items
     target: str | None = None  #: branch target label
     indirect_sp: StackRef | None = None  #: jump through a stack slot
+    line: int | None = None  #: mini-C source line this item was emitted for
 
     @property
     def is_label(self) -> bool:

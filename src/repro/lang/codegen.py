@@ -139,10 +139,13 @@ class FunctionGenerator:
         self.label_counter = 0
         self.loops: list[_LoopContext] = []
         self.switch_tables: list[tuple[str, list[str]]] = []
+        self.current_line = 0  #: source line of the statement being lowered
 
     # ---- small helpers -----------------------------------------------------
 
     def emit(self, item: AsmItem) -> None:
+        if item.line is None and self.current_line:
+            item.line = self.current_line
         self.items.append(item)
 
     def new_label(self, hint: str = "L") -> str:
@@ -235,6 +238,8 @@ class FunctionGenerator:
 
     def _statement(self, stmt: ast.Stmt) -> None:
         mark = self.temps_in_use
+        if stmt.line:
+            self.current_line = stmt.line
         if isinstance(stmt, ast.Block):
             self._block(stmt)
         elif isinstance(stmt, ast.Declaration):
@@ -299,6 +304,8 @@ class FunctionGenerator:
         if context.continue_used:
             self.emit(label(context.continue_label))
         if step is not None:
+            if getattr(step, "line", 0):
+                self.current_line = step.line
             self._expr_for_effect(step)
         if condition is not None:
             self.emit(label(test_label))
@@ -400,6 +407,11 @@ class FunctionGenerator:
                    sense: bool) -> None:
         """Emit code transferring to ``target`` iff ``condition`` is
         truthy == ``sense`` (separate compare + conditional branch)."""
+        if getattr(condition, "line", 0):
+            # loop conditions are re-lowered at the loop bottom; charge the
+            # compare/branch to the condition's own source line, not the
+            # last body statement's
+            self.current_line = condition.line
         if isinstance(condition, ast.IntLiteral):
             if bool(condition.value) == sense:
                 self.emit(branch("jmp", target))

@@ -67,16 +67,22 @@ def compile_unit(source: str,
     return module
 
 
+def _finalize_module(module: AsmModule, options: CompilerOptions,
+                     obs: EventBus) -> None:
+    """Run the prediction-bit pass (heuristic/forced or profile-guided)."""
+    if options.prediction is PredictionMode.PROFILE:
+        _profile_and_annotate(module, options, obs)
+    else:
+        apply_prediction(module, options.prediction, obs)
+
+
 def compile_to_assembly(source: str,
                         options: CompilerOptions | None = None,
                         obs: EventBus = NULL_BUS) -> str:
     """Compile to assembler source text."""
     options = options or CompilerOptions()
     module = compile_unit(source, options, obs)
-    if options.prediction is PredictionMode.PROFILE:
-        _profile_and_annotate(module, options, obs)
-    else:
-        apply_prediction(module, options.prediction, obs)
+    _finalize_module(module, options, obs)
     return module.render()
 
 
@@ -85,6 +91,59 @@ def compile_source(source: str,
                    obs: EventBus = NULL_BUS) -> Program:
     """Compile and assemble into a runnable Program."""
     return assemble(compile_to_assembly(source, options, obs))
+
+
+@dataclass(frozen=True)
+class DebugInfo:
+    """Line-table debug information for one compiled translation unit.
+
+    ``line_for_address`` maps each instruction's byte address to the
+    1-based mini-C source line it was lowered from (startup-stub and
+    synthesized instructions are absent). The optimization passes carry
+    lines with the items they move, so spread compares stay attributed
+    to their original source line.
+    """
+
+    source: str
+    line_for_address: dict[int, int]
+
+    def line_at(self, address: int) -> int | None:
+        """Source line of the instruction at ``address``, if known."""
+        return self.line_for_address.get(address)
+
+    def source_line(self, line: int) -> str:
+        """The text of 1-based source line ``line`` (stripped)."""
+        lines = self.source.splitlines()
+        if 0 < line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+
+def compile_with_debug(source: str,
+                       options: CompilerOptions | None = None,
+                       obs: EventBus = NULL_BUS
+                       ) -> tuple[Program, DebugInfo]:
+    """Compile like :func:`compile_source`, also returning the line table.
+
+    The assembled :class:`Program`'s instruction indices align with
+    :meth:`AsmModule.instructions` (the invariant the profile-guided
+    prediction pass already relies on), which is what lets each address
+    be stamped with the IR item's recorded source line.
+    """
+    options = options or CompilerOptions()
+    module = compile_unit(source, options, obs)
+    _finalize_module(module, options, obs)
+    program = assemble(module.render())
+    items = module.instructions()
+    if len(items) != len(program.instructions):
+        raise CompileError(
+            "debug-info alignment lost: "
+            f"{len(items)} IR items vs {len(program.instructions)} "
+            "assembled instructions", 0)
+    table = {address: item.line
+             for item, address in zip(items, program.addresses)
+             if item.line}
+    return program, DebugInfo(source=source, line_for_address=table)
 
 
 def _profile_and_annotate(module: AsmModule,

@@ -1,17 +1,31 @@
-"""``crisp-obs``: run a workload with full telemetry attached.
+"""``crisp-obs``: telemetry artefacts, attribution and the regression gate.
 
-One command produces every observability artefact for a run: a Perfetto
-trace (`--trace`), a run manifest (`--manifest`), a JSONL dump of the
-final probe values (`--metrics`), a live JSONL stream of every probe
-update (`--events`), and a terminal summary with a cycle-breakdown bar.
+Subcommands (bare flags still work and mean ``run``):
+
+* ``run`` — simulate a workload and emit artefacts: a Perfetto trace
+  (`--trace`), a run manifest (`--manifest`, with per-site attribution),
+  a JSONL dump of final probe values (`--metrics`), a live JSONL event
+  stream (`--events`) and a terminal summary with a cycle-breakdown bar.
+* ``annotate`` — "perf annotate" for branches: the per-branch-site
+  attribution table rendered over the disassembly, interleaved with the
+  mini-C source lines each instruction was lowered from.
+* ``diff`` — per-metric and per-site deltas between two run manifests
+  (or two ``crisp-bench-baseline`` documents, paired case by case).
+* ``gate`` — the regression gate: re-measure the Table-4 cases (or load
+  ``--current``), compare fold rate / issued CPI / prediction accuracy
+  against ``--baseline`` and fail when any degrades past ``--threshold``.
+
+Exit codes: **0** success, **1** gate regression, **2** usage or
+input/output error.
 
 Examples::
 
-    python -m repro.obs.cli --workload figure3 --trace out.json \\
-        --manifest run.json
-    python -m repro.obs.cli --workload puzzle --no-fold --window 24
+    python -m repro.obs.cli run --workload figure3 --manifest run.json
+    python -m repro.obs.cli annotate --workload figure3 --spread
+    python -m repro.obs.cli diff before.json after.json
+    python -m repro.obs.cli gate --baseline BENCH_obs_baseline.json \\
+        --threshold 2% --update-trajectory BENCH_table4_trajectory.json
     python -m repro.obs.cli --table4-baseline BENCH_obs_baseline.json
-    python -m repro.obs.cli --probes
 """
 
 from __future__ import annotations
@@ -20,6 +34,10 @@ import argparse
 import json
 
 from repro.obs.events import EventBus, JsonlSink
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2  #: bad arguments, unreadable/invalid input documents
 
 BAR_WIDTH = 40
 _BAR_GLYPHS = {"issue": "#", "penalty": "!", "other_stall": ".",
@@ -54,11 +72,8 @@ def _workload_source(name: str) -> str:
     return get_workload(name).source
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="crisp-obs",
-        description="Run a workload and emit telemetry artefacts "
-                    "(Perfetto trace, run manifest, metrics).")
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """The workload/compile/machine flags shared by ``run`` and ``annotate``."""
     parser.add_argument("--workload", default="figure3",
                         help="figure3 or a workload-suite name "
                              "(default: figure3)")
@@ -75,6 +90,55 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mem-latency", type=int, default=None,
                         metavar="N", help="cycles per instruction fetch")
     parser.add_argument("--max-cycles", type=int, default=50_000_000)
+
+
+def _compile_workload(parser: argparse.ArgumentParser, args,
+                      obs: EventBus | None = None, debug: bool = False):
+    """(program, config[, debug_info]) from parsed workload flags.
+
+    Calls ``parser.error`` (exit 2) on an unknown workload or a compile
+    error — both are input problems, not regressions.
+    """
+    from repro.core.policy import FoldPolicy
+    from repro.lang import (CompilerOptions, PredictionMode,
+                            compile_source, compile_with_debug)
+    from repro.lang.lexer import CompileError
+    from repro.sim.cpu import CpuConfig
+
+    try:
+        source = _workload_source(args.workload)
+    except KeyError:
+        parser.error(f"unknown workload {args.workload!r}")
+    options = CompilerOptions(
+        spreading=args.spread,
+        prediction=PredictionMode(args.predict))
+    try:
+        if debug:
+            program, info = compile_with_debug(source, options)
+        else:
+            program = compile_source(source, options,
+                                     obs if obs is not None else EventBus())
+            info = None
+    except CompileError as error:
+        parser.error(str(error))
+
+    config_kwargs = {}
+    if args.no_fold:
+        config_kwargs["fold_policy"] = FoldPolicy.none()
+    if args.icache is not None:
+        config_kwargs["icache_entries"] = args.icache
+    if args.mem_latency is not None:
+        config_kwargs["mem_latency"] = args.mem_latency
+    config = CpuConfig(**config_kwargs)
+    return (program, config, info) if debug else (program, config)
+
+
+def _cmd_run(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs run",
+        description="Run a workload and emit telemetry artefacts "
+                    "(Perfetto trace, run manifest, metrics).")
+    _add_workload_arguments(parser)
     parser.add_argument("--trace", metavar="PATH",
                         help="write a Perfetto trace-event JSON file")
     parser.add_argument("--manifest", metavar="PATH",
@@ -98,20 +162,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.registry import catalogue_rows
         for name, kind, unit, description in catalogue_rows():
             print(f"{name:<28} {kind:<10} {unit:<13} {description}")
-        return 0
+        return EXIT_OK
 
     if args.table4_baseline:
         from repro.obs.manifest import table4_baseline, write_manifest
         write_manifest(args.table4_baseline, table4_baseline())
         print(f"wrote Table-4 baseline -> {args.table4_baseline}")
-        return 0
+        return EXIT_OK
 
-    from repro.core.policy import FoldPolicy
-    from repro.lang import CompilerOptions, PredictionMode, compile_source
-    from repro.lang.lexer import CompileError
+    from repro.obs.attrib import AttributionSink
     from repro.obs.export import write_metrics, write_trace
     from repro.obs.manifest import manifest_for_cpu, write_manifest
-    from repro.sim.cpu import CpuConfig, CrispCpu
+    from repro.sim.cpu import CrispCpu
     from repro.sim.tracer import PipelineTrace
 
     obs = EventBus()
@@ -120,31 +182,14 @@ def main(argv: list[str] | None = None) -> int:
         events_stream = open(args.events, "w", encoding="utf-8")
         obs.attach(JsonlSink(events_stream))
 
-    try:
-        source = _workload_source(args.workload)
-    except KeyError:
-        parser.error(f"unknown workload {args.workload!r}")
-    options = CompilerOptions(
-        spreading=args.spread,
-        prediction=PredictionMode(args.predict))
-    try:
-        program = compile_source(source, options, obs)
-    except CompileError as error:
-        print(f"error: {error}")
-        return 1
-
-    config_kwargs = {}
-    if args.no_fold:
-        config_kwargs["fold_policy"] = FoldPolicy.none()
-    if args.icache is not None:
-        config_kwargs["icache_entries"] = args.icache
-    if args.mem_latency is not None:
-        config_kwargs["mem_latency"] = args.mem_latency
-    config = CpuConfig(**config_kwargs)
+    program, config = _compile_workload(parser, args, obs)
+    sink = AttributionSink()
+    obs.attach(sink)
 
     cpu = CrispCpu(program, config, obs=obs)
     trace = PipelineTrace(cpu)
     trace.run(args.max_cycles)
+    obs.detach(sink)
     if events_stream is not None:
         events_stream.close()
 
@@ -161,7 +206,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(events)} trace events -> {args.trace} "
               f"(open at ui.perfetto.dev)")
     if args.manifest:
-        write_manifest(args.manifest, manifest_for_cpu(args.workload, cpu))
+        write_manifest(args.manifest,
+                       manifest_for_cpu(args.workload, cpu,
+                                        sites=sink.table.as_dict()))
         print(f"wrote run manifest -> {args.manifest}")
     if args.metrics:
         write_metrics(args.metrics, obs)
@@ -171,7 +218,182 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print("probe counters: "
           + json.dumps(obs.counters(), sort_keys=True))
-    return 0
+    return EXIT_OK
+
+
+def _cmd_annotate(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs annotate",
+        description="Per-branch-site attribution rendered over the "
+                    "disassembly, interleaved with mini-C source lines.")
+    _add_workload_arguments(parser)
+    parser.add_argument("--no-source", action="store_true",
+                        help="omit the interleaved mini-C source lines")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the listing to a file")
+    args = parser.parse_args(argv)
+
+    from repro.obs.attrib import annotate_listing, attribute_run
+
+    program, config, debug = _compile_workload(parser, args, debug=True)
+    cpu, table = attribute_run(program, config, max_cycles=args.max_cycles)
+    mismatches = table.reconcile(cpu.stats)
+    listing = annotate_listing(program, table,
+                               None if args.no_source else debug)
+    print(listing)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(listing + "\n")
+        print(f"wrote annotated listing -> {args.out}")
+    if mismatches:
+        print("RECONCILIATION FAILED (per-site sums != aggregates):")
+        for line in mismatches:
+            print(f"  {line}")
+        return EXIT_REGRESSION
+    return EXIT_OK
+
+
+def _load_document(parser: argparse.ArgumentParser, path: str) -> dict:
+    """Read a manifest/baseline JSON document; parser.error (2) on failure."""
+    from repro.obs.manifest import read_manifest
+
+    try:
+        document = read_manifest(path)
+    except (OSError, json.JSONDecodeError) as error:
+        parser.error(f"cannot read {path}: {error}")
+    if not isinstance(document, dict):
+        parser.error(f"{path}: not a JSON object")
+    return document
+
+
+def _cmd_diff(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs diff",
+        description="Per-metric and per-site deltas between two run "
+                    "manifests or two bench-baseline documents.")
+    parser.add_argument("before", help="baseline manifest JSON")
+    parser.add_argument("after", help="comparison manifest JSON")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full diff document as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.obs.diff import diff_documents
+
+    before = _load_document(parser, args.before)
+    after = _load_document(parser, args.after)
+    try:
+        diff = diff_documents(before, after)
+    except ValueError as error:
+        parser.error(str(error))
+
+    if args.as_json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+        return EXIT_OK
+    for label, case in diff["cases"].items():
+        changed = case["metrics"]
+        print(f"== {label} ({case['metrics_unchanged']} metrics unchanged, "
+              f"{len(changed)} changed, {len(case['sites'])} sites changed)")
+        for delta in changed:
+            relative = delta["relative"]
+            percent = ("" if relative is None
+                       else f" ({100 * relative:+.2f}%)")
+            print(f"  {delta['metric']}: {delta['before']:g} -> "
+                  f"{delta['after']:g}{percent}")
+        for site, deltas in case["sites"].items():
+            cells = ", ".join(f"{d['metric']} {d['before']:g}->"
+                              f"{d['after']:g}" for d in deltas)
+            print(f"  site {site}: {cells}")
+    return EXIT_OK
+
+
+def _cmd_gate(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs gate",
+        description="Fail (exit 1) when fold rate, issued CPI or "
+                    "prediction accuracy regressed past the threshold.")
+    parser.add_argument("--baseline", required=True, metavar="PATH",
+                        help="baseline document (e.g. "
+                             "BENCH_obs_baseline.json)")
+    parser.add_argument("--current", metavar="PATH",
+                        help="current document; omitted = re-measure the "
+                             "Table-4 cases now")
+    parser.add_argument("--threshold", default="2%", metavar="PCT",
+                        help="max relative degradation, e.g. 2%% or 0.02 "
+                             "(default: 2%%)")
+    parser.add_argument("--update-trajectory", metavar="PATH",
+                        help="append this run's headline metrics to the "
+                             "perf-trajectory document")
+    args = parser.parse_args(argv)
+
+    from repro.obs.diff import (check_gate, parse_threshold,
+                                trajectory_entry, update_trajectory)
+    from repro.obs.manifest import write_manifest
+
+    try:
+        threshold = parse_threshold(args.threshold)
+    except ValueError as error:
+        parser.error(str(error))
+
+    baseline = _load_document(parser, args.baseline)
+    if args.current:
+        current = _load_document(parser, args.current)
+    else:
+        from repro.obs.manifest import table4_baseline
+        current = table4_baseline()
+
+    try:
+        regressions, checked = check_gate(baseline, current, threshold)
+    except ValueError as error:
+        parser.error(str(error))
+
+    for label, values in sorted(checked.items()):
+        print(f"case {label}: "
+              + "  ".join(f"{metric}={value:.4f}"
+                          for metric, value in values.items()))
+
+    if args.update_trajectory:
+        from pathlib import Path
+
+        from repro.obs.manifest import read_manifest
+        path = Path(args.update_trajectory)
+        document = read_manifest(str(path)) if path.exists() else None
+        write_manifest(str(path),
+                       update_trajectory(document, trajectory_entry(current)))
+        print(f"updated perf trajectory -> {path}")
+
+    if regressions:
+        print(f"GATE FAILED: {len(regressions)} regression(s) past "
+              f"{100 * threshold:g}%:")
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return EXIT_REGRESSION
+    print(f"gate OK: {len(checked)} case(s), "
+          f"{100 * threshold:g}% threshold")
+    return EXIT_OK
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch ``crisp-obs`` subcommands (bare flags mean ``run``).
+
+    Returns :data:`EXIT_OK`, :data:`EXIT_REGRESSION` or
+    :data:`EXIT_USAGE` — argparse's own exit-2-on-usage-error behaviour
+    is converted to a return value so embedders see an int.
+    """
+    if argv is None:
+        import sys
+        argv = sys.argv[1:]
+    commands = {"run": _cmd_run, "annotate": _cmd_annotate,
+                "diff": _cmd_diff, "gate": _cmd_gate}
+    command = commands.get(argv[0]) if argv else None
+    try:
+        if command is not None:
+            return command(argv[1:])
+        return _cmd_run(argv)
+    except SystemExit as exc:
+        code = exc.code
+        if code is None:
+            return EXIT_OK
+        return code if isinstance(code, int) else EXIT_USAGE
 
 
 if __name__ == "__main__":

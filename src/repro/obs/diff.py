@@ -1,0 +1,255 @@
+"""Differential run manifests: deltas between runs, and a regression gate.
+
+Two layers on top of :mod:`repro.obs.manifest` documents:
+
+* :func:`diff_documents` — per-metric and per-site deltas between two
+  manifests (or two ``crisp-bench-baseline`` documents, paired case by
+  case). Diffing a document against itself yields zero deltas, a
+  round-trip property the tests pin.
+* :func:`check_gate` — the regression gate: for every paired case,
+  compare the three headline qualities of the reproduction — **fold
+  rate** (higher is better), **issued CPI** (lower is better) and
+  **prediction accuracy** (higher is better) — and flag any that
+  degraded by more than a relative threshold. ``crisp-obs gate`` turns
+  the result into exit status 1; CI runs it against the committed
+  ``BENCH_obs_baseline.json``.
+
+The gate also appends to ``BENCH_table4_trajectory.json`` (one compact
+entry of headline metrics per repository state), which is how the perf
+trajectory stays populated PR over PR.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+#: gate metric -> +1 when higher is better, -1 when lower is better
+GATE_METRICS = {
+    "fold_rate": +1,
+    "issued_cpi": -1,
+    "prediction_accuracy": +1,
+}
+
+DEFAULT_THRESHOLD = 0.02
+
+
+def parse_threshold(text: str) -> float:
+    """``"2%"`` -> 0.02; ``"0.02"`` -> 0.02. Raises ValueError."""
+    text = text.strip()
+    scale = 1.0
+    if text.endswith("%"):
+        text, scale = text[:-1], 0.01
+    value = float(text) * scale
+    if not 0 <= value < 1:
+        raise ValueError(f"threshold {value} outside [0, 1)")
+    return value
+
+
+# ---- deltas ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's change between two runs."""
+
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> float:
+        """Change as a fraction of the baseline (inf from a zero base)."""
+        if self.before == 0:
+            return math.inf if self.after else 0.0
+        return self.delta / self.before
+
+    def as_dict(self) -> dict[str, Any]:
+        relative = self.relative
+        return {"metric": self.metric, "before": self.before,
+                "after": self.after, "delta": self.delta,
+                "relative": None if math.isinf(relative) else relative}
+
+
+def _numeric_leaves(obj: Any, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Flatten nested dicts to dotted (name, number) pairs (bools skipped)."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from _numeric_leaves(value, f"{prefix}{key}.")
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield prefix[:-1], float(obj)
+
+
+def diff_metrics(before: dict, after: dict) -> list[Delta]:
+    """Deltas over the union of both documents' numeric leaves."""
+    a = dict(_numeric_leaves(before))
+    b = dict(_numeric_leaves(after))
+    return [Delta(name, a.get(name, 0.0), b.get(name, 0.0))
+            for name in sorted(a.keys() | b.keys())]
+
+
+def diff_sites(before: dict[str, dict], after: dict[str, dict]
+               ) -> dict[str, list[Delta]]:
+    """Per-site deltas over two manifests' ``sites`` blocks (changed only)."""
+    changed: dict[str, list[Delta]] = {}
+    for site in sorted(before.keys() | after.keys(),
+                       key=lambda key: int(key, 16)):
+        deltas = [delta for delta
+                  in diff_metrics(before.get(site, {}), after.get(site, {}))
+                  if delta.delta]
+        if deltas:
+            changed[site] = deltas
+    return changed
+
+
+def diff_manifests(before: dict, after: dict) -> dict[str, Any]:
+    """Diff two ``crisp-run-manifest`` documents."""
+    metric_deltas = diff_metrics(before.get("metrics", {}),
+                                 after.get("metrics", {}))
+    changed = [delta for delta in metric_deltas if delta.delta]
+    return {
+        "workload": (before.get("workload"), after.get("workload")),
+        "metrics": [delta.as_dict() for delta in changed],
+        "metrics_unchanged": len(metric_deltas) - len(changed),
+        "sites": {site: [delta.as_dict() for delta in deltas]
+                  for site, deltas in
+                  diff_sites(before.get("sites", {}),
+                             after.get("sites", {})).items()},
+    }
+
+
+def _paired_cases(document: dict) -> list[tuple[str, dict]]:
+    """(label, manifest) pairs for either supported document kind."""
+    kind = document.get("kind")
+    if kind == "crisp-run-manifest":
+        return [(document.get("workload", "run"), document)]
+    if kind == "crisp-bench-baseline":
+        return [(case.get("extra", {}).get("case",
+                                           case.get("workload", str(index))),
+                 case)
+                for index, case in enumerate(document.get("cases", ()))]
+    raise ValueError(f"unsupported document kind {kind!r}")
+
+
+def diff_documents(before: dict, after: dict) -> dict[str, Any]:
+    """Diff two manifests or two baseline documents, case by case."""
+    a_cases = dict(_paired_cases(before))
+    b_cases = dict(_paired_cases(after))
+    if a_cases.keys() != b_cases.keys():
+        raise ValueError(
+            f"case sets differ: {sorted(a_cases)} vs {sorted(b_cases)}")
+    return {
+        "kind": "crisp-manifest-diff",
+        "cases": {label: diff_manifests(a_cases[label], b_cases[label])
+                  for label in a_cases},
+    }
+
+
+# ---- the regression gate ---------------------------------------------------
+
+def gate_values(metrics: dict) -> dict[str, float]:
+    """The gated qualities, computed from a manifest's ``metrics`` block."""
+    execution = metrics.get("execution", {})
+    branches = execution.get("branches", 0)
+    conditional = execution.get("conditional_branches", 0)
+    mispredictions = metrics.get("mispredictions", 0)
+    return {
+        "fold_rate": (metrics.get("folded_branches", 0) / branches
+                      if branches else 0.0),
+        "issued_cpi": metrics.get("issued_cpi", 0.0),
+        "prediction_accuracy": (1.0 - mispredictions / conditional
+                                if conditional else 1.0),
+    }
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that degraded past the threshold."""
+
+    case: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def relative(self) -> float:
+        """Degradation as a fraction of the baseline value."""
+        worsening = ((self.baseline - self.current)
+                     if GATE_METRICS[self.metric] > 0
+                     else (self.current - self.baseline))
+        if self.baseline == 0:
+            return math.inf if worsening > 0 else 0.0
+        return worsening / abs(self.baseline)
+
+    def describe(self) -> str:
+        direction = ("fell" if GATE_METRICS[self.metric] > 0 else "rose")
+        relative = self.relative
+        percent = ("" if math.isinf(relative)
+                   else f" ({100 * relative:.2f}%)")
+        return (f"case {self.case}: {self.metric} {direction} "
+                f"{self.baseline:.4f} -> {self.current:.4f}{percent}")
+
+
+def check_gate(baseline: dict, current: dict,
+               threshold: float = DEFAULT_THRESHOLD
+               ) -> tuple[list[Regression], dict[str, dict[str, float]]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(regressions, checked)`` where ``checked`` maps each case
+    label to its current gate values. Raises ValueError when the two
+    documents' case sets cannot be paired.
+    """
+    base_cases = dict(_paired_cases(baseline))
+    cur_cases = dict(_paired_cases(current))
+    if base_cases.keys() != cur_cases.keys():
+        raise ValueError(
+            f"case sets differ: {sorted(base_cases)} vs {sorted(cur_cases)}")
+    regressions: list[Regression] = []
+    checked: dict[str, dict[str, float]] = {}
+    for label in sorted(base_cases):
+        base = gate_values(base_cases[label].get("metrics", {}))
+        cur = gate_values(cur_cases[label].get("metrics", {}))
+        checked[label] = cur
+        for metric in GATE_METRICS:
+            candidate = Regression(label, metric, base[metric], cur[metric])
+            if candidate.relative > threshold:
+                regressions.append(candidate)
+    return regressions, checked
+
+
+# ---- the committed perf trajectory -----------------------------------------
+
+TRAJECTORY_KIND = "crisp-bench-trajectory"
+
+
+def trajectory_entry(current: dict) -> dict[str, Any]:
+    """One compact trajectory record for a gated document."""
+    cases = {}
+    for label, manifest in _paired_cases(current):
+        metrics = manifest.get("metrics", {})
+        cases[label] = {"cycles": metrics.get("cycles", 0),
+                        **gate_values(metrics)}
+    return {"git_sha": current.get("git_sha"), "cases": cases}
+
+
+def update_trajectory(document: dict | None,
+                      entry: dict[str, Any]) -> dict[str, Any]:
+    """Append ``entry`` to a trajectory document (created when None).
+
+    Re-gating the same repository state replaces the last entry instead
+    of duplicating it, so repeated local runs stay idempotent.
+    """
+    if document is None:
+        document = {"schema": 1, "kind": TRAJECTORY_KIND,
+                    "bench": "table4_cases", "entries": []}
+    entries = document.setdefault("entries", [])
+    if (entries and entry.get("git_sha") is not None
+            and entries[-1].get("git_sha") == entry["git_sha"]):
+        entries[-1] = entry
+    else:
+        entries.append(entry)
+    return document

@@ -7,18 +7,24 @@ fold policy), the workload identity, the repository git SHA, the final
 snapshot. ``BENCH_obs_baseline.json`` (the perf-trajectory seed) is a
 list of these, one per Table-4 case.
 
-Schema (``schema`` = 1)::
+Schema (``schema`` = 2; version 1 lacked ``sites``)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "kind": "crisp-run-manifest",
       "workload": "figure3",
       "git_sha": "..." | null,
       "config": {"icache_entries": ..., "fold_policy": {...}, ...},
       "metrics": PipelineStats.as_dict(),
       "probes": EventBus.snapshot(),
+      "sites": AttributionTable.as_dict(),   # {} when not attributed
       "extra": {...}
     }
+
+``sites`` keys are hex byte addresses; values are the nonzero per-site
+counters of :class:`repro.obs.attrib.SiteStats`. Readers must treat the
+block as optional — version-1 documents (and unattributed runs) carry
+``{}`` — which keeps `crisp-obs diff`/`gate` usable across versions.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from repro.obs.events import EventBus
 from repro.sim.cpu import CpuConfig, CrispCpu
 from repro.sim.stats import PipelineStats
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 MANIFEST_KIND = "crisp-run-manifest"
 
 
@@ -70,8 +76,13 @@ def config_dict(config: CpuConfig) -> dict[str, Any]:
 def build_manifest(workload: str, config: CpuConfig,
                    stats: PipelineStats,
                    obs: EventBus | None = None,
-                   extra: dict[str, Any] | None = None) -> dict[str, Any]:
-    """Assemble the manifest document for one finished run."""
+                   extra: dict[str, Any] | None = None,
+                   sites: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Assemble the manifest document for one finished run.
+
+    ``sites`` is an :meth:`repro.obs.attrib.AttributionTable.as_dict`
+    block when the run was attributed, ``{}`` otherwise.
+    """
     return {
         "schema": SCHEMA_VERSION,
         "kind": MANIFEST_KIND,
@@ -80,14 +91,23 @@ def build_manifest(workload: str, config: CpuConfig,
         "config": config_dict(config),
         "metrics": stats.as_dict(),
         "probes": obs.snapshot() if obs is not None else {},
+        "sites": sites or {},
         "extra": extra or {},
     }
 
 
 def manifest_for_cpu(workload: str, cpu: CrispCpu,
-                     extra: dict[str, Any] | None = None) -> dict[str, Any]:
+                     extra: dict[str, Any] | None = None,
+                     sites: dict[str, Any] | None = None) -> dict[str, Any]:
     """Manifest for a run that finished on ``cpu``."""
-    return build_manifest(workload, cpu.config, cpu.stats, cpu.obs, extra)
+    return build_manifest(workload, cpu.config, cpu.stats, cpu.obs, extra,
+                          sites)
+
+
+def read_manifest(path: str) -> dict[str, Any]:
+    """Load a manifest (or baseline/trajectory) JSON document."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
 
 
 def write_manifest(path: str, manifest: dict[str, Any]) -> None:
@@ -99,22 +119,23 @@ def write_manifest(path: str, manifest: dict[str, Any]) -> None:
 def table4_baseline() -> dict[str, Any]:
     """Manifests for the Table-4 cases A–E: the perf-trajectory seed.
 
-    Future PRs diff their own manifests against this document to prove a
-    speedup (or catch a regression) per case.
+    Each case runs with per-site attribution attached, so the baseline
+    carries the ``sites`` blocks future PRs diff against (``crisp-obs
+    diff``) and the gate metrics ``crisp-obs gate`` checks.
     """
-    from repro.core.policy import FoldPolicy
-    from repro.eval.table4 import CASE_DEFINITIONS, run_case
+    from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
+    from repro.obs.attrib import attribute_run
 
     cases = []
     for case in CASE_DEFINITIONS:
-        stats = run_case(case)
-        config = CpuConfig(fold_policy=(FoldPolicy.crisp() if case.folding
-                                        else FoldPolicy.none()))
+        program, config = case_program_config(case)
+        cpu, table = attribute_run(program, config)
         cases.append(build_manifest(
-            f"figure3/case_{case.name}", config, stats,
+            f"figure3/case_{case.name}", config, cpu.stats, cpu.obs,
             extra={"case": case.name, "folding": case.folding,
                    "prediction": case.prediction,
-                   "spreading": case.spreading}))
+                   "spreading": case.spreading},
+            sites=table.as_dict()))
     return {
         "schema": SCHEMA_VERSION,
         "kind": "crisp-bench-baseline",

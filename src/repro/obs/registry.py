@@ -43,6 +43,10 @@ CATALOGUE: tuple[ProbeSpec, ...] = (
     ProbeSpec("zero_cost.overrides", "counter", "branches",
               "Fetch-time flag reads that overrode a wrong prediction bit "
               "for free (what Branch Spreading engineers)."),
+    ProbeSpec("cc.interlock", "counter", "branches",
+              "Conditional-branch fetches forced to speculate because the "
+              "governing condition-code write was still in the pipeline "
+              "(includes wrong-path fetches later squashed)."),
     ProbeSpec("eu.interrupts", "counter", "events",
               "Precise interrupts delivered to the EU."),
     # ---- decoded instruction cache ----------------------------------------

@@ -94,7 +94,7 @@ class CrispCpu:
                     self._miss_address = None
             else:
                 self.stats.icache_misses += 1
-                self._p_demand_miss.inc(address=address)
+                self._p_demand_miss.inc(site=address)
                 if address != self._miss_address:
                     self._miss_address = address
                     self._miss_cycle = self.stats.cycles

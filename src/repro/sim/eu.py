@@ -48,6 +48,7 @@ class StageSlot:
     other_pc: int | None = None  #: the not-chosen path (Alternate-PC)
     governing_seq: int | None = None  #: seq of the compare this branch awaits
     resolved: bool = True  #: False while the branch direction is speculative
+    speculated: bool = False  #: True if fetch had to trust the prediction bit
 
 
 class ExecutionUnit:
@@ -64,6 +65,7 @@ class ExecutionUnit:
         self._p_penalty = obs.counter("mispredict.penalty_cycles")
         self._p_squash = obs.counter("squash.slots")
         self._p_override = obs.counter("zero_cost.overrides")
+        self._p_interlock = obs.counter("cc.interlock")
         self._p_interrupt = obs.counter("eu.interrupts")
         self.ir: StageSlot | None = None
         self.or_: StageSlot | None = None
@@ -163,7 +165,7 @@ class ExecutionUnit:
 
         if entry.is_folded:
             self.stats.folded_branches += 1
-            self._p_folded.inc()
+            self._p_folded.inc(site=entry.branch_pc)
         self.stats.executed_instructions += 1
 
         if branch.op_class is OpClass.RETURN:
@@ -174,18 +176,16 @@ class ExecutionUnit:
             state.sp = to_u32(state.sp + 4)
             self._redirect(target)
             self.retire_next_pc = target
-            self._record_branch(branch, taken=True)
+            self._record_branch(slot, taken=True)
             return
 
         if entry.dynamic_target:  # indirect, or any branch when the
             # next-address-field ablation is active
             from repro.isa.instructions import resolve_target
-            branch_pc = (entry.address if entry.body is None
-                         else entry.address + entry.body.length_bytes())
             taken = (entry.taken_when(state.flag)
                      if entry.uses_cc else True)
             if taken:
-                target = resolve_target(branch, branch_pc, state.sp,
+                target = resolve_target(branch, entry.branch_pc, state.sp,
                                         state.memory.read_word)
             else:
                 target = sequential
@@ -194,7 +194,7 @@ class ExecutionUnit:
                 state.memory.write_word(state.sp, sequential)
             self._redirect(target)
             self.retire_next_pc = target
-            self._record_branch(branch, taken=taken)
+            self._record_branch(slot, taken=taken)
             return
 
         if branch.op_class is OpClass.CALL:
@@ -202,13 +202,13 @@ class ExecutionUnit:
             state.memory.write_word(state.sp, sequential)
             assert entry.next_pc is not None
             self.retire_next_pc = entry.next_pc
-            self._record_branch(branch, taken=True)
+            self._record_branch(slot, taken=True)
             return  # static target: Next-PC field already routed control
 
         if not entry.uses_cc:
             assert entry.next_pc is not None
             self.retire_next_pc = entry.next_pc
-            self._record_branch(branch, taken=True)
+            self._record_branch(slot, taken=True)
             return
 
         # conditional branch reaching RR still unresolved: an unfolded
@@ -220,8 +220,9 @@ class ExecutionUnit:
             if slot.chosen_taken != correct:
                 self.stats.mispredictions += 1
                 self.stats.misprediction_penalty_cycles += 3
-                self._p_mispredict.inc(stage="RR", folded=False)
-                self._p_penalty.inc(3)
+                self._p_mispredict.inc(stage="RR", folded=False,
+                                       site=entry.branch_pc)
+                self._p_penalty.inc(3, site=entry.branch_pc)
                 slot.chosen_taken = correct
                 self._squash_younger(slot, fetched)
                 assert slot.other_pc is not None
@@ -229,10 +230,15 @@ class ExecutionUnit:
         taken_pc = (entry.next_pc if entry.predicted_taken else entry.alt_pc)
         assert taken_pc is not None
         self.retire_next_pc = taken_pc if slot.chosen_taken else sequential
-        self._record_branch(branch, taken=bool(slot.chosen_taken))
+        self._record_branch(slot, taken=bool(slot.chosen_taken))
 
-    def _record_branch(self, branch, *, taken: bool) -> None:
-        self._p_branch.inc()
+    def _record_branch(self, slot: StageSlot, *, taken: bool) -> None:
+        entry = slot.entry
+        branch = entry.branch
+        assert branch is not None
+        self._p_branch.inc(site=entry.branch_pc, taken=taken,
+                           folded=entry.is_folded,
+                           speculated=slot.speculated)
         self.stats.execution.record(
             branch.opcode.value,
             is_branch=True,
@@ -264,10 +270,11 @@ class ExecutionUnit:
                 # resolves in the same cycle it was fetched: the redirect
                 # costs one fetch slot
                 penalty = 1
+            site = slot.entry.branch_pc
             self.stats.mispredictions += 1
             self.stats.misprediction_penalty_cycles += penalty
-            self._p_mispredict.inc(stage=stage, folded=True)
-            self._p_penalty.inc(penalty)
+            self._p_mispredict.inc(stage=stage, folded=True, site=site)
+            self._p_penalty.inc(penalty, site=site)
             slot.chosen_taken = correct
             self._squash_younger(slot, fetched)
             assert slot.other_pc is not None
@@ -335,14 +342,21 @@ class ExecutionUnit:
             actual = entry.taken_when(self.state.flag)
             if actual != predicted:
                 self.stats.zero_cost_overrides += 1
-                self._p_override.inc()
+                self._p_override.inc(site=entry.branch_pc)
             slot.chosen_taken = actual
             slot.resolved = True
             chosen = taken_pc if actual else fall_pc
             other = fall_pc if actual else taken_pc
         else:
+            # the branch must trust its prediction bit because the
+            # governing condition-code write is still in the pipeline —
+            # the CC interlock Branch Spreading tries to engineer away
+            self._p_interlock.inc(site=entry.branch_pc,
+                                  folded=entry.is_folded,
+                                  d0=entry.folds_compare_and_branch)
             slot.chosen_taken = predicted
             slot.resolved = False
+            slot.speculated = True
             chosen = entry.next_pc
             other = entry.alt_pc
             if entry.is_folded:

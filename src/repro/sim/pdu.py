@@ -155,16 +155,17 @@ class PrefetchDecodeUnit:
         self.inflight.append(_InFlight(entry, self.decode_latency))
         self.decoded_entries += 1
         self.entries_ahead += 1
-        self._p_decoded.inc()
+        self._p_decoded.inc(site=entry.address)
         self._p_ahead.set(self.entries_ahead)
         if entry.is_folded:
-            self._p_fold_attempted.inc()
-            self._p_fold_decoded.inc()
+            self._p_fold_attempted.inc(site=entry.branch_pc)
+            self._p_fold_decoded.inc(site=entry.branch_pc)
         elif (entry.body is not None
               and self.folder.policy.enabled
               and entry.body.length_parcels()
               in self.folder.policy.body_lengths):
-            self._p_fold_attempted.inc()  # peeked at a follower, no fold
+            # peeked at a follower, no fold
+            self._p_fold_attempted.inc(site=entry.address)
 
         sequential = entry.address + entry.length_bytes
         if entry.next_pc is None:

@@ -207,3 +207,85 @@ class TestCrispObs:
         assert {"ph", "ts", "pid", "tid", "name"} <= set(events[-1])
         manifest = json.loads(manifest_path.read_text())
         assert manifest["workload"] == "alternating"
+        assert manifest["sites"]  # run manifests carry attribution now
+
+    def test_run_subcommand_is_the_flag_form(self, tmp_path, capsys):
+        from repro.obs.cli import main as obs_main
+        manifest_path = tmp_path / "run.json"
+        assert obs_main(["run", "--workload", "alternating",
+                         "--manifest", str(manifest_path)]) == 0
+        assert manifest_path.exists()
+
+
+class TestCrispObsExitCodes:
+    """The documented contract: 0 success, 1 regression, 2 usage/IO."""
+
+    @pytest.fixture(scope="class")
+    def manifest(self, tmp_path_factory):
+        from repro.obs.cli import main as obs_main
+        path = tmp_path_factory.mktemp("obs") / "run.json"
+        assert obs_main(["run", "--workload", "figure3", "--spread",
+                         "--manifest", str(path)]) == 0
+        return path
+
+    def test_annotate_ok(self, capsys):
+        from repro.obs.cli import main as obs_main
+        assert obs_main(["annotate", "--workload", "figure3",
+                         "--spread"]) == 0
+        out = capsys.readouterr().out
+        assert "fold%" in out and "pred%" in out
+        assert "; L" in out  # mini-C source lines interleaved
+        assert "totals:" in out
+
+    def test_annotate_no_source(self, capsys):
+        from repro.obs.cli import main as obs_main
+        assert obs_main(["annotate", "--workload", "figure3",
+                         "--no-source"]) == 0
+        assert "; L" not in capsys.readouterr().out
+
+    def test_diff_self_is_all_zero(self, manifest, capsys):
+        from repro.obs.cli import main as obs_main
+        assert obs_main(["diff", str(manifest), str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "0 changed, 0 sites changed" in out
+
+    def test_gate_self_passes(self, manifest, capsys):
+        from repro.obs.cli import main as obs_main
+        # a single-manifest document gates like a one-case baseline
+        assert obs_main(["gate", "--baseline", str(manifest),
+                         "--current", str(manifest)]) == 0
+        assert "gate OK" in capsys.readouterr().out
+
+    def test_gate_degraded_fails_with_1(self, manifest, tmp_path, capsys):
+        import json
+        from repro.obs.cli import main as obs_main
+        degraded = json.loads(manifest.read_text())
+        degraded["metrics"]["folded_branches"] = 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(degraded))
+        assert obs_main(["gate", "--baseline", str(manifest),
+                         "--current", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "GATE FAILED" in out and "fold_rate fell" in out
+
+    def test_missing_input_is_2(self, manifest, capsys):
+        from repro.obs.cli import main as obs_main
+        assert obs_main(["gate", "--baseline", "does-not-exist.json",
+                         "--current", str(manifest)]) == 2
+        assert obs_main(["diff", str(manifest),
+                         "does-not-exist.json"]) == 2
+
+    def test_usage_errors_are_2(self, manifest, capsys):
+        from repro.obs.cli import main as obs_main
+        assert obs_main(["diff", str(manifest)]) == 2  # missing operand
+        assert obs_main(["gate", "--baseline", str(manifest),
+                         "--current", str(manifest),
+                         "--threshold", "150%"]) == 2
+        assert obs_main(["run", "--workload", "no-such-workload"]) == 2
+        assert obs_main(["annotate", "--workload", "nope"]) == 2
+
+    def test_malformed_json_is_2(self, tmp_path, capsys):
+        from repro.obs.cli import main as obs_main
+        bad = tmp_path / "mangled.json"
+        bad.write_text("{not json")
+        assert obs_main(["diff", str(bad), str(bad)]) == 2

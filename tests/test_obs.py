@@ -351,9 +351,9 @@ class TestObsCli:
         assert manifest["config"]["fold_policy"]["enabled"] is False
 
     def test_unknown_workload_errors(self):
-        from repro.obs.cli import main as obs_main
-        with pytest.raises(SystemExit):
-            obs_main(["--workload", "nonsense"])
+        from repro.obs.cli import EXIT_USAGE, main as obs_main
+        # usage errors are returned (exit-code contract), not raised
+        assert obs_main(["--workload", "nonsense"]) == EXIT_USAGE
 
     def test_breakdown_bar_width_fixed(self):
         from repro.obs.cli import breakdown_bar

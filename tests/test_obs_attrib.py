@@ -1,0 +1,271 @@
+"""Per-site attribution and the differential manifest layer.
+
+Pins the two tentpole properties:
+
+* attribution totals reconcile *exactly* with ``PipelineStats`` on every
+  Table-4 case (no event is lost or double-counted), and
+* a manifest written, read back and diffed against itself is all-zero
+  (the schema round-trip the gate depends on).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
+from repro.lang import compile_with_debug
+from repro.obs.attrib import (
+    AttributionTable,
+    SiteStats,
+    annotate_listing,
+    attribute_run,
+    table_from_branch_events,
+)
+from repro.obs.diff import (
+    GATE_METRICS,
+    check_gate,
+    diff_documents,
+    diff_metrics,
+    diff_sites,
+    gate_values,
+    parse_threshold,
+    trajectory_entry,
+    update_trajectory,
+)
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    manifest_for_cpu,
+    read_manifest,
+    write_manifest,
+)
+
+
+@pytest.fixture(scope="module", params=[case.name for case in CASE_DEFINITIONS])
+def attributed_case(request):
+    case = next(c for c in CASE_DEFINITIONS if c.name == request.param)
+    program, config = case_program_config(case)
+    cpu, table = attribute_run(program, config)
+    return case, program, cpu, table
+
+
+class TestReconciliation:
+    def test_per_site_sums_match_aggregates(self, attributed_case):
+        case, _, cpu, table = attributed_case
+        assert table.reconcile(cpu.stats) == [], f"case {case.name}"
+
+    def test_totals_cover_every_counter(self, attributed_case):
+        _, _, cpu, table = attributed_case
+        totals = table.totals()
+        assert totals["executions"] == cpu.stats.execution.branches
+        assert totals["taken"] == cpu.stats.execution.taken_branches
+        assert totals["folded"] == cpu.stats.folded_branches
+        assert totals["mispredicts"] == cpu.stats.mispredictions
+        assert (totals["penalty_cycles"]
+                == cpu.stats.misprediction_penalty_cycles)
+        assert totals["overrides"] == cpu.stats.zero_cost_overrides
+        assert totals["icache_misses"] == cpu.stats.icache_misses
+
+    def test_attribution_does_not_perturb_timing(self, attributed_case):
+        from repro.sim.cpu import run_cycle_accurate
+        case, _, cpu, _ = attributed_case
+        program, config = case_program_config(case)
+        plain = run_cycle_accurate(program, config)
+        assert plain.stats.cycles == cpu.stats.cycles
+
+    def test_branch_sites_are_stable_across_folding(self):
+        """The same branch PCs appear whether or not folding is on."""
+        case_b = next(c for c in CASE_DEFINITIONS if c.name == "B")
+        case_c = next(c for c in CASE_DEFINITIONS if c.name == "C")
+        pcs = []
+        for case in (case_b, case_c):  # identical code, folding differs
+            program, config = case_program_config(case)
+            _, table = attribute_run(program, config)
+            pcs.append({row.pc for row in table.branch_sites()})
+        assert pcs[0] == pcs[1]
+
+
+class TestSiteStats:
+    def test_rates(self):
+        row = SiteStats(pc=0x1000, executions=100, taken=25, folded=50,
+                        speculations=80, mispredicts=8)
+        assert row.fold_rate == 0.5
+        assert row.taken_rate == 0.25
+        assert row.prediction_hit_rate == 0.9
+        assert SiteStats(pc=0).prediction_hit_rate == 1.0
+
+    def test_dict_round_trip_drops_zeros(self):
+        row = SiteStats(pc=0x1000, executions=3, decodes=1)
+        data = row.as_dict()
+        assert data == {"executions": 3, "decodes": 1}
+        assert SiteStats.from_dict(0x1000, data) == row
+
+    def test_table_round_trip(self, attributed_case):
+        _, _, _, table = attributed_case
+        rebuilt = AttributionTable.from_dict(table.as_dict())
+        assert rebuilt.as_dict() == table.as_dict()
+        assert rebuilt.totals() == table.totals()
+
+
+class TestAnnotateListing:
+    def test_margin_and_source_interleave(self):
+        from repro.lang import CompilerOptions, PredictionMode
+        from repro.workloads import FIGURE3
+        case_d = next(c for c in CASE_DEFINITIONS if c.name == "D")
+        _, config = case_program_config(case_d)
+        program, debug = compile_with_debug(FIGURE3, CompilerOptions(
+            spreading=True, prediction=PredictionMode.HEURISTIC))
+        _, table = attribute_run(program, config)
+        listing = annotate_listing(program, table, debug)
+        assert "fold%" in listing and "totals:" in listing
+        assert "; L" in listing  # mini-C lines interleaved
+        # every branch site's execution count appears in the margin
+        for row in table.branch_sites():
+            assert f"{row.executions}" in listing
+
+    def test_debug_info_lines_point_into_source(self):
+        from repro.workloads import FIGURE3
+        program, debug = compile_with_debug(FIGURE3)
+        assert debug.line_for_address  # table is populated
+        for address, line in debug.line_for_address.items():
+            assert debug.source_line(line) is not None
+            assert debug.line_at(address) == line
+
+    def test_branch_events_adapter(self):
+        class Event:
+            def __init__(self, pc, taken):
+                self.pc, self.taken = pc, taken
+        table = table_from_branch_events(
+            [Event(0x10, True), Event(0x10, False), Event(0x20, True)])
+        assert table.site(0x10).executions == 2
+        assert table.site(0x10).taken == 1
+        assert table.site(0x20).taken_rate == 1.0
+
+
+class TestManifestRoundTrip:
+    def test_write_read_diff_is_all_zero(self, attributed_case, tmp_path):
+        case, _, cpu, table = attributed_case
+        manifest = manifest_for_cpu(f"case_{case.name}", cpu,
+                                    sites=table.as_dict())
+        assert manifest["schema"] == SCHEMA_VERSION
+        path = tmp_path / "run.json"
+        write_manifest(str(path), manifest)
+        loaded = read_manifest(str(path))
+        assert loaded == json.loads(json.dumps(manifest))  # JSON-clean
+        diff = diff_documents(loaded, loaded)
+        for case_diff in diff["cases"].values():
+            assert case_diff["metrics"] == []
+            assert case_diff["sites"] == {}
+
+    def test_schema1_documents_still_diff(self):
+        """Readers must treat ``sites`` as optional (version-1 docs)."""
+        old = {"kind": "crisp-run-manifest", "workload": "w",
+               "metrics": {"cycles": 100}}
+        new = {"kind": "crisp-run-manifest", "workload": "w",
+               "metrics": {"cycles": 90},
+               "sites": {"0x10": {"executions": 5}}}
+        diff = diff_documents(old, new)["cases"]["w"]
+        assert diff["metrics"][0]["delta"] == -10
+        assert diff["sites"]["0x10"][0]["after"] == 5
+
+
+class TestDiff:
+    def test_deltas_over_union_of_leaves(self):
+        deltas = {d.metric: d for d in diff_metrics(
+            {"a": 1, "nested": {"b": 2.5}}, {"nested": {"b": 3.0}, "c": 4})}
+        assert deltas["a"].delta == -1
+        assert deltas["nested.b"].delta == 0.5
+        assert deltas["c"].before == 0.0
+        assert deltas["c"].relative == math.inf
+        assert deltas["c"].as_dict()["relative"] is None
+
+    def test_bools_are_not_metrics(self):
+        assert diff_metrics({"flag": True}, {"flag": False}) == []
+
+    def test_site_diff_orders_by_address(self):
+        changed = diff_sites(
+            {"0x100": {"executions": 1}, "0x20": {"executions": 2}},
+            {"0x100": {"executions": 5}, "0x20": {"executions": 2}})
+        assert list(changed) == ["0x100"]  # unchanged site omitted
+
+    def test_case_set_mismatch_raises(self):
+        base = {"kind": "crisp-bench-baseline",
+                "cases": [{"extra": {"case": "A"}, "metrics": {}}]}
+        other = {"kind": "crisp-bench-baseline",
+                 "cases": [{"extra": {"case": "B"}, "metrics": {}}]}
+        with pytest.raises(ValueError, match="case sets differ"):
+            diff_documents(base, other)
+        with pytest.raises(ValueError, match="unsupported document kind"):
+            diff_documents({"kind": "mystery"}, {"kind": "mystery"})
+
+
+class TestGate:
+    METRICS = {"execution": {"branches": 100, "conditional_branches": 80},
+               "folded_branches": 90, "mispredictions": 4,
+               "issued_cpi": 1.10, "cycles": 1000}
+
+    def manifest(self, **overrides):
+        metrics = json.loads(json.dumps(self.METRICS))
+        metrics.update(overrides)
+        return {"kind": "crisp-run-manifest", "workload": "w",
+                "metrics": metrics}
+
+    def test_parse_threshold(self):
+        assert parse_threshold("2%") == pytest.approx(0.02)
+        assert parse_threshold("0.05") == pytest.approx(0.05)
+        for bad in ("150%", "-1", "1.0"):
+            with pytest.raises(ValueError):
+                parse_threshold(bad)
+
+    def test_gate_values(self):
+        values = gate_values(self.METRICS)
+        assert values["fold_rate"] == pytest.approx(0.9)
+        assert values["issued_cpi"] == pytest.approx(1.10)
+        assert values["prediction_accuracy"] == pytest.approx(0.95)
+        assert set(values) == set(GATE_METRICS)
+
+    def test_identical_documents_pass(self):
+        regressions, checked = check_gate(self.manifest(), self.manifest())
+        assert regressions == []
+        assert list(checked) == ["w"]
+
+    def test_each_direction_is_respected(self):
+        # fold_rate: higher is better -> falling fails
+        worse, _ = check_gate(self.manifest(),
+                              self.manifest(folded_branches=80))
+        assert [r.metric for r in worse] == ["fold_rate"]
+        # issued_cpi: lower is better -> rising fails, falling passes
+        worse, _ = check_gate(self.manifest(), self.manifest(issued_cpi=1.2))
+        assert [r.metric for r in worse] == ["issued_cpi"]
+        better, _ = check_gate(self.manifest(), self.manifest(issued_cpi=0.9))
+        assert better == []
+
+    def test_threshold_is_relative(self):
+        slightly = self.manifest(folded_branches=89)  # -1.1% fold rate
+        assert check_gate(self.manifest(), slightly, 0.02)[0] == []
+        assert len(check_gate(self.manifest(), slightly, 0.01)[0]) == 1
+
+    def test_regression_describes_itself(self):
+        regressions, _ = check_gate(self.manifest(),
+                                    self.manifest(folded_branches=0))
+        description = regressions[0].describe()
+        assert "fold_rate fell" in description and "100.00%" in description
+
+
+class TestTrajectory:
+    def test_entry_carries_headline_metrics(self):
+        entry = trajectory_entry(
+            {"kind": "crisp-run-manifest", "workload": "w", "git_sha": "abc",
+             "metrics": TestGate.METRICS})
+        assert entry["git_sha"] == "abc"
+        assert entry["cases"]["w"]["cycles"] == 1000
+        assert entry["cases"]["w"]["fold_rate"] == pytest.approx(0.9)
+
+    def test_same_sha_replaces_last_entry(self):
+        document = update_trajectory(None, {"git_sha": "a", "cases": {}})
+        document = update_trajectory(document, {"git_sha": "a",
+                                                "cases": {"w": {}}})
+        assert len(document["entries"]) == 1
+        assert document["entries"][-1]["cases"] == {"w": {}}
+        document = update_trajectory(document, {"git_sha": "b", "cases": {}})
+        assert len(document["entries"]) == 2
