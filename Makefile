@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench eval report examples obs obs-overhead gate \
-	annotate clean
+.PHONY: install test bench bench-throughput eval report examples obs \
+	obs-overhead gate annotate clean
 
 install:
 	pip install -e .
@@ -27,6 +27,9 @@ obs:
 
 obs-overhead:
 	$(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
+
+bench-throughput:
+	$(PYTHON) -m pytest benchmarks/bench_sim_throughput.py -q -s
 
 gate:
 	$(PYTHON) -m repro.obs.cli gate --baseline BENCH_obs_baseline.json \

@@ -1,0 +1,194 @@
+"""Guard: the fast dispatch kernel actually is fast.
+
+Three arms, all simulating Table-4 case E (spreading + prediction, no
+folding — the heaviest EU-side case):
+
+* **reference** — :mod:`repro.sim.reference`, the retained pre-PR
+  kernel: per-access property re-derivation, per-fetch latch
+  allocation, unconditional probe updates;
+* **fast** — the production kernel on a disabled bus (the
+  un-instrumented path sweeps and tables use);
+* **instrumented** — the production kernel on a default live bus.
+
+The acceptance bar is ``fast >= 2.5 x reference`` in cycles/sec. The
+parallel runner has a second bar — ``--jobs 4`` sweep wall-clock at
+least 2x the serial path — which only makes sense on a multi-core host
+and is skipped elsewhere; its *correctness* half (byte-identical Table-4
+JSON) runs everywhere.
+
+``BENCH_SMOKE=1`` (the CI setting) trims repetitions so the whole file
+finishes in seconds; thresholds are unchanged.
+
+Run as a script to (re)record the committed throughput baseline::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py \
+        --write BENCH_throughput.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
+from repro.obs.events import EventBus
+from repro.sim.cpu import run_cycle_accurate
+from repro.sim.progcache import default_cache
+from repro.sim.reference import run_reference
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+REPETITIONS = 2 if SMOKE else 3
+MIN_KERNEL_SPEEDUP = 2.5
+MIN_PARALLEL_SPEEDUP = 2.0
+PARALLEL_JOBS = 4
+
+CASE_E = next(case for case in CASE_DEFINITIONS if case.name == "E")
+
+
+def _case_e():
+    return case_program_config(CASE_E)
+
+
+def _cycles_per_sec(run, repetitions: int = REPETITIONS) -> float:
+    """Best-of-N throughput of ``run()`` (returns a finished cpu)."""
+    best = float("inf")
+    cycles = 0
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        cpu = run()
+        elapsed = time.perf_counter() - start
+        cycles = cpu.stats.cycles
+        best = min(best, elapsed)
+    return cycles / best
+
+
+def measure_throughput() -> dict[str, float]:
+    """cycles/sec for the three arms on Table-4 case E."""
+    program, config = _case_e()
+    arms = {
+        "reference": lambda: run_reference(program, config),
+        "fast": lambda: run_cycle_accurate(
+            program, config, obs=EventBus(enabled=False)),
+        "instrumented": lambda: run_cycle_accurate(program, config),
+    }
+    for run in arms.values():  # warm every arm once
+        run()
+    return {name: _cycles_per_sec(run) for name, run in arms.items()}
+
+
+def test_fast_kernel_speedup():
+    results = measure_throughput()
+    speedup = results["fast"] / results["reference"]
+    print(f"\n  reference     {results['reference']:>12,.0f} cyc/s")
+    print(f"  fast          {results['fast']:>12,.0f} cyc/s")
+    print(f"  instrumented  {results['instrumented']:>12,.0f} cyc/s")
+    print(f"  speedup       {speedup:>12.2f}x  "
+          f"(floor {MIN_KERNEL_SPEEDUP:.1f}x)")
+    assert speedup >= MIN_KERNEL_SPEEDUP, (
+        f"fast kernel is only {speedup:.2f}x the reference "
+        f"(floor {MIN_KERNEL_SPEEDUP:.1f}x)")
+
+
+def test_parallel_output_byte_identical():
+    """--jobs N must be invisible in the Table-4 JSON document."""
+    from repro.eval.jsonout import table4_json
+    jobs = 2 if SMOKE else PARALLEL_JOBS
+    serial = json.dumps(table4_json(), sort_keys=True)
+    parallel = json.dumps(table4_json(jobs=jobs), sort_keys=True)
+    assert serial == parallel
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < PARALLEL_JOBS,
+                    reason=f"needs >= {PARALLEL_JOBS} cores for a "
+                           f"meaningful wall-clock comparison")
+def test_parallel_sweep_wall_clock():
+    """On a multi-core host, --jobs 4 halves sweep wall-clock."""
+    from repro.eval.sweeps import fold_policy_sweep
+    workloads = ["sieve", "sort", "fib", "collatz", "strings", "matrix"]
+    fold_policy_sweep(workloads)  # warm compiles so both arms run hot
+
+    start = time.perf_counter()
+    serial = fold_policy_sweep(workloads)
+    serial_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = fold_policy_sweep(workloads, jobs=PARALLEL_JOBS)
+    parallel_time = time.perf_counter() - start
+
+    speedup = serial_time / parallel_time
+    print(f"\n  serial    {serial_time * 1000:8.1f} ms")
+    print(f"  --jobs {PARALLEL_JOBS} {parallel_time * 1000:8.1f} ms")
+    print(f"  speedup   {speedup:8.2f}x (floor {MIN_PARALLEL_SPEEDUP:.1f}x)")
+    assert serial.cycles_table() == parallel.cycles_table()
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"--jobs {PARALLEL_JOBS} speedup {speedup:.2f}x under the "
+        f"{MIN_PARALLEL_SPEEDUP:.1f}x floor")
+
+
+def test_progcache_serves_repeat_compiles():
+    """The compile cache turns the 5-case table into 3 compiles."""
+    cache = default_cache()
+    cache.clear()
+    for case in CASE_DEFINITIONS:
+        case_program_config(case)
+    stats = cache.stats()
+    assert stats["misses"] == 3  # A/B share options; D/E share options
+    assert stats["hits"] == 2
+    for case in CASE_DEFINITIONS:
+        case_program_config(case)
+    assert cache.stats()["misses"] == 3
+
+
+# ---- committed baseline ----------------------------------------------------
+
+
+def baseline_document() -> dict:
+    """The ``BENCH_throughput.json`` document (crisp-bench-baseline
+    shape, so ``crisp-obs diff`` pairs entries across revisions and
+    future gates can adopt throughput metrics)."""
+    from repro.obs.manifest import SCHEMA_VERSION, git_sha
+
+    results = measure_throughput()
+    cases = [{
+        "workload": f"table4/case_E/{arm}",
+        "extra": {"case": f"throughput_{arm}", "bench": "sim_throughput"},
+        "metrics": {"cycles_per_sec": round(value, 1)},
+    } for arm, value in results.items()]
+    cases.append({
+        "workload": "table4/case_E/kernel_speedup",
+        "extra": {"case": "throughput_speedup", "bench": "sim_throughput"},
+        "metrics": {"speedup": round(
+            results["fast"] / results["reference"], 3)},
+    })
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "crisp-bench-baseline",
+        "bench": "sim_throughput",
+        "git_sha": git_sha(),
+        "cases": cases,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Measure case-E throughput; optionally record the "
+                    "committed baseline.")
+    parser.add_argument("--write", metavar="PATH",
+                        help="write the baseline document here")
+    args = parser.parse_args(argv)
+    document = baseline_document()
+    print(json.dumps(document, indent=2, sort_keys=True))
+    if args.write:
+        with open(args.write, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote throughput baseline -> {args.write}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,21 @@ pytest-benchmark report), and prints them (visible with ``-s``).
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _fresh_progcache():
+    """Clear the compile cache before every benchmark case.
+
+    Benches parametrize over compiler options and workloads; without
+    this, a case that claims to measure compile+simulate time would
+    silently reuse programs a previous parametrized case compiled
+    (see :mod:`repro.sim.progcache`), and its timing would depend on
+    parametrization order.
+    """
+    from repro.sim.progcache import default_cache
+    default_cache().clear()
+    yield
+
+
 def record(benchmark, **info):
     """Attach reproduced numbers to the benchmark report and print them."""
     for key, value in info.items():

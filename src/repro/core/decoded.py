@@ -41,35 +41,55 @@ class DecodedEntry:
     alt_pc: int | None
     length_bytes: int  #: total parcels consumed, in bytes
 
+    # The control bits and derived addresses below are fixed once the
+    # entry exists — on the real chip they are literal wires of the
+    # 192-bit cache word. ``__post_init__`` computes them once into plain
+    # instance attributes (not dataclass fields: __init__/__eq__ keep
+    # their shape) so the execution unit reads them at attribute-load
+    # cost every cycle. Only ``branch_pc`` / ``predicted_taken`` /
+    # ``branch_sense`` stay properties, to keep their historical raising
+    # behaviour on entries without a (conditional) branch.
+
     def __post_init__(self) -> None:
-        if self.body is None and self.branch is None:
+        body, branch = self.body, self.branch
+        if body is None and branch is None:
             raise ValueError("decoded entry needs a body or a branch")
-        if self.body is not None and self.body.is_branch:
+        if body is not None and body.is_branch:
             raise ValueError("entry body must be a non-branching instruction")
 
-    # ---- control bits read by the execution unit -------------------------
-
-    @property
-    def sets_cc(self) -> bool:
-        """True if executing this entry writes the condition-code flag."""
-        return self.body is not None and self.body.sets_flag
-
-    @property
-    def uses_cc(self) -> bool:
-        """True if this entry's next address depends on the flag."""
-        return (self.branch is not None
-                and self.branch.is_conditional_branch)
-
-    @property
-    def is_folded(self) -> bool:
-        """True when a branch was folded into a non-branch instruction."""
-        return self.body is not None and self.branch is not None
-
-    @property
-    def folds_compare_and_branch(self) -> bool:
-        """True for the d=0 case: a compare folded with the conditional
-        branch that consumes it (resolves only at the RR stage)."""
-        return self.sets_cc and self.uses_cc
+        from repro.isa.opcodes import Opcode
+        cache = object.__setattr__
+        sets_cc = body is not None and body.sets_flag
+        uses_cc = branch is not None and branch.is_conditional_branch
+        cache(self, "sets_cc", sets_cc)
+        cache(self, "uses_cc", uses_cc)
+        cache(self, "is_folded", body is not None and branch is not None)
+        cache(self, "folds_compare_and_branch", sets_cc and uses_cc)
+        cache(self, "dynamic_target",
+              branch is not None and self.next_pc is None)
+        cache(self, "halts",
+              body is not None and body.opcode is Opcode.HALT)
+        cache(self, "sequential", self.address + self.length_bytes)
+        if branch is None:
+            cache(self, "_branch_pc", None)
+            cache(self, "_branch_sense", None)
+        else:
+            cache(self, "_branch_pc",
+                  self.address if body is None
+                  else self.address + body.length_bytes())
+            cache(self, "_branch_sense", branch._branch_sense)
+        cache(self, "_predicted_taken",
+              branch._predicted_taken if uses_cc else None)
+        # opcode-name strings and one-parcel bits for the execution unit's
+        # batched ExecutionStats counters (Enum.value is a descriptor call)
+        cache(self, "_body_name",
+              None if body is None else body.opcode.value)
+        cache(self, "_body_one_parcel",
+              body is not None and body._length_parcels == 1)
+        cache(self, "_branch_name",
+              None if branch is None else branch.opcode.value)
+        cache(self, "_branch_one_parcel",
+              branch is not None and branch._length_parcels == 1)
 
     @property
     def branch_pc(self) -> int:
@@ -77,46 +97,37 @@ class DecodedEntry:
         branch site* telemetry keys on. For a folded pair this is the
         branch's own address (past the body), so attribution stays stable
         whether or not folding is enabled."""
-        if self.branch is None:
+        pc = self._branch_pc
+        if pc is None:
             raise ValueError("entry has no branch")
-        if self.body is None:
-            return self.address
-        return self.address + self.body.length_bytes()
-
-    @property
-    def dynamic_target(self) -> bool:
-        """True when the target is only known at execute time."""
-        return self.branch is not None and self.next_pc is None
+        return pc
 
     @property
     def predicted_taken(self) -> bool:
         """Static prediction bit of the conditional branch."""
-        if not self.uses_cc:
+        predicted = self._predicted_taken
+        if predicted is None:
             raise ValueError("entry has no conditional branch")
-        assert self.branch is not None
-        return self.branch.predicted_taken
+        return predicted
 
     @property
     def branch_sense(self) -> BranchKind:
         """Sense of the branch (ALWAYS / IF_TRUE / IF_FALSE)."""
-        if self.branch is None:
+        sense = self._branch_sense
+        if sense is None:
             raise ValueError("entry has no branch")
-        return self.branch.branch_sense
-
-    @property
-    def halts(self) -> bool:
-        """True if this entry stops the machine."""
-        from repro.isa.opcodes import Opcode
-        return self.body is not None and self.body.opcode is Opcode.HALT
+        return sense
 
     def taken_when(self, flag: bool) -> bool:
         """Would the branch transfer, given ``flag``?"""
-        sense = self.branch_sense
-        if sense is BranchKind.ALWAYS:
-            return True
+        sense = self._branch_sense
         if sense is BranchKind.IF_TRUE:
             return flag
-        return not flag
+        if sense is BranchKind.IF_FALSE:
+            return not flag
+        if sense is None:
+            raise ValueError("entry has no branch")
+        return True
 
     def __str__(self) -> str:
         parts = []

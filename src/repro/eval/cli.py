@@ -26,6 +26,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit each exhibit as one JSON object on "
                              "stdout instead of terminal tables")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for exhibits that run "
+                             "many independent simulations (table4); "
+                             "0 = one per CPU. Output is byte-identical "
+                             "to a serial run")
     args = parser.parse_args(argv)
 
     if args.exhibit == "report":
@@ -43,7 +48,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         from repro.eval.jsonout import exhibit_json
         for name in wanted:
-            print(json.dumps(exhibit_json(name, args.events),
+            print(json.dumps(exhibit_json(name, args.events,
+                                          jobs=args.jobs),
                              sort_keys=True))
         return 0
 
@@ -65,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     if "table4" in wanted:
         from repro.eval.table4 import format_table4, run_table4
         print("== Table 4: execution statistics, cases A-E ==")
-        print(format_table4(run_table4()))
+        print(format_table4(run_table4(jobs=args.jobs)))
         print()
     if "figures" in wanted:
         from repro.eval.figures import nextpc_datapath_cases, pipeline_structure

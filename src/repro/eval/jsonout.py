@@ -58,14 +58,8 @@ def table3_json() -> dict[str, Any]:
     }
 
 
-def table4_json() -> dict[str, Any]:
-    """Table 4 with a per-site attribution section per case.
-
-    Each case runs once with an attribution sink attached (sinks do not
-    change simulated timing), so ``metrics`` stays identical to
-    :func:`repro.eval.table4.run_table4` while ``sites`` adds the
-    per-branch-site breakdown the aggregate rows cannot show.
-    """
+def _table4_case_row(case_name: str) -> dict[str, Any]:
+    """One attributed Table-4 JSON row (parallel-runner worker)."""
     from repro.eval.table4 import (
         CASE_DEFINITIONS,
         PAPER_TABLE4,
@@ -73,20 +67,36 @@ def table4_json() -> dict[str, Any]:
     )
     from repro.obs.attrib import attribute_run
 
-    rows = []
-    for case in CASE_DEFINITIONS:
-        program, config = case_program_config(case)
-        cpu, table = attribute_run(program, config)
-        rows.append({
-            "case": case.name,
-            "folding": case.folding,
-            "prediction": case.prediction,
-            "spreading": case.spreading,
-            "relative_performance": 0.0,
-            "paper": PAPER_TABLE4[case.name],
-            "metrics": cpu.stats.as_dict(),
-            "sites": table.as_dict(),
-        })
+    case = next(c for c in CASE_DEFINITIONS if c.name == case_name)
+    program, config = case_program_config(case)
+    cpu, table = attribute_run(program, config)
+    return {
+        "case": case.name,
+        "folding": case.folding,
+        "prediction": case.prediction,
+        "spreading": case.spreading,
+        "relative_performance": 0.0,
+        "paper": PAPER_TABLE4[case.name],
+        "metrics": cpu.stats.as_dict(),
+        "sites": table.as_dict(),
+    }
+
+
+def table4_json(jobs: int | None = None) -> dict[str, Any]:
+    """Table 4 with a per-site attribution section per case.
+
+    Each case runs once with an attribution sink attached (sinks do not
+    change simulated timing), so ``metrics`` stays identical to
+    :func:`repro.eval.table4.run_table4` while ``sites`` adds the
+    per-branch-site breakdown the aggregate rows cannot show. ``jobs``
+    fans the cases out over worker processes with an ordered merge —
+    the emitted document is byte-identical to the serial one.
+    """
+    from repro.eval.parallel import map_ordered
+    from repro.eval.table4 import CASE_DEFINITIONS
+
+    rows = map_ordered(_table4_case_row,
+                       [case.name for case in CASE_DEFINITIONS], jobs)
     reference = rows[0]["metrics"]["cycles"]
     for row in rows:
         row["relative_performance"] = reference / row["metrics"]["cycles"]
@@ -117,13 +127,18 @@ def branch_stats_json() -> dict[str, Any]:
     }
 
 
-def exhibit_json(name: str, synthetic_events: int = 100_000) -> dict[str, Any]:
-    """The JSON document for one exhibit name (as the CLI spells it)."""
+def exhibit_json(name: str, synthetic_events: int = 100_000,
+                 jobs: int | None = None) -> dict[str, Any]:
+    """The JSON document for one exhibit name (as the CLI spells it).
+
+    ``jobs`` parallelises exhibits built from independent simulations
+    (currently table4); the other exhibits ignore it.
+    """
     builders = {
         "table1": lambda: table1_json(synthetic_events),
         "table2": table2_json,
         "table3": table3_json,
-        "table4": table4_json,
+        "table4": lambda: table4_json(jobs),
         "figures": figures_json,
         "branch-stats": branch_stats_json,
     }

@@ -1,0 +1,116 @@
+"""Parallel sweep runner: deterministic fan-out over worker processes.
+
+Sweeps and table regeneration are embarrassingly parallel — every
+(workload, configuration) point simulates independently — but
+parallelism is only acceptable here if it is *invisible* in the output:
+a run with ``--jobs 4`` must produce byte-identical tables, manifests
+and JSON documents to the serial run. Three properties make that hold:
+
+1. **Pure tasks.** A task is a small picklable description (workload
+   *name*, config, seed) — never a live simulator. The worker rebuilds
+   everything it needs from the description: sources resolve through
+   :func:`repro.workloads.resolve_source` (a pure function of name and
+   seed) and compile through the content-hash cache
+   (:mod:`repro.sim.progcache`), so a worker's program is exactly the
+   program the serial path would have built.
+2. **Ordered merge.** Results come back via :meth:`Executor.map`, which
+   yields in task-submission order regardless of completion order.
+   Nothing downstream can observe scheduling.
+3. **Per-task seeds.** Any randomness a task needs travels *in* the
+   task. Workers never consult shared RNG state, so the fan-out degree
+   cannot leak into results.
+
+``jobs`` convention (shared by ``crisp-eval --jobs`` and
+``crisp-obs run --jobs``): ``None``/``1`` = serial in-process, ``0`` =
+one worker per CPU, ``N`` = at most N workers. The serial path runs the
+same worker functions without a pool, so it is also the fallback when a
+pool cannot start.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.sim.cpu import CpuConfig
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: None → 1, 0 → cpu_count, N → N."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def map_ordered(worker: Callable[[_Task], _Result],
+                tasks: Iterable[_Task],
+                jobs: int | None = None) -> list[_Result]:
+    """Apply ``worker`` to every task, results in task order.
+
+    The parallel path and the serial path run the *same* worker
+    function; only the transport differs. ``worker`` and each task must
+    be picklable when ``jobs > 1`` (module-level functions and frozen
+    dataclasses of primitives are safe).
+    """
+    task_list = list(tasks)
+    workers = min(effective_jobs(jobs), len(task_list))
+    if workers <= 1:
+        return [worker(task) for task in task_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, task_list))
+
+
+# ---- sweep tasks -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One picklable sweep point: everything a worker needs, by value."""
+
+    workload: str  #: name resolvable by :func:`repro.workloads.resolve_source`
+    label: str
+    config: CpuConfig
+    spreading: bool = True
+    seed: int | None = None  #: synthetic-workload seed (``gen_*`` names)
+
+
+def run_sweep_task(task: SweepTask):
+    """Simulate one sweep point (the worker for sweep grids)."""
+    from repro.eval.sweeps import SweepPoint
+    from repro.lang import CompilerOptions
+    from repro.sim.cpu import run_cycle_accurate
+    from repro.sim.progcache import compile_cached
+    from repro.workloads import resolve_source
+
+    source = resolve_source(task.workload, task.seed)
+    program = compile_cached(source,
+                             CompilerOptions(spreading=task.spreading))
+    stats = run_cycle_accurate(program, task.config).stats
+    return SweepPoint(task.workload, task.label, task.config, stats)
+
+
+def run_sweep_tasks(tasks: Sequence[SweepTask],
+                    jobs: int | None = None) -> list[Any]:
+    """Run sweep points (possibly in parallel), in task order."""
+    return map_ordered(run_sweep_task, tasks, jobs)
+
+
+# ---- Table-4 tasks ---------------------------------------------------------
+
+
+def run_table4_case(task: tuple[str, str]):
+    """Worker for one Table-4 case: ``(case_name, source)`` → stats."""
+    from repro.eval.table4 import CASE_DEFINITIONS, run_case
+
+    case_name, source = task
+    case = next(c for c in CASE_DEFINITIONS if c.name == case_name)
+    return run_case(case, source)

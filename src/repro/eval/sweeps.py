@@ -2,8 +2,10 @@
 
 Runs a grid of (workload × machine configuration) on the cycle-accurate
 simulator and collects one row per point — the engine behind the
-ablation benches and the design-space example. Compiled programs are
-cached per (workload, compiler options), so a sweep recompiles nothing.
+ablation benches and the design-space example. Compiled programs go
+through the content-hash cache (:mod:`repro.sim.progcache`), so a sweep
+recompiles nothing — neither within one grid nor across grids in the
+same process.
 """
 
 from __future__ import annotations
@@ -12,10 +14,10 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.policy import FoldPolicy
-from repro.lang import CompilerOptions, compile_source
-from repro.sim.cpu import CpuConfig, run_cycle_accurate
+from repro.lang import CompilerOptions
+from repro.sim.cpu import CpuConfig
+from repro.sim.progcache import compile_cached
 from repro.sim.stats import PipelineStats
-from repro.workloads import get_workload
 
 
 @dataclass(frozen=True)
@@ -62,50 +64,56 @@ class Sweep:
         return "\n".join(lines)
 
 
-_program_cache: dict[tuple[str, bool], object] = {}
-
-
-def _compiled(workload: str, spreading: bool):
-    key = (workload, spreading)
-    if key not in _program_cache:
-        _program_cache[key] = compile_source(
-            get_workload(workload).source,
-            CompilerOptions(spreading=spreading))
-    return _program_cache[key]
+def _compiled(workload: str, spreading: bool, seed: int | None = None):
+    from repro.workloads import resolve_source
+    return compile_cached(resolve_source(workload, seed),
+                          CompilerOptions(spreading=spreading))
 
 
 def run_grid(workloads: Iterable[str],
              configs: dict[str, CpuConfig],
-             spreading: bool = True) -> Sweep:
-    """Run every workload under every named configuration."""
-    sweep = Sweep()
-    for workload in workloads:
-        program = _compiled(workload, spreading)
-        for label, config in configs.items():
-            stats = run_cycle_accurate(program, config).stats
-            sweep.points.append(SweepPoint(workload, label, config, stats))
-    return sweep
+             spreading: bool = True,
+             jobs: int | None = None,
+             seed: int | None = None) -> Sweep:
+    """Run every workload under every named configuration.
+
+    ``jobs`` fans the points out over worker processes (see
+    :mod:`repro.eval.parallel`); results are merged in task order, so
+    the sweep is identical to a serial run point for point. ``seed``
+    feeds synthetic (``gen_*``) workload generation — carried inside
+    each task, so parallel workers regenerate the exact programs the
+    serial path compiles.
+    """
+    from repro.eval.parallel import SweepTask, run_sweep_tasks
+    tasks = [SweepTask(workload, label, config, spreading, seed)
+             for workload in workloads
+             for label, config in configs.items()]
+    return Sweep(points=run_sweep_tasks(tasks, jobs))
 
 
 def icache_sweep(workloads: Iterable[str],
-                 sizes: Iterable[int] = (8, 16, 32, 64, 128)) -> Sweep:
+                 sizes: Iterable[int] = (8, 16, 32, 64, 128),
+                 jobs: int | None = None) -> Sweep:
     """Decoded-instruction-cache size sweep (paper shipped 32 entries)."""
     return run_grid(workloads, {
-        f"i{size}": CpuConfig(icache_entries=size) for size in sizes})
+        f"i{size}": CpuConfig(icache_entries=size) for size in sizes},
+        jobs=jobs)
 
 
 def latency_sweep(workloads: Iterable[str],
-                  latencies: Iterable[int] = (1, 2, 4, 8)) -> Sweep:
+                  latencies: Iterable[int] = (1, 2, 4, 8),
+                  jobs: int | None = None) -> Sweep:
     """Main-memory latency sweep (the decoded cache decouples the EU)."""
     return run_grid(workloads, {
         f"m{latency}": CpuConfig(mem_latency=latency)
-        for latency in latencies})
+        for latency in latencies}, jobs=jobs)
 
 
-def fold_policy_sweep(workloads: Iterable[str]) -> Sweep:
+def fold_policy_sweep(workloads: Iterable[str],
+                      jobs: int | None = None) -> Sweep:
     """The three fold policies over a set of workloads."""
     return run_grid(workloads, {
         "none": CpuConfig(fold_policy=FoldPolicy.none()),
         "crisp": CpuConfig(fold_policy=FoldPolicy.crisp()),
         "all": CpuConfig(fold_policy=FoldPolicy.fold_all()),
-    })
+    }, jobs=jobs)

@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.policy import FoldPolicy
-from repro.lang import CompilerOptions, PredictionMode, compile_source
+from repro.lang import CompilerOptions, PredictionMode
 from repro.sim.cpu import CpuConfig, run_cycle_accurate
+from repro.sim.progcache import compile_cached
 from repro.sim.stats import PipelineStats
 from repro.workloads import FIGURE3
 
@@ -64,13 +65,15 @@ def case_program_config(case: CaseDefinition, source: str = FIGURE3):
     """Compile ``source`` for one Table-4 configuration.
 
     Returns ``(program, config)`` so callers can choose how to run it
-    (plain, traced, or with per-site attribution attached).
+    (plain, traced, or with per-site attribution attached). Compilation
+    goes through :mod:`repro.sim.progcache`, so running all five cases
+    compiles each distinct (source, options) pair once.
     """
     options = CompilerOptions(
         spreading=case.spreading,
         prediction=(PredictionMode.HEURISTIC if case.prediction
                     else PredictionMode.NOT_TAKEN))
-    program = compile_source(source, options)
+    program = compile_cached(source, options)
     config = CpuConfig(fold_policy=(FoldPolicy.crisp() if case.folding
                                     else FoldPolicy.none()))
     return program, config
@@ -82,10 +85,19 @@ def run_case(case: CaseDefinition, source: str = FIGURE3) -> PipelineStats:
     return run_cycle_accurate(program, config).stats
 
 
-def run_table4(source: str = FIGURE3) -> list[Table4Row]:
-    """Regenerate Table 4 (case A is the performance reference)."""
-    rows = [Table4Row(case, run_case(case, source))
-            for case in CASE_DEFINITIONS]
+def run_table4(source: str = FIGURE3,
+               jobs: int | None = None) -> list[Table4Row]:
+    """Regenerate Table 4 (case A is the performance reference).
+
+    ``jobs`` runs the five cases in worker processes (ordered merge,
+    byte-identical rows — see :mod:`repro.eval.parallel`).
+    """
+    from repro.eval.parallel import map_ordered, run_table4_case
+    stats_list = map_ordered(run_table4_case,
+                             [(case.name, source)
+                              for case in CASE_DEFINITIONS], jobs)
+    rows = [Table4Row(case, stats)
+            for case, stats in zip(CASE_DEFINITIONS, stats_list)]
     reference = rows[0].stats.cycles
     for row in rows:
         row.relative_performance = reference / row.stats.cycles

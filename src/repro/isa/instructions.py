@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.isa.opcodes import (
+    OPCODE_INDEX,
     BranchKind,
     OpClass,
     Opcode,
@@ -87,6 +88,12 @@ class Instruction:
     branch: BranchSpec | None = None
     label: str | None = field(default=None, compare=False)
 
+    # Everything derivable from the frozen fields — class, lengths, branch
+    # metadata — is computed once here and stored as plain instance
+    # attributes (not dataclass fields, so __init__/__eq__/__repr__ keep
+    # their shape), because the simulators read these on every execution
+    # of the instruction.
+
     def __post_init__(self) -> None:
         cls = opcode_class(self.opcode)
         expected = _OPERAND_COUNT[cls]
@@ -97,7 +104,8 @@ class Instruction:
             )
         if cls in (OpClass.ALU2,) and not self.operands[0].is_writable:
             raise ValueError(f"{self.opcode.value} destination must be writable")
-        if is_branch_opcode(self.opcode) and cls is not OpClass.RETURN:
+        branching = is_branch_opcode(self.opcode)
+        if branching and cls is not OpClass.RETURN:
             if self.branch is None:
                 raise ValueError(f"{self.opcode.value} requires a branch target")
             if is_short_branch_opcode(self.opcode):
@@ -107,68 +115,72 @@ class Instruction:
                 raise ValueError("long branches cannot be PC-relative")
             if self.opcode is Opcode.CALL and self.branch.mode is BranchMode.PC_RELATIVE:
                 raise ValueError("call uses the three-parcel form")
-        elif self.branch is not None and not is_branch_opcode(self.opcode):
+        elif self.branch is not None and not branching:
             raise ValueError(f"{self.opcode.value} cannot carry a branch target")
 
+        cache = object.__setattr__
+        cache(self, "op_class", cls)
+        cache(self, "is_branch", branching)
+        cache(self, "is_conditional_branch", cls is OpClass.CONDJMP)
+        cache(self, "sets_flag", cls is OpClass.CMP)
+        cache(self, "opcode_index", OPCODE_INDEX[self.opcode])
+        if cls is OpClass.CONDJMP:
+            cache(self, "_branch_sense", condjmp_sense(self.opcode))
+            cache(self, "_predicted_taken",
+                  condjmp_predicted_taken(self.opcode))
+        else:
+            cache(self, "_branch_sense",
+                  BranchKind.ALWAYS if branching else None)
+            cache(self, "_predicted_taken", None)
+        parcels = self._compute_length_parcels(cls)
+        cache(self, "_length_parcels", parcels)
+        cache(self, "_length_bytes", parcels * PARCEL_BYTES)
+
     # ---- classification ------------------------------------------------
-
-    @property
-    def op_class(self) -> OpClass:
-        """Behavioural class of the opcode."""
-        return opcode_class(self.opcode)
-
-    @property
-    def is_branch(self) -> bool:
-        """True for any control-transfer instruction."""
-        return is_branch_opcode(self.opcode)
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        """True for branches conditioned on the flag."""
-        return self.op_class is OpClass.CONDJMP
-
-    @property
-    def sets_flag(self) -> bool:
-        """True if this instruction writes the condition-code flag.
-
-        Only compares may modify the flag — one of the three CRISP
-        instruction-set decisions the paper highlights.
-        """
-        return self.op_class is OpClass.CMP
+    #
+    # ``op_class`` / ``is_branch`` / ``is_conditional_branch`` /
+    # ``sets_flag`` / ``opcode_index`` are plain attributes cached by
+    # ``__post_init__`` (see above). The two below keep their historical
+    # raising behaviour for non-branch opcodes, so they stay properties
+    # over the cached values.
 
     @property
     def branch_sense(self) -> BranchKind:
         """ALWAYS / IF_TRUE / IF_FALSE for branch opcodes."""
-        if self.op_class is OpClass.CONDJMP:
-            return condjmp_sense(self.opcode)
-        if self.is_branch:
-            return BranchKind.ALWAYS
-        raise ValueError(f"{self.opcode.value} is not a branch")
+        sense = self._branch_sense
+        if sense is None:
+            raise ValueError(f"{self.opcode.value} is not a branch")
+        return sense
 
     @property
     def predicted_taken(self) -> bool:
         """The static branch-prediction bit (conditional branches only)."""
-        return condjmp_predicted_taken(self.opcode)
+        predicted = self._predicted_taken
+        if predicted is None:
+            raise KeyError(self.opcode)
+        return predicted
 
     # ---- encoding geometry ----------------------------------------------
 
-    def length_parcels(self) -> int:
-        """Encoded length in 16-bit parcels (always 1, 3 or 5)."""
-        cls = self.op_class
+    def _compute_length_parcels(self, cls: OpClass) -> int:
         if cls in (OpClass.RETURN, OpClass.NOP, OpClass.HALT):
             return 1
         if cls is OpClass.FRAME:
             # ``enter`` has a dedicated 10-bit frame-size field in-parcel;
             # the all-ones pattern marks the three-parcel extended form.
             return 1 if 0 <= self.operands[0].value <= 1022 else 3
-        if self.is_branch:
+        if is_branch_opcode(self.opcode):
             return 1 if is_short_branch_opcode(self.opcode) else 3
         extensions = sum(0 if op.fits_in_parcel else 1 for op in self.operands)
         return 1 + 2 * extensions
 
+    def length_parcels(self) -> int:
+        """Encoded length in 16-bit parcels (always 1, 3 or 5)."""
+        return self._length_parcels
+
     def length_bytes(self) -> int:
         """Encoded length in bytes."""
-        return self.length_parcels() * PARCEL_BYTES
+        return self._length_bytes
 
     # ---- presentation ----------------------------------------------------
 

@@ -247,8 +247,7 @@ _LONG_CONDJMP = {
 _CONDJMP = {**_SHORT_CONDJMP, **_LONG_CONDJMP}
 
 
-def opcode_class(opcode: Opcode) -> OpClass:
-    """Return the behavioural class of ``opcode``."""
+def _classify(opcode: Opcode) -> OpClass:
     if opcode in _TWO_OP:
         return OpClass.ALU2
     if opcode in _THREE_OP:
@@ -270,6 +269,25 @@ def opcode_class(opcode: Opcode) -> OpClass:
     return OpClass.HALT
 
 
+_OPCODE_CLASS: dict[Opcode, OpClass] = {op: _classify(op) for op in Opcode}
+_IS_BRANCH: dict[Opcode, bool] = {
+    op: _OPCODE_CLASS[op] in (OpClass.JMP, OpClass.CONDJMP,
+                              OpClass.CALL, OpClass.RETURN)
+    for op in Opcode
+}
+
+OPCODE_INDEX: dict[Opcode, int] = {op: i for i, op in enumerate(Opcode)}
+"""Dense ordinal per opcode: list-based dispatch tables index on this
+instead of hashing enum members in the simulator's inner loop."""
+
+NUM_OPCODES = len(OPCODE_INDEX)
+
+
+def opcode_class(opcode: Opcode) -> OpClass:
+    """Return the behavioural class of ``opcode``."""
+    return _OPCODE_CLASS[opcode]
+
+
 def opcode_condition(opcode: Opcode) -> Condition:
     """Return the compare condition of a ``cmp`` opcode."""
     return _CMP_CONDITION[opcode]
@@ -287,9 +305,7 @@ def condjmp_predicted_taken(opcode: Opcode) -> bool:
 
 def is_branch_opcode(opcode: Opcode) -> bool:
     """True for every control-transfer opcode (jmp/ifjmp/call/return)."""
-    return opcode_class(opcode) in (
-        OpClass.JMP, OpClass.CONDJMP, OpClass.CALL, OpClass.RETURN,
-    )
+    return _IS_BRANCH[opcode]
 
 
 def is_short_branch_opcode(opcode: Opcode) -> bool:

@@ -44,6 +44,11 @@ class Operand:
     mode: AddrMode
     value: int = 0
 
+    # ``fits_in_parcel`` is a plain instance attribute (not a dataclass
+    # field, so __init__/__eq__/__repr__ are unchanged) cached at
+    # construction — it is fixed by mode/value and read on every
+    # length computation.
+
     def __post_init__(self) -> None:
         if self.mode in (AddrMode.ACC, AddrMode.ACC_IND) and self.value != 0:
             raise ValueError(f"{self.mode.name} operand takes no value")
@@ -53,6 +58,7 @@ class Operand:
             raise ValueError("absolute address out of 32-bit range")
         if self.mode is AddrMode.IMM and not -0x80000000 <= self.value <= 0xFFFFFFFF:
             raise ValueError("immediate out of 32-bit range")
+        object.__setattr__(self, "fits_in_parcel", self._fits_in_parcel())
 
     @property
     def is_memory(self) -> bool:
@@ -64,9 +70,7 @@ class Operand:
         """True if the operand may be used as a destination."""
         return self.mode is not AddrMode.IMM
 
-    @property
-    def fits_in_parcel(self) -> bool:
-        """True if the operand encodes in the base parcel (no extension)."""
+    def _fits_in_parcel(self) -> bool:
         if self.mode in (AddrMode.ACC, AddrMode.ACC_IND):
             return True
         if self.mode is AddrMode.IMM:

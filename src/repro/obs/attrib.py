@@ -41,20 +41,8 @@ from typing import Any, Iterable
 
 from repro.obs.events import EventBus
 
-#: probe -> SiteStats field incremented by that probe's event delta
-_COUNTER_FIELDS = {
-    "branch.executed": "executions",
-    "fold.succeeded": "folded",
-    "cc.interlock": "speculations",
-    "mispredict.count": "mispredicts",
-    "mispredict.penalty_cycles": "penalty_cycles",
-    "zero_cost.overrides": "overrides",
-    "pdu.decoded": "decodes",
-    "icache.demand_miss": "icache_misses",
-}
 
-
-@dataclass
+@dataclass(slots=True)
 class SiteStats:
     """Attribution counters for one static site (one byte address)."""
 
@@ -101,6 +89,58 @@ class SiteStats:
         known = {field.name for field in fields(cls)}
         return cls(pc=pc, **{key: value for key, value in data.items()
                              if key in known and key != "pc"})
+
+
+# Per-probe updaters: one plain function per counter, dispatched once by
+# probe name. The sink's handle() runs once per site-keyed event on an
+# instrumented run, so it avoids the per-event getattr/setattr dance — a
+# direct attribute add on the (slotted) row is all that remains.
+
+def _upd_executed(row: SiteStats, delta: int, event: dict) -> None:
+    row.executions += delta
+    if event.get("taken"):
+        row.taken += delta
+
+
+def _upd_folded(row: SiteStats, delta: int, event: dict) -> None:
+    row.folded += delta
+
+
+def _upd_speculations(row: SiteStats, delta: int, event: dict) -> None:
+    row.speculations += delta
+
+
+def _upd_mispredicts(row: SiteStats, delta: int, event: dict) -> None:
+    row.mispredicts += delta
+
+
+def _upd_penalty(row: SiteStats, delta: int, event: dict) -> None:
+    row.penalty_cycles += delta
+
+
+def _upd_overrides(row: SiteStats, delta: int, event: dict) -> None:
+    row.overrides += delta
+
+
+def _upd_decodes(row: SiteStats, delta: int, event: dict) -> None:
+    row.decodes += delta
+
+
+def _upd_icache_misses(row: SiteStats, delta: int, event: dict) -> None:
+    row.icache_misses += delta
+
+
+#: probe -> updater applying that probe's event delta to a site row
+_PROBE_UPDATERS = {
+    "branch.executed": _upd_executed,
+    "fold.succeeded": _upd_folded,
+    "cc.interlock": _upd_speculations,
+    "mispredict.count": _upd_mispredicts,
+    "mispredict.penalty_cycles": _upd_penalty,
+    "zero_cost.overrides": _upd_overrides,
+    "pdu.decoded": _upd_decodes,
+    "icache.demand_miss": _upd_icache_misses,
+}
 
 
 class AttributionTable:
@@ -174,14 +214,13 @@ class AttributionSink:
         self.table = table if table is not None else AttributionTable()
 
     def handle(self, event: dict[str, Any]) -> None:
-        field = _COUNTER_FIELDS.get(event.get("probe"))
-        site = event.get("site")
-        if field is None or site is None:
+        updater = _PROBE_UPDATERS.get(event.get("probe"))
+        if updater is None:
             return
-        row = self.table.site(site)
-        setattr(row, field, getattr(row, field) + event.get("delta", 1))
-        if field == "executions" and event.get("taken"):
-            row.taken += event.get("delta", 1)
+        site = event.get("site")
+        if site is None:
+            return
+        updater(self.table.site(site), event.get("delta", 1), event)
 
 
 def attribute_run(program, config=None, obs: EventBus | None = None,

@@ -64,19 +64,21 @@ def _format_summary(workload: str, stats, breakdown) -> list[str]:
     return lines
 
 
-def _workload_source(name: str) -> str:
-    if name == "figure3":
-        from repro.workloads import FIGURE3
-        return FIGURE3
-    from repro.workloads import get_workload
-    return get_workload(name).source
+def _workload_source(name: str, seed: int | None = None) -> str:
+    from repro.workloads import resolve_source
+    return resolve_source(name, seed)
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     """The workload/compile/machine flags shared by ``run`` and ``annotate``."""
     parser.add_argument("--workload", default="figure3",
-                        help="figure3 or a workload-suite name "
+                        help="figure3, a workload-suite name, or a "
+                             "gen_* synthetic workload "
                              "(default: figure3)")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="generation seed for gen_* synthetic "
+                             "workloads (same seed -> byte-identical "
+                             "program in every process)")
     parser.add_argument("--spread", action="store_true",
                         help="enable Branch Spreading")
     parser.add_argument("--predict", default="heuristic",
@@ -106,7 +108,7 @@ def _compile_workload(parser: argparse.ArgumentParser, args,
     from repro.sim.cpu import CpuConfig
 
     try:
-        source = _workload_source(args.workload)
+        source = _workload_source(args.workload, getattr(args, "seed", None))
     except KeyError:
         parser.error(f"unknown workload {args.workload!r}")
     options = CompilerOptions(
@@ -154,6 +156,12 @@ def _cmd_run(argv: list[str]) -> int:
     parser.add_argument("--table4-baseline", metavar="PATH",
                         help="emit the Table-4 A-E baseline manifests "
                              "and exit")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for multi-case artefacts "
+                             "(--table4-baseline); 0 = one per CPU. "
+                             "Manifests merge in case order, so the "
+                             "document is byte-identical to a serial "
+                             "run. Single-workload runs ignore it")
     parser.add_argument("--probes", action="store_true",
                         help="print the probe catalogue and exit")
     args = parser.parse_args(argv)
@@ -166,7 +174,7 @@ def _cmd_run(argv: list[str]) -> int:
 
     if args.table4_baseline:
         from repro.obs.manifest import table4_baseline, write_manifest
-        write_manifest(args.table4_baseline, table4_baseline())
+        write_manifest(args.table4_baseline, table4_baseline(jobs=args.jobs))
         print(f"wrote Table-4 baseline -> {args.table4_baseline}")
         return EXIT_OK
 

@@ -36,7 +36,13 @@ class _NullProbe:
     def inc(self, amount: int = 1, **fields: Any) -> None:
         pass
 
+    def add(self, amount: int = 1) -> None:
+        pass
+
     def set(self, value: float, **fields: Any) -> None:
+        pass
+
+    def set_fast(self, value: float) -> None:
         pass
 
     def observe(self, value: float, **fields: Any) -> None:
@@ -67,6 +73,19 @@ class Counter:
                                {"value": self.value, "delta": amount,
                                 **fields})
 
+    def add(self, amount: int = 1) -> None:
+        """Field-less :meth:`inc` — the hot-loop form.
+
+        Behaviourally identical to ``inc(amount)``: same count, same
+        published event. It exists so call sites in per-cycle code can
+        skip keyword-dict construction when they have no fields to add
+        (or, two-tier-guarded, when no sink is listening).
+        """
+        self.value += amount
+        if self._bus._sinks:
+            self._bus._publish(self.name, "counter",
+                               {"value": self.value, "delta": amount})
+
     def snapshot(self) -> dict[str, Any]:
         return {"kind": "counter", "value": self.value}
 
@@ -94,6 +113,18 @@ class Gauge:
             self.high = value
         if self._bus._sinks:
             self._bus._publish(self.name, "gauge", {"value": value, **fields})
+
+    def set_fast(self, value: float) -> None:
+        """Field-less :meth:`set` — same bookkeeping and published event,
+        no keyword-dict construction (per-cycle call sites)."""
+        self.value = value
+        self.samples += 1
+        if self.low is None or value < self.low:
+            self.low = value
+        if self.high is None or value > self.high:
+            self.high = value
+        if self._bus._sinks:
+            self._bus._publish(self.name, "gauge", {"value": value})
 
     def snapshot(self) -> dict[str, Any]:
         return {"kind": "gauge", "value": self.value, "low": self.low,
@@ -211,6 +242,16 @@ class EventBus:
     @property
     def sinks(self) -> tuple[Any, ...]:
         return tuple(self._sinks)
+
+    def sinks_ref(self) -> list[Any]:
+        """The live sink list (a shared reference, not a copy).
+
+        Components cache this once and test its truthiness per event, so
+        a sink-less bus pays for counter bumps but never for per-event
+        field formatting — and a sink attached or detached mid-run is
+        still seen immediately.
+        """
+        return self._sinks
 
     def attach(self, sink: Any) -> None:
         """Start delivering every probe update to ``sink.handle(event)``."""

@@ -116,26 +116,44 @@ def write_manifest(path: str, manifest: dict[str, Any]) -> None:
         stream.write("\n")
 
 
-def table4_baseline() -> dict[str, Any]:
-    """Manifests for the Table-4 cases A–E: the perf-trajectory seed.
+def _baseline_case(case_name: str) -> dict[str, Any]:
+    """One attributed Table-4 case manifest (parallel-runner worker).
 
-    Each case runs with per-site attribution attached, so the baseline
-    carries the ``sites`` blocks future PRs diff against (``crisp-obs
-    diff``) and the gate metrics ``crisp-obs gate`` checks.
+    Workers rebuild the program from the case definition (compiles hit
+    the content-hash cache), so the manifest a worker returns is exactly
+    the manifest the serial loop would have built — including the
+    ``git_sha`` field, which is a repository property, not a process
+    property.
     """
     from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
     from repro.obs.attrib import attribute_run
 
-    cases = []
-    for case in CASE_DEFINITIONS:
-        program, config = case_program_config(case)
-        cpu, table = attribute_run(program, config)
-        cases.append(build_manifest(
-            f"figure3/case_{case.name}", config, cpu.stats, cpu.obs,
-            extra={"case": case.name, "folding": case.folding,
-                   "prediction": case.prediction,
-                   "spreading": case.spreading},
-            sites=table.as_dict()))
+    case = next(c for c in CASE_DEFINITIONS if c.name == case_name)
+    program, config = case_program_config(case)
+    cpu, table = attribute_run(program, config)
+    return build_manifest(
+        f"figure3/case_{case.name}", config, cpu.stats, cpu.obs,
+        extra={"case": case.name, "folding": case.folding,
+               "prediction": case.prediction,
+               "spreading": case.spreading},
+        sites=table.as_dict())
+
+
+def table4_baseline(jobs: int | None = None) -> dict[str, Any]:
+    """Manifests for the Table-4 cases A–E: the perf-trajectory seed.
+
+    Each case runs with per-site attribution attached, so the baseline
+    carries the ``sites`` blocks future PRs diff against (``crisp-obs
+    diff``) and the gate metrics ``crisp-obs gate`` checks. ``jobs``
+    fans the cases out over worker processes; the merged document is
+    byte-identical to a serial run (ordered merge, deterministic
+    simulation — see :mod:`repro.eval.parallel`).
+    """
+    from repro.eval.parallel import map_ordered
+    from repro.eval.table4 import CASE_DEFINITIONS
+
+    cases = map_ordered(_baseline_case,
+                        [case.name for case in CASE_DEFINITIONS], jobs)
     return {
         "schema": SCHEMA_VERSION,
         "kind": "crisp-bench-baseline",

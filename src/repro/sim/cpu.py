@@ -65,6 +65,8 @@ class CrispCpu:
         self.eu = ExecutionUnit(self.state, self.stats, obs=self.obs)
         self._pending_interrupt: int | None = None
         self.interrupts_taken = 0
+        self._obs_on = self.obs.enabled
+        self._obs_sinks = self.obs.sinks_ref()
         self._p_demand_hit = self.obs.counter("icache.demand_hit")
         self._p_demand_miss = self.obs.counter("icache.demand_miss")
         self._p_miss_latency = self.obs.histogram("icache.miss.latency")
@@ -89,19 +91,25 @@ class CrispCpu:
             if entry is not None:
                 fetched = entry
                 if address == self._miss_address:
-                    self._p_miss_latency.observe(
-                        self.stats.cycles - self._miss_cycle)
+                    if self._obs_on:
+                        self._p_miss_latency.observe(
+                            self.stats.cycles - self._miss_cycle)
                     self._miss_address = None
             else:
                 self.stats.icache_misses += 1
-                self._p_demand_miss.inc(site=address)
+                if self._obs_on:
+                    if self._obs_sinks:
+                        self._p_demand_miss.inc(site=address)
+                    else:
+                        self._p_demand_miss.add()
                 if address != self._miss_address:
                     self._miss_address = address
                     self._miss_cycle = self.stats.cycles
                 self.pdu.demand(address)
         if fetched is not None:
             self.stats.icache_hits += 1
-            self._p_demand_hit.inc()
+            if self._obs_on:
+                self._p_demand_hit.add()
 
         self.eu.tick(fetched)
         self.stats.cycles += 1
@@ -123,10 +131,14 @@ class CrispCpu:
 
     def run(self, max_cycles: int = 50_000_000) -> PipelineStats:
         """Run to ``halt``; raise if the cycle budget is exhausted."""
+        eu = self.eu
+        step = self.step
         for _ in range(max_cycles):
-            if self.halted:
+            if eu.halted:
+                eu.flush_execution()  # idempotent: batch already folded
                 return self.stats
-            self.step()
+            step()
+        eu.flush_execution()
         raise SimulationError(
             f"machine did not halt within {max_cycles} cycles")
 
@@ -138,11 +150,13 @@ class CrispCpu:
         Useful for microbenchmarks that measure steady-state pipeline
         behaviour (e.g. the per-distance misprediction penalties) without
         cold-start miss noise. Only meaningful when the program fits the
-        cache without conflicts.
+        cache without conflicts. Decode results are memoized per
+        (program image, fold policy) — see :mod:`repro.sim.progcache` —
+        so repeated runs of the same program decode once.
         """
-        folder = self.pdu.folder
-        for address in self.program.addresses:
-            self.icache.fill(folder.decode(address))
+        from repro.sim.progcache import predecode_cached
+        for entry in predecode_cached(self.program, self.config.fold_policy):
+            self.icache.fill(entry)
 
     def read_symbol(self, name: str) -> int:
         """Read the word at a data symbol's address."""

@@ -23,21 +23,35 @@ OR/IR-stage shortcut.
 Architectural effects are applied atomically at RR via
 :mod:`repro.sim.semantics` — legitimate because the pipeline is in-order
 with full bypassing and wrong-path entries never reach a result write.
+
+Fast-path engineering (see ``docs/pipeline.md`` for the invariants): the
+steady-state loop is allocation-free — stage latches are recycled through
+a small pool rather than constructed per fetch, entry control bits are
+plain attributes precomputed at decode time, instruction bodies dispatch
+through :data:`~repro.sim.semantics.BODY_EXECUTORS`, probe updates are
+skipped entirely on a disabled bus, and the per-instruction architectural
+counters are batched locally and flushed into
+:class:`~repro.sim.stats.ExecutionStats` when the run ends.
+``tests/test_sim_fastpath.py`` proves all of this invisible against the
+retained pre-optimization kernel in :mod:`repro.sim.reference`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.decoded import DecodedEntry
+from repro.isa.instructions import resolve_target
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.parcels import to_u32
 from repro.obs.events import EventBus, NULL_BUS
-from repro.sim.semantics import MachineState, execute
+from repro.sim.semantics import BODY_EXECUTORS, MachineState
 from repro.sim.stats import PipelineStats
 
+_PENALTY_BY_STAGE = {"RR": 3, "OR": 2, "IR": 1}
 
-@dataclass
+
+@dataclass(slots=True)
 class StageSlot:
     """One pipeline stage latch: a decoded entry plus recovery state."""
 
@@ -59,6 +73,14 @@ class ExecutionUnit:
         self.state = state
         self.stats = stats
         self.obs = obs
+        #: probes fire only on an enabled bus; a disabled bus's probes are
+        #: shared no-ops, so skipping the calls (and their keyword-dict
+        #: construction) is behaviourally identical and free. On an
+        #: *enabled* bus the second tier (`_obs_sinks`, the bus's live
+        #: sink list) gates per-event field formatting: with no sink
+        #: listening a probe update is a plain counter bump.
+        self._obs_on = obs.enabled
+        self._obs_sinks = obs.sinks_ref()
         self._p_branch = obs.counter("branch.executed")
         self._p_folded = obs.counter("fold.succeeded")
         self._p_mispredict = obs.counter("mispredict.count")
@@ -78,6 +100,17 @@ class ExecutionUnit:
         #: precise resume point for interrupts (the paper carries per-
         #: stage PCs exactly to identify this instruction)
         self.retire_next_pc: int = state.pc
+        #: retired latches waiting for reuse (a fetch pulls from here
+        #: instead of allocating)
+        self._slot_pool: list[StageSlot] = []
+        # batched ExecutionStats counters, folded into ``stats.execution``
+        # by :meth:`flush_execution` (on halt / interrupt / run end)
+        self._x_instructions = 0
+        self._x_branches = 0
+        self._x_conditional = 0
+        self._x_taken = 0
+        self._x_one_parcel = 0
+        self._x_opcode_counts: dict[str, int] = {}
 
     # ---- helpers -----------------------------------------------------------
 
@@ -91,16 +124,40 @@ class ExecutionUnit:
     def _squash_younger(self, slot: StageSlot,
                         fetched: StageSlot | None) -> None:
         """Clear the valid bits of every stage younger than ``slot``."""
-        order = [self.rr, self.or_, self.ir, fetched]
         seen = False
-        for candidate in order:
+        for candidate in (self.rr, self.or_, self.ir, fetched):
             if candidate is slot:
                 seen = True
                 continue
             if seen and candidate is not None and candidate.valid:
                 candidate.valid = False
                 self.stats.squashed_slots += 1
-                self._p_squash.inc()
+                if self._obs_on:
+                    self._p_squash.add()
+
+    def flush_execution(self) -> None:
+        """Fold the batched architectural counters into ``stats.execution``.
+
+        Idempotent; called automatically when the machine halts, when an
+        interrupt is delivered, and by :meth:`repro.sim.cpu.CrispCpu.run`
+        on exit. Every in-repo consumer reads ``stats.execution`` after
+        one of those points, so the batch is never observed part-filled.
+        """
+        if not self._x_instructions:
+            return
+        execution = self.stats.execution
+        execution.instructions += self._x_instructions
+        execution.branches += self._x_branches
+        execution.conditional_branches += self._x_conditional
+        execution.taken_branches += self._x_taken
+        execution.one_parcel_branches += self._x_one_parcel
+        execution.opcode_counts.update(self._x_opcode_counts)
+        self._x_instructions = 0
+        self._x_branches = 0
+        self._x_conditional = 0
+        self._x_taken = 0
+        self._x_one_parcel = 0
+        self._x_opcode_counts = {}
 
     # ---- the clock ----------------------------------------------------------
 
@@ -113,40 +170,58 @@ class ExecutionUnit:
         fetched = None
         if fetched_entry is not None:
             self._seq += 1
-            fetched = StageSlot(fetched_entry, self._seq)
+            pool = self._slot_pool
+            if pool:
+                fetched = pool.pop()
+                fetched.entry = fetched_entry
+                fetched.seq = self._seq
+                fetched.valid = True
+                fetched.chosen_taken = None
+                fetched.other_pc = None
+                fetched.governing_seq = None
+                fetched.resolved = True
+                fetched.speculated = False
+            else:
+                fetched = StageSlot(fetched_entry, self._seq)
 
         self._redirected = False
-        if self.rr is None or not self.rr.valid:
+        retiring = self.rr
+        if retiring is None or not retiring.valid:
             self.stats.stall_cycles += 1  # this cycle's RR does no work
-        self._execute_rr(fetched)
+        else:
+            self._execute_rr(fetched)
 
-        # end-of-cycle latch update
+        # end-of-cycle latch update; the retiring RR slot returns to the
+        # pool (nothing references it once it leaves the stage register)
         self.rr, self.or_, self.ir = self.or_, self.ir, fetched
-        if self.ir is not None and self.ir.valid:
-            self._select_path(self.ir)
+        if retiring is not None:
+            self._slot_pool.append(retiring)
+        latched = self.ir
+        if latched is not None and latched.valid:
+            self._select_path(latched)
 
     # ---- RR stage ------------------------------------------------------------
 
     def _execute_rr(self, fetched: StageSlot | None) -> None:
         slot = self.rr
-        if slot is None or not slot.valid:
-            return
         entry = slot.entry
-        state = self.state
+        stats = self.stats
 
-        self.stats.issued_instructions += 1
+        stats.issued_instructions += 1
 
-        self.retire_next_pc = entry.address + entry.length_bytes
+        self.retire_next_pc = entry.sequential
 
-        if entry.body is not None:
-            result = execute(state, entry.body, entry.address)
-            self.stats.executed_instructions += 1
-            self.stats.execution.record(
-                entry.body.opcode.value,
-                is_branch=False, is_conditional=False, taken=False,
-                one_parcel=entry.body.length_parcels() == 1)
-            if result.halted:
+        body = entry.body
+        if body is not None:
+            halted = BODY_EXECUTORS[body.opcode_index](self.state, body)
+            stats.executed_instructions += 1
+            self._x_instructions += 1
+            counts = self._x_opcode_counts
+            name = entry._body_name
+            counts[name] = counts.get(name, 0) + 1
+            if halted:
                 self.halted = True
+                self.flush_execution()
                 return
 
         if entry.sets_cc:
@@ -161,18 +236,25 @@ class ExecutionUnit:
         branch = entry.branch
         assert branch is not None
         state = self.state
-        sequential = entry.address + entry.length_bytes
+        stats = self.stats
+        sequential = entry.sequential
 
         if entry.is_folded:
-            self.stats.folded_branches += 1
-            self._p_folded.inc(site=entry.branch_pc)
-        self.stats.executed_instructions += 1
+            stats.folded_branches += 1
+            if self._obs_on:
+                if self._obs_sinks:
+                    self._p_folded.inc(site=entry._branch_pc)
+                else:
+                    self._p_folded.add()
+        stats.executed_instructions += 1
 
-        if branch.op_class is OpClass.RETURN:
+        cls = branch.op_class
+        if cls is OpClass.RETURN:
+            memory = state.memory
             if branch.opcode is Opcode.RETI:
-                state.flag = bool(state.memory.read_word(state.sp) & 1)
+                state.flag = bool(memory.read_word(state.sp) & 1)
                 state.sp = to_u32(state.sp + 4)
-            target = state.memory.read_word(state.sp)
+            target = memory.read_word(state.sp)
             state.sp = to_u32(state.sp + 4)
             self._redirect(target)
             self.retire_next_pc = target
@@ -181,15 +263,14 @@ class ExecutionUnit:
 
         if entry.dynamic_target:  # indirect, or any branch when the
             # next-address-field ablation is active
-            from repro.isa.instructions import resolve_target
             taken = (entry.taken_when(state.flag)
                      if entry.uses_cc else True)
             if taken:
-                target = resolve_target(branch, entry.branch_pc, state.sp,
+                target = resolve_target(branch, entry._branch_pc, state.sp,
                                         state.memory.read_word)
             else:
                 target = sequential
-            if branch.op_class is OpClass.CALL:
+            if cls is OpClass.CALL:
                 state.sp = to_u32(state.sp - 4)
                 state.memory.write_word(state.sp, sequential)
             self._redirect(target)
@@ -197,7 +278,7 @@ class ExecutionUnit:
             self._record_branch(slot, taken=taken)
             return
 
-        if branch.op_class is OpClass.CALL:
+        if cls is OpClass.CALL:
             state.sp = to_u32(state.sp - 4)
             state.memory.write_word(state.sp, sequential)
             assert entry.next_pc is not None
@@ -215,36 +296,48 @@ class ExecutionUnit:
         # branch checks the (now architectural) flag against its chosen
         # path here, costing the full 3 cycles when wrong
         if not slot.resolved:
-            correct = entry.taken_when(self.state.flag)
+            correct = entry.taken_when(state.flag)
             slot.resolved = True
             if slot.chosen_taken != correct:
-                self.stats.mispredictions += 1
-                self.stats.misprediction_penalty_cycles += 3
-                self._p_mispredict.inc(stage="RR", folded=False,
-                                       site=entry.branch_pc)
-                self._p_penalty.inc(3, site=entry.branch_pc)
+                stats.mispredictions += 1
+                stats.misprediction_penalty_cycles += 3
+                if self._obs_on:
+                    if self._obs_sinks:
+                        self._p_mispredict.inc(stage="RR", folded=False,
+                                               site=entry._branch_pc)
+                        self._p_penalty.inc(3, site=entry._branch_pc)
+                    else:
+                        self._p_mispredict.add()
+                        self._p_penalty.add(3)
                 slot.chosen_taken = correct
                 self._squash_younger(slot, fetched)
                 assert slot.other_pc is not None
                 self._redirect(slot.other_pc)
-        taken_pc = (entry.next_pc if entry.predicted_taken else entry.alt_pc)
+        taken_pc = (entry.next_pc if entry._predicted_taken else entry.alt_pc)
         assert taken_pc is not None
         self.retire_next_pc = taken_pc if slot.chosen_taken else sequential
         self._record_branch(slot, taken=bool(slot.chosen_taken))
 
     def _record_branch(self, slot: StageSlot, *, taken: bool) -> None:
         entry = slot.entry
-        branch = entry.branch
-        assert branch is not None
-        self._p_branch.inc(site=entry.branch_pc, taken=taken,
-                           folded=entry.is_folded,
-                           speculated=slot.speculated)
-        self.stats.execution.record(
-            branch.opcode.value,
-            is_branch=True,
-            is_conditional=branch.is_conditional_branch,
-            taken=taken,
-            one_parcel=branch.length_parcels() == 1)
+        if self._obs_on:
+            if self._obs_sinks:
+                self._p_branch.inc(site=entry._branch_pc, taken=taken,
+                                   folded=entry.is_folded,
+                                   speculated=slot.speculated)
+            else:
+                self._p_branch.add()
+        self._x_instructions += 1
+        counts = self._x_opcode_counts
+        name = entry._branch_name
+        counts[name] = counts.get(name, 0) + 1
+        self._x_branches += 1
+        if entry._branch_one_parcel:
+            self._x_one_parcel += 1
+        if entry.uses_cc:
+            self._x_conditional += 1
+        if taken:
+            self._x_taken += 1
 
     # ---- branch resolution -----------------------------------------------------
 
@@ -253,28 +346,36 @@ class ExecutionUnit:
         """A compare just wrote the flag: resolve every speculative branch
         that was waiting on it (including one folded into the compare)."""
         flag = self.state.flag
+        stats = self.stats
         for slot in (self.rr, self.or_, self.ir, fetched):
             if slot is None or not slot.valid or slot.resolved:
                 continue
             if slot.governing_seq != cmp_slot.seq:
                 continue
-            correct = slot.entry.taken_when(flag)
+            entry = slot.entry
+            correct = entry.taken_when(flag)
             slot.resolved = True
             if slot.chosen_taken == correct:
                 continue
             # misprediction: squash younger work, re-introduce the
             # Alternate-PC as the next fetch address
             stage = self._stage_of(slot) if slot is not fetched else "IR"
-            penalty = {"RR": 3, "OR": 2, "IR": 1}[stage]
+            penalty = _PENALTY_BY_STAGE[stage]
             if slot is fetched:
                 # resolves in the same cycle it was fetched: the redirect
                 # costs one fetch slot
                 penalty = 1
-            site = slot.entry.branch_pc
-            self.stats.mispredictions += 1
-            self.stats.misprediction_penalty_cycles += penalty
-            self._p_mispredict.inc(stage=stage, folded=True, site=site)
-            self._p_penalty.inc(penalty, site=site)
+            stats.mispredictions += 1
+            stats.misprediction_penalty_cycles += penalty
+            if self._obs_on:
+                if self._obs_sinks:
+                    site = entry._branch_pc
+                    self._p_mispredict.inc(stage=stage, folded=True,
+                                           site=site)
+                    self._p_penalty.inc(penalty, site=site)
+                else:
+                    self._p_mispredict.add()
+                    self._p_penalty.add(penalty)
             slot.chosen_taken = correct
             self._squash_younger(slot, fetched)
             assert slot.other_pc is not None
@@ -295,18 +396,21 @@ class ExecutionUnit:
         handler. ``reti`` restores both.
         """
         state = self.state
-        self._p_interrupt.inc(vector=vector)
+        if self._obs_on:
+            self._p_interrupt.inc(vector=vector)
         for slot in (self.rr, self.or_, self.ir):
             if slot is not None and slot.valid:
                 slot.valid = False
                 self.stats.squashed_slots += 1
-                self._p_squash.inc()
+                if self._obs_on:
+                    self._p_squash.add()
         state.sp = to_u32(state.sp - 4)
         state.memory.write_word(state.sp, self.retire_next_pc)
         state.sp = to_u32(state.sp - 4)
         state.memory.write_word(state.sp, int(state.flag))
         self.ir_next_pc = vector
         self._redirected = False
+        self.flush_execution()
 
     # ---- fetch-time path selection ------------------------------------------
 
@@ -327,11 +431,17 @@ class ExecutionUnit:
             return
 
         # conditional: is a condition-code write still outstanding?
-        outstanding = entry.folds_compare_and_branch or any(
-            older is not None and older.valid and older.entry.sets_cc
-            for older in (self.or_, self.rr))
+        outstanding = entry.folds_compare_and_branch
+        if not outstanding:
+            older = self.or_
+            if older is not None and older.valid and older.entry.sets_cc:
+                outstanding = True
+            else:
+                older = self.rr
+                outstanding = (older is not None and older.valid
+                               and older.entry.sets_cc)
 
-        predicted = entry.predicted_taken
+        predicted = entry._predicted_taken
         taken_pc = entry.next_pc if predicted else entry.alt_pc
         fall_pc = entry.alt_pc if predicted else entry.next_pc
 
@@ -342,7 +452,11 @@ class ExecutionUnit:
             actual = entry.taken_when(self.state.flag)
             if actual != predicted:
                 self.stats.zero_cost_overrides += 1
-                self._p_override.inc(site=entry.branch_pc)
+                if self._obs_on:
+                    if self._obs_sinks:
+                        self._p_override.inc(site=entry._branch_pc)
+                    else:
+                        self._p_override.add()
             slot.chosen_taken = actual
             slot.resolved = True
             chosen = taken_pc if actual else fall_pc
@@ -351,9 +465,13 @@ class ExecutionUnit:
             # the branch must trust its prediction bit because the
             # governing condition-code write is still in the pipeline —
             # the CC interlock Branch Spreading tries to engineer away
-            self._p_interlock.inc(site=entry.branch_pc,
-                                  folded=entry.is_folded,
-                                  d0=entry.folds_compare_and_branch)
+            if self._obs_on:
+                if self._obs_sinks:
+                    self._p_interlock.inc(site=entry._branch_pc,
+                                          folded=entry.is_folded,
+                                          d0=entry.folds_compare_and_branch)
+                else:
+                    self._p_interlock.add()
             slot.chosen_taken = predicted
             slot.resolved = False
             slot.speculated = True
@@ -362,10 +480,13 @@ class ExecutionUnit:
             if entry.is_folded:
                 # folded branches recover as soon as the governing compare
                 # resolves, wherever the branch is in the pipeline
-                governing = slot if entry.folds_compare_and_branch else next(
-                    older for older in (self.or_, self.rr)
-                    if older is not None and older.valid
-                    and older.entry.sets_cc)
+                if entry.folds_compare_and_branch:
+                    governing = slot
+                else:
+                    governing = self.or_
+                    if not (governing is not None and governing.valid
+                            and governing.entry.sets_cc):
+                        governing = self.rr
                 slot.governing_seq = governing.seq
             # unfolded branches keep governing_seq None and resolve at
             # their own RR stage

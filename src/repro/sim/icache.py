@@ -30,6 +30,7 @@ class DecodedICache:
         self._lines: list[DecodedEntry | None] = [None] * entries
         self.hits = 0
         self.misses = 0
+        self._obs_on = obs.enabled  #: skip probe updates on a disabled bus
         self._p_fills = obs.counter("icache.fills")
         self._p_evictions = obs.counter("icache.conflict_evictions")
 
@@ -54,10 +55,11 @@ class DecodedICache:
     def fill(self, entry: DecodedEntry) -> None:
         """Write a decoded entry (replacing any conflicting line)."""
         index = self.index_of(entry.address)
-        previous = self._lines[index]
-        if previous is not None and previous.address != entry.address:
-            self._p_evictions.inc()
-        self._p_fills.inc()
+        if self._obs_on:
+            previous = self._lines[index]
+            if previous is not None and previous.address != entry.address:
+                self._p_evictions.add()
+            self._p_fills.add()
         self._lines[index] = entry
 
     def invalidate(self) -> None:

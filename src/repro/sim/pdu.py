@@ -63,6 +63,8 @@ class PrefetchDecodeUnit:
         self.decode_latency = decode_latency
         self.prefetch_depth = prefetch_depth
         self.obs = obs
+        self._obs_on = obs.enabled  #: skip probe updates on a disabled bus
+        self._obs_sinks = obs.sinks_ref()  #: field formatting only if truthy
         self._p_decoded = obs.counter("pdu.decoded")
         self._p_fold_attempted = obs.counter("fold.attempted")
         self._p_fold_decoded = obs.counter("fold.decoded")
@@ -122,7 +124,8 @@ class PrefetchDecodeUnit:
             self.fetch_countdown -= 1
             if self.fetch_countdown == 0:
                 self.queue_parcels += self.FETCH_PARCELS
-                self._p_queue_depth.set(self.queue_parcels)
+                if self._obs_on:
+                    self._p_queue_depth.set_fast(self.queue_parcels)
 
     def _parcels_buffered(self, address: int) -> int:
         """How many buffered parcels are available from ``address`` on."""
@@ -155,19 +158,31 @@ class PrefetchDecodeUnit:
         self.inflight.append(_InFlight(entry, self.decode_latency))
         self.decoded_entries += 1
         self.entries_ahead += 1
-        self._p_decoded.inc(site=entry.address)
-        self._p_ahead.set(self.entries_ahead)
-        if entry.is_folded:
-            self._p_fold_attempted.inc(site=entry.branch_pc)
-            self._p_fold_decoded.inc(site=entry.branch_pc)
-        elif (entry.body is not None
-              and self.folder.policy.enabled
-              and entry.body.length_parcels()
-              in self.folder.policy.body_lengths):
-            # peeked at a follower, no fold
-            self._p_fold_attempted.inc(site=entry.address)
+        if self._obs_on:
+            detail = self._obs_sinks
+            if detail:
+                self._p_decoded.inc(site=entry.address)
+            else:
+                self._p_decoded.add()
+            self._p_ahead.set_fast(self.entries_ahead)
+            if entry.is_folded:
+                if detail:
+                    self._p_fold_attempted.inc(site=entry._branch_pc)
+                    self._p_fold_decoded.inc(site=entry._branch_pc)
+                else:
+                    self._p_fold_attempted.add()
+                    self._p_fold_decoded.add()
+            elif (entry.body is not None
+                  and self.folder.policy.enabled
+                  and entry.body.length_parcels()
+                  in self.folder.policy.body_lengths):
+                # peeked at a follower, no fold
+                if detail:
+                    self._p_fold_attempted.inc(site=entry.address)
+                else:
+                    self._p_fold_attempted.add()
 
-        sequential = entry.address + entry.length_bytes
+        sequential = entry.sequential
         if entry.next_pc is None:
             self.decode_pc = None  # dynamic target: wait for a demand
         elif entry.next_pc == sequential:
@@ -203,4 +218,5 @@ class PrefetchDecodeUnit:
                 return
         self.fetch_countdown = self.mem_latency
         self.memory_accesses += 1
-        self._p_accesses.inc()
+        if self._obs_on:
+            self._p_accesses.add()

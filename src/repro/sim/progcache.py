@@ -1,0 +1,265 @@
+"""Workload compile cache: content-hash-keyed memoization of build steps.
+
+The evaluation layer recompiles the same handful of mini-C sources dozens
+of times per run — every Table-4 case, every sweep point, every parallel
+worker. The compiler is deterministic, so all of that is wasted work.
+This module memoizes the expensive build steps behind a content hash:
+
+* :func:`compile_cached` — source text + compiler options → ``Program``;
+* :func:`predecode_cached` — program image + fold policy → the tuple of
+  :class:`~repro.core.decoded.DecodedEntry` records ``warm_cache`` wants.
+
+Keys are SHA-256 digests over the *content* of the inputs (source text,
+option fields, parcel image, policy fields), never over object identities,
+so a cache hit is exactly as good as a rebuild: two processes computing
+the same key are guaranteed to want the same artifact. That property is
+what lets the parallel sweep runner (:mod:`repro.eval.parallel`) recompile
+in worker processes without ever diverging from the serial path.
+
+Storage is a small in-memory LRU (:class:`ProgramCache`), optionally
+backed by an on-disk pickle store so repeated CLI invocations skip
+compilation entirely. The disk store is opt-in: pass ``disk_dir=`` or set
+the ``CRISP_CACHE_DIR`` environment variable (conventionally
+``.crisp-cache/``). Corrupt or unreadable disk entries are treated as
+misses and rebuilt — the store is a pure accelerator, never a source of
+truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Any, Callable
+
+#: default in-memory capacity; sweeps touch far fewer distinct artifacts
+DEFAULT_CAPACITY = 128
+
+#: environment variable naming the on-disk store directory (opt-in)
+CACHE_DIR_ENV = "CRISP_CACHE_DIR"
+
+#: conventional on-disk store location relative to the working directory
+DEFAULT_DISK_DIR = ".crisp-cache"
+
+
+def cache_key(kind: str, *parts: str) -> str:
+    """SHA-256 digest over ``kind`` and the content parts.
+
+    Parts are joined with NUL separators so distinct part lists can never
+    collide by concatenation (``("ab", "c")`` vs ``("a", "bc")``).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(kind.encode())
+    for part in parts:
+        hasher.update(b"\x00")
+        hasher.update(part.encode())
+    return hasher.hexdigest()
+
+
+class ProgramCache:
+    """Content-addressed LRU cache with an optional on-disk pickle store.
+
+    The in-memory tier is an :class:`~collections.OrderedDict` used as an
+    LRU: hits move to the back, inserts evict from the front once
+    ``capacity`` is exceeded. The disk tier (when ``disk_dir`` is set)
+    stores one pickle file per key, written atomically (temp file +
+    ``os.replace``) so concurrent writers — parallel sweep workers —
+    can only ever observe complete files.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 disk_dir: str | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    def get_or_build(self, key: str, build: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            pass
+        else:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+        value = self._disk_load(key)
+        if value is _MISSING:
+            self.misses += 1
+            value = build()
+            self._disk_store(key, value)
+        else:
+            self.disk_hits += 1
+        self._insert(key, value)
+        return value
+
+    def _insert(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory tier (and the disk tier when ``disk``)."""
+        self._entries.clear()
+        self.hits = self.misses = self.disk_hits = self.evictions = 0
+        if disk and self.disk_dir and os.path.isdir(self.disk_dir):
+            for name in os.listdir(self.disk_dir):
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(self.disk_dir, name))
+                    except OSError:
+                        pass
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "disk_hits": self.disk_hits,
+                "evictions": self.evictions}
+
+    # ---- disk tier ---------------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def _disk_load(self, key: str) -> Any:
+        if not self.disk_dir:
+            return _MISSING
+        try:
+            with open(self._disk_path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # missing, truncated, or written by an incompatible version:
+            # a disk problem is just a miss
+            return _MISSING
+
+    def _disk_store(self, key: str, value: Any) -> None:
+        if not self.disk_dir:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._disk_path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (OSError, pickle.PicklingError):
+            pass  # read-only filesystem etc.: caching is best-effort
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+_default: ProgramCache | None = None
+
+
+def default_cache() -> ProgramCache:
+    """The process-wide cache (created on first use).
+
+    Honours ``CRISP_CACHE_DIR`` at creation time; call :func:`reset_default`
+    after changing the environment to pick up a new directory.
+    """
+    global _default
+    if _default is None:
+        _default = ProgramCache(disk_dir=os.environ.get(CACHE_DIR_ENV) or None)
+    return _default
+
+
+def reset_default() -> None:
+    """Drop the process-wide cache (tests, env-var changes)."""
+    global _default
+    _default = None
+
+
+# ---- cached build steps ----------------------------------------------------
+
+
+def options_key(options: Any) -> str:
+    """Deterministic text form of a ``CompilerOptions``.
+
+    The dataclass repr is stable for the field types involved (bools,
+    ints, strings, enums) and changes whenever any option changes, which
+    is exactly the invalidation we want.
+    """
+    return repr(options)
+
+
+def policy_key(policy: Any) -> str:
+    """Deterministic text form of a ``FoldPolicy``.
+
+    Spelled out field by field (frozensets sorted) rather than via repr so
+    set iteration order can never leak into the key.
+    """
+    return (f"enabled={policy.enabled};"
+            f"body={sorted(policy.body_lengths)};"
+            f"branch={sorted(policy.branch_lengths)};"
+            f"calls={policy.fold_calls};"
+            f"nextpc={policy.next_address_fields}")
+
+
+def compile_cached(source: str, options: Any = None, *,
+                   cache: ProgramCache | None = None) -> Any:
+    """Compile ``source`` with ``options``, memoized by content hash.
+
+    The returned :class:`~repro.asm.program.Program` may be shared between
+    callers; programs are treated as immutable everywhere downstream
+    (simulators copy the image into their own :class:`Memory`).
+    """
+    from repro.lang import CompilerOptions, compile_source
+    if options is None:
+        options = CompilerOptions()
+    if cache is None:
+        cache = default_cache()
+    key = cache_key("compile", source, options_key(options))
+    return cache.get_or_build(key, lambda: compile_source(source, options))
+
+
+def predecode_cached(program: Any, policy: Any, *,
+                     cache: ProgramCache | None = None) -> tuple:
+    """Decode every instruction of ``program`` under ``policy``, memoized.
+
+    Returns the tuple of :class:`~repro.core.decoded.DecodedEntry` records
+    in program order — what :meth:`CrispCpu.warm_cache` fills the Decoded
+    Instruction Cache with. Entries are frozen, so sharing one tuple
+    between many CPU instances is safe.
+
+    The key hashes the *rendered parcel image*, not the Program object,
+    so two structurally identical programs (e.g. compiled in different
+    worker processes) hit the same entry.
+    """
+    from repro.core.folder import BranchFolder
+    if cache is None:
+        cache = default_cache()
+    image = program.parcel_image()
+    image_part = ",".join(
+        f"{addr:x}:{parcel:x}" for addr, parcel in sorted(image.items()))
+    addr_part = ",".join(f"{addr:x}" for addr in program.addresses)
+    key = cache_key("predecode", image_part, addr_part, policy_key(policy))
+
+    def build() -> tuple:
+        folder = BranchFolder(
+            lambda address: image.get(address & 0xFFFFFFFF, 0), policy)
+        return tuple(folder.decode(address) for address in program.addresses)
+
+    return cache.get_or_build(key, build)

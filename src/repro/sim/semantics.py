@@ -15,11 +15,14 @@ from dataclasses import dataclass
 from repro.isa.instructions import Instruction, resolve_target
 from repro.isa.opcodes import (
     ALU_FUNCTIONS,
+    NUM_OPCODES,
+    OPCODE_INDEX,
     BranchKind,
     CONDITION_FUNCTIONS,
     OpClass,
     Opcode,
     opcode_condition,
+    opcode_class,
 )
 from repro.isa.operands import AddrMode, Operand
 from repro.isa.parcels import to_u32
@@ -93,6 +96,102 @@ def branch_decision(instruction: Instruction, flag: bool) -> bool:
     return not flag
 
 
+# ---- pre-decoded body dispatch -------------------------------------------
+#
+# The cycle simulator executes entry *bodies* (never branches — those are
+# routed by the decoded cache's next-address fields) millions of times per
+# run. Dispatching through a list indexed by ``Instruction.opcode_index``
+# replaces the class if-chain and every enum hash with one list load. Each
+# handler returns True when the machine halts.
+
+
+def _make_alu2(fn):
+    def run(state: MachineState, instruction: Instruction) -> bool:
+        dst, src = instruction.operands
+        state.write_operand(dst, fn(state.read_operand(dst),
+                                    state.read_operand(src)))
+        return False
+    return run
+
+
+def _make_alu3(fn):
+    def run(state: MachineState, instruction: Instruction) -> bool:
+        operands = instruction.operands
+        state.accum = to_u32(fn(state.read_operand(operands[0]),
+                                state.read_operand(operands[1])))
+        return False
+    return run
+
+
+def _make_cmp(fn):
+    def run(state: MachineState, instruction: Instruction) -> bool:
+        operands = instruction.operands
+        state.flag = fn(state.read_operand(operands[0]),
+                        state.read_operand(operands[1]))
+        return False
+    return run
+
+
+def _run_enter(state: MachineState, instruction: Instruction) -> bool:
+    state.sp = to_u32(state.sp - instruction.operands[0].value)
+    return False
+
+
+def _run_spadd(state: MachineState, instruction: Instruction) -> bool:
+    state.sp = to_u32(state.sp + instruction.operands[0].value)
+    return False
+
+
+def _run_nop(state: MachineState, instruction: Instruction) -> bool:
+    return False
+
+
+def _run_halt(state: MachineState, instruction: Instruction) -> bool:
+    state.halted = True
+    return True
+
+
+def _body_handler(opcode: Opcode):
+    cls = opcode_class(opcode)
+    if cls is OpClass.ALU2:
+        return _make_alu2(ALU_FUNCTIONS[opcode])
+    if cls is OpClass.ALU3:
+        return _make_alu3(ALU_FUNCTIONS[opcode])
+    if cls is OpClass.CMP:
+        return _make_cmp(CONDITION_FUNCTIONS[opcode_condition(opcode)])
+    if opcode is Opcode.ENTER:
+        return _run_enter
+    if opcode is Opcode.SPADD:
+        return _run_spadd
+    if cls is OpClass.NOP:
+        return _run_nop
+    if cls is OpClass.HALT:
+        return _run_halt
+    return None  # branch classes: never a decoded-entry body
+
+
+BODY_EXECUTORS: list = [None] * NUM_OPCODES
+for _opcode, _index in OPCODE_INDEX.items():
+    BODY_EXECUTORS[_index] = _body_handler(_opcode)
+"""Per-opcode body handlers indexed by ``Instruction.opcode_index``;
+None for branch opcodes (which cannot appear as an entry body)."""
+
+
+def execute_body(state: MachineState, instruction: Instruction) -> bool:
+    """Execute a non-branching instruction; return True on ``halt``.
+
+    Equivalent to :func:`execute` for the opcode classes that can appear
+    as a :class:`~repro.core.decoded.DecodedEntry` body, minus the
+    :class:`StepResult` allocation — the cycle simulator's hot path.
+    """
+    handler = BODY_EXECUTORS[instruction.opcode_index]
+    if handler is None:
+        raise SimulationError(
+            f"branch opcode {instruction.opcode.value} cannot execute "
+            f"as an entry body")
+    return handler(state, instruction)
+
+
 def execute(state: MachineState, instruction: Instruction,
             pc: int) -> StepResult:
     """Execute ``instruction`` located at ``pc``; mutate ``state`` and
@@ -106,38 +205,9 @@ def execute(state: MachineState, instruction: Instruction,
     cls = instruction.op_class
     sequential = pc + instruction.length_bytes()
 
-    if cls is OpClass.HALT:
-        state.halted = True
-        return StepResult(sequential, halted=True)
-    if cls is OpClass.NOP:
-        return StepResult(sequential)
-
-    if cls is OpClass.ALU2:
-        dst, src = instruction.operands
-        left = state.read_operand(dst)
-        right = state.read_operand(src)
-        state.write_operand(dst, ALU_FUNCTIONS[opcode](left, right))
-        return StepResult(sequential)
-
-    if cls is OpClass.ALU3:
-        left = state.read_operand(instruction.operands[0])
-        right = state.read_operand(instruction.operands[1])
-        state.accum = to_u32(ALU_FUNCTIONS[opcode](left, right))
-        return StepResult(sequential)
-
-    if cls is OpClass.CMP:
-        left = state.read_operand(instruction.operands[0])
-        right = state.read_operand(instruction.operands[1])
-        state.flag = CONDITION_FUNCTIONS[opcode_condition(opcode)](left, right)
-        return StepResult(sequential)
-
-    if cls is OpClass.FRAME:
-        size = instruction.operands[0].value
-        if opcode is Opcode.ENTER:
-            state.sp = to_u32(state.sp - size)
-        else:  # SPADD
-            state.sp = to_u32(state.sp + size)
-        return StepResult(sequential)
+    handler = BODY_EXECUTORS[instruction.opcode_index]
+    if handler is not None:  # ALU / compare / frame / nop / halt
+        return StepResult(sequential, halted=handler(state, instruction))
 
     if cls is OpClass.JMP:
         target = resolve_target(instruction, pc, state.sp,

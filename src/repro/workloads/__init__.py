@@ -9,6 +9,7 @@ sorting/string/matrix kernels (see DESIGN.md "Substitutions").
 """
 
 from repro.workloads.figure3 import FIGURE3, FIGURE3_LOOP_COUNT
+from repro.workloads.generators import synthetic_suite
 from repro.workloads.programs import SUITE, WorkloadProgram, get_workload
 
 __all__ = [
@@ -17,4 +18,23 @@ __all__ = [
     "SUITE",
     "WorkloadProgram",
     "get_workload",
+    "resolve_source",
+    "synthetic_suite",
 ]
+
+
+def resolve_source(name: str, seed: int | None = None) -> str:
+    """Workload name → mini-C source, uniformly across workload kinds.
+
+    ``figure3``, any :data:`SUITE` name, or a ``gen_*`` synthetic
+    workload (regenerated deterministically from ``seed``; see
+    :func:`repro.workloads.generators.synthetic_suite`). Raises
+    :class:`KeyError` for unknown names. Pure: any process resolving the
+    same (name, seed) gets identical source — the contract the parallel
+    sweep runner relies on.
+    """
+    if name == "figure3":
+        return FIGURE3
+    if name.startswith("gen_"):
+        return synthetic_suite(seed or 0)[name].source
+    return SUITE[name].source

@@ -6,12 +6,30 @@ benefit scales. The paper's core claim is quantitative: folding reduces
 issued instructions "by the number of branches in that program", so the
 speedup over a non-folding machine should approach
 ``1 / (1 - branch_fraction)`` as prediction costs vanish.
+
+Every generator takes a ``seed``. Generation is a *pure function* of its
+arguments — the seed perturbs emitted constants through a fixed linear
+recurrence, never through global RNG state — so a (generator, seed) pair
+produces byte-identical source in every process and in any call order.
+That property is what lets the parallel sweep runner
+(:mod:`repro.eval.parallel`) regenerate workloads inside worker processes
+while staying bit-for-bit equal to a serial run.
 """
 
 from __future__ import annotations
 
 
-def branchy_loop(alu_per_branch: int, iterations: int = 400) -> str:
+def _mix(seed: int, k: int, modulus: int) -> int:
+    """Deterministic per-index constant stream: ``k`` scrambled by ``seed``.
+
+    Plain arithmetic on the arguments (no RNG objects, no global state);
+    ``seed=0`` degenerates to ``k % modulus``, the historical stream.
+    """
+    return (k * (1 + seed) + seed * 7919) % modulus
+
+
+def branchy_loop(alu_per_branch: int, iterations: int = 400,
+                 seed: int = 0) -> str:
     """A loop whose body has ``alu_per_branch`` ALU instructions per
     (folded, perfectly predicted) branch.
 
@@ -20,7 +38,7 @@ def branchy_loop(alu_per_branch: int, iterations: int = 400) -> str:
     (the +3: the compare, the index increment and the branch itself).
     """
     body = "\n            ".join(
-        f"acc += {k % 7};" for k in range(alu_per_branch))
+        f"acc += {_mix(seed, k, 7)};" for k in range(alu_per_branch))
     return f"""
         int acc;
 
@@ -35,10 +53,13 @@ def branchy_loop(alu_per_branch: int, iterations: int = 400) -> str:
     """
 
 
-def biased_branches(taken_period: int, iterations: int = 500) -> str:
+def biased_branches(taken_period: int, iterations: int = 500,
+                    seed: int = 0) -> str:
     """A conditional taken once every ``taken_period`` iterations —
     sweeps prediction difficulty from always-biased to alternating
-    (period 2)."""
+    (period 2). ``seed`` shifts the phase of the taken iterations
+    (the taken *rate* is seed-independent)."""
+    phase = seed % taken_period if taken_period else 0
     return f"""
         int rare; int common;
 
@@ -46,7 +67,7 @@ def biased_branches(taken_period: int, iterations: int = 500) -> str:
         {{
             int i;
             for (i = 0; i < {iterations}; i++) {{
-                if (i % {taken_period} == 0)
+                if ((i + {phase}) % {taken_period} == 0)
                     rare++;
                 else
                     common++;
@@ -56,11 +77,12 @@ def biased_branches(taken_period: int, iterations: int = 500) -> str:
     """
 
 
-def working_set(instructions: int, iterations: int = 60) -> str:
+def working_set(instructions: int, iterations: int = 60,
+                seed: int = 0) -> str:
     """A loop body of roughly ``instructions`` one-parcel-ish
     instructions — sweeps the decoded-cache working set."""
     body = "\n            ".join(
-        f"a{k % 4} += {k % 5};" for k in range(instructions))
+        f"a{k % 4} += {_mix(seed, k, 5)};" for k in range(instructions))
     return f"""
         int a0; int a1; int a2; int a3;
 
@@ -73,3 +95,23 @@ def working_set(instructions: int, iterations: int = 60) -> str:
             return a0 + a1 + a2 + a3;
         }}
     """
+
+
+def synthetic_suite(seed: int = 0) -> dict[str, "object"]:
+    """Named synthetic workloads (``gen_*``) for sweep grids.
+
+    Returns ``{name: WorkloadProgram}`` — the generated counterpart of
+    :data:`repro.workloads.SUITE`. Same seed → same programs, regardless
+    of which process builds them.
+    """
+    from repro.workloads.programs import WorkloadProgram
+    sources = {
+        "gen_branchy2": branchy_loop(2, seed=seed),
+        "gen_branchy8": branchy_loop(8, seed=seed),
+        "gen_biased5": biased_branches(5, seed=seed),
+        "gen_alternating": biased_branches(2, seed=seed),
+        "gen_workset24": working_set(24, seed=seed),
+    }
+    return {name: WorkloadProgram(
+                name, f"synthetic workload (seed={seed})", source)
+            for name, source in sources.items()}

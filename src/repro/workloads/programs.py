@@ -22,6 +22,16 @@ class WorkloadProgram:
     source: str
     expected: int | None = None  #: checksum main() must return
 
+    def compiled(self, options=None):
+        """Compile this workload via the content-hash cache.
+
+        Every caller asking for the same (source, options) pair — table
+        generators, sweep grids, parallel workers — shares one compile
+        (see :mod:`repro.sim.progcache`).
+        """
+        from repro.sim.progcache import compile_cached
+        return compile_cached(self.source, options)
+
 
 PUZZLE = WorkloadProgram(
     "puzzle",

@@ -1,0 +1,152 @@
+"""The parallel sweep runner must be invisible in the output.
+
+Every test here compares a parallel run against the serial run of the
+same work and asserts equality down to the byte (for JSON documents) or
+the counter (for stats objects). Speed is *not* asserted here — the CI
+container may have a single core — only determinism; throughput has its
+own bench (``benchmarks/bench_sim_throughput.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.eval.parallel import (
+    SweepTask,
+    effective_jobs,
+    map_ordered,
+    run_sweep_task,
+)
+from repro.eval.sweeps import fold_policy_sweep, run_grid
+from repro.eval.table4 import run_table4
+from repro.sim.cpu import CpuConfig
+from repro.workloads import resolve_source
+from repro.workloads.generators import biased_branches, synthetic_suite
+
+
+class TestEffectiveJobs:
+    def test_none_is_serial(self):
+        assert effective_jobs(None) == 1
+
+    def test_zero_is_cpu_count(self):
+        assert effective_jobs(0) >= 1
+
+    def test_explicit_value(self):
+        assert effective_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            effective_jobs(-1)
+
+
+class TestMapOrdered:
+    def test_serial_preserves_order(self):
+        assert map_ordered(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        assert map_ordered(_square, list(range(8)), jobs=2) \
+            == [k * k for k in range(8)]
+
+    def test_empty_tasks(self):
+        assert map_ordered(_square, [], jobs=4) == []
+
+
+def _square(value):
+    return value * value
+
+
+class TestSweepParity:
+    def test_grid_parallel_equals_serial(self):
+        serial = run_grid(["alternating", "fib"],
+                          {"base": CpuConfig(),
+                           "small": CpuConfig(icache_entries=16)})
+        parallel = run_grid(["alternating", "fib"],
+                            {"base": CpuConfig(),
+                             "small": CpuConfig(icache_entries=16)},
+                            jobs=2)
+        assert [(p.workload, p.label, p.stats.as_dict())
+                for p in serial.points] \
+            == [(p.workload, p.label, p.stats.as_dict())
+                for p in parallel.points]
+
+    def test_fold_policy_sweep_parallel(self):
+        serial = fold_policy_sweep(["sieve"])
+        parallel = fold_policy_sweep(["sieve"], jobs=2)
+        assert serial.cycles_table() == parallel.cycles_table()
+
+    def test_table4_parallel_equals_serial(self):
+        serial = run_table4()
+        parallel = run_table4(jobs=2)
+        assert [(r.case.name, r.relative_performance, r.stats.as_dict())
+                for r in serial] \
+            == [(r.case.name, r.relative_performance, r.stats.as_dict())
+                for r in parallel]
+
+    def test_table4_json_document_byte_identical(self):
+        from repro.eval.jsonout import table4_json
+        serial = json.dumps(table4_json(), sort_keys=True)
+        parallel = json.dumps(table4_json(jobs=2), sort_keys=True)
+        assert serial == parallel
+
+    def test_baseline_manifest_byte_identical(self):
+        from repro.obs.manifest import table4_baseline
+        serial, parallel = table4_baseline(), table4_baseline(jobs=2)
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+
+
+class TestSeededGeneration:
+    def test_same_seed_same_source(self):
+        assert biased_branches(5, seed=3) == biased_branches(5, seed=3)
+        assert synthetic_suite(7)["gen_branchy8"].source \
+            == synthetic_suite(7)["gen_branchy8"].source
+
+    def test_different_seed_different_source(self):
+        assert synthetic_suite(0)["gen_branchy8"].source \
+            != synthetic_suite(1)["gen_branchy8"].source
+
+    def test_seed_zero_matches_legacy_output(self):
+        """seed=0 keeps the historical constant stream (k % modulus)."""
+        from repro.workloads.generators import branchy_loop
+        assert "acc += 0;" in branchy_loop(3)
+        assert "acc += 1;" in branchy_loop(3)
+        assert "acc += 2;" in branchy_loop(3)
+
+    def test_resolve_source_gen_names(self):
+        assert resolve_source("gen_alternating", 4) \
+            == synthetic_suite(4)["gen_alternating"].source
+        with pytest.raises(KeyError):
+            resolve_source("gen_nonexistent", 0)
+
+    def test_seeded_sweep_parallel_equals_serial(self):
+        """The seed rides inside each task: workers regenerate the same
+        programs the serial path compiles."""
+        workloads = ["gen_alternating", "gen_biased5"]
+        configs = {"base": CpuConfig()}
+        serial = run_grid(workloads, configs, seed=11)
+        parallel = run_grid(workloads, configs, seed=11, jobs=2)
+        assert serial.cycles_table() == parallel.cycles_table()
+
+    def test_seed_changes_simulation(self):
+        base = run_grid(["gen_branchy8"], {"b": CpuConfig()}, seed=0)
+        other = run_grid(["gen_branchy8"], {"b": CpuConfig()}, seed=5)
+        # different constants, same control structure: executed counts
+        # match, but the programs are genuinely different sources
+        assert resolve_source("gen_branchy8", 0) \
+            != resolve_source("gen_branchy8", 5)
+        assert base.points[0].stats.cycles > 0
+        assert other.points[0].stats.cycles > 0
+
+
+class TestSweepTaskWorker:
+    def test_worker_matches_grid_point(self):
+        task = SweepTask("alternating", "base", CpuConfig())
+        point = run_sweep_task(task)
+        grid = run_grid(["alternating"], {"base": CpuConfig()})
+        assert point.stats.as_dict() == grid.points[0].stats.as_dict()
+
+    def test_task_is_picklable(self):
+        import pickle
+        task = SweepTask("gen_biased5", "x", CpuConfig(), seed=9)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task

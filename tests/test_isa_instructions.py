@@ -92,12 +92,7 @@ class TestConstruction:
 
 class TestClassification:
     def test_cmp_is_only_flag_setter(self):
-        flag_setters = [
-            op for op in Opcode
-            if Instruction.sets_flag.fget(  # evaluate on a built instruction
-                _build_any(op)
-            )
-        ]
+        flag_setters = [op for op in Opcode if _build_any(op).sets_flag]
         assert all(op.value.startswith("cmp") for op in flag_setters)
         assert len(flag_setters) == 10
 

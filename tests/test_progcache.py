@@ -1,0 +1,171 @@
+"""Unit tests for the workload compile cache (repro.sim.progcache)."""
+
+import pickle
+
+import pytest
+
+from repro.core.policy import FoldPolicy
+from repro.lang import CompilerOptions
+from repro.sim.cpu import CrispCpu
+from repro.sim.progcache import (
+    ProgramCache,
+    cache_key,
+    compile_cached,
+    default_cache,
+    options_key,
+    policy_key,
+    predecode_cached,
+    reset_default,
+)
+from repro.workloads import get_workload
+
+SOURCE = "int main() { int i, s; s = 0; for (i = 0; i < 4; i++) s += i; return s; }"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default(monkeypatch):
+    """Isolate the process-wide cache (and its env knob) per test."""
+    monkeypatch.delenv("CRISP_CACHE_DIR", raising=False)
+    reset_default()
+    yield
+    reset_default()
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert cache_key("compile", "a", "b") == cache_key("compile", "a", "b")
+
+    def test_part_boundaries_matter(self):
+        assert cache_key("k", "ab", "c") != cache_key("k", "a", "bc")
+
+    def test_kind_matters(self):
+        assert cache_key("compile", "x") != cache_key("predecode", "x")
+
+    def test_options_key_changes_with_options(self):
+        base = options_key(CompilerOptions())
+        assert options_key(CompilerOptions(spreading=True)) != base
+        assert options_key(CompilerOptions()) == base
+
+    def test_policy_key_deterministic_and_distinct(self):
+        assert policy_key(FoldPolicy.crisp()) == policy_key(FoldPolicy.crisp())
+        distinct = {policy_key(p) for p in (
+            FoldPolicy.crisp(), FoldPolicy.none(),
+            FoldPolicy.fold_all(), FoldPolicy.no_next_address())}
+        assert len(distinct) == 4
+
+
+class TestLru:
+    def test_hit_returns_same_object(self):
+        cache = ProgramCache(capacity=4)
+        built = []
+
+        def build():
+            built.append(object())
+            return built[-1]
+
+        first = cache.get_or_build("k", build)
+        second = cache.get_or_build("k", build)
+        assert first is second
+        assert len(built) == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ProgramCache(capacity=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        cache.get_or_build("a", lambda: "A")   # refresh a; b is now LRU
+        cache.get_or_build("c", lambda: "C")   # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_clear_resets(self):
+        cache = ProgramCache(capacity=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProgramCache(capacity=0)
+
+
+class TestDiskStore:
+    def test_round_trip(self, tmp_path):
+        writer = ProgramCache(disk_dir=str(tmp_path))
+        program = compile_cached(SOURCE, cache=writer)
+        # a second cache sharing the directory loads from disk, not build
+        reader = ProgramCache(disk_dir=str(tmp_path))
+        again = reader.get_or_build(
+            cache_key("compile", SOURCE, options_key(CompilerOptions())),
+            lambda: pytest.fail("should have hit the disk store"))
+        assert reader.disk_hits == 1
+        assert again.entry == program.entry
+        assert again.parcel_image() == program.parcel_image()
+        assert [i.opcode for i in again.instructions] \
+            == [i.opcode for i in program.instructions]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ProgramCache(disk_dir=str(tmp_path))
+        key = cache_key("compile", "junk")
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.get_or_build(key, lambda: "rebuilt") == "rebuilt"
+        assert cache.disk_hits == 0
+        assert cache.misses == 1
+        # and the rebuild replaced the corrupt file
+        fresh = ProgramCache(disk_dir=str(tmp_path))
+        assert fresh.get_or_build(key, lambda: "no") == "rebuilt"
+
+    def test_clear_disk(self, tmp_path):
+        cache = ProgramCache(disk_dir=str(tmp_path))
+        cache.get_or_build("k", lambda: 1)
+        assert list(tmp_path.glob("*.pkl"))
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_env_var_enables_disk_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CRISP_CACHE_DIR", str(tmp_path))
+        reset_default()
+        compile_cached(SOURCE)
+        assert list(tmp_path.glob("*.pkl"))
+
+
+class TestCachedBuilds:
+    def test_compile_cached_matches_direct_compile(self):
+        from repro.lang import compile_source
+        direct = compile_source(SOURCE, CompilerOptions())
+        cached = compile_cached(SOURCE)
+        assert cached.parcel_image() == direct.parcel_image()
+        assert cached.entry == direct.entry
+
+    def test_compiled_program_survives_pickle(self):
+        program = compile_cached(SOURCE)
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.parcel_image() == program.parcel_image()
+        # cached instruction attributes survive the round-trip
+        first = clone.instructions[0]
+        assert first.op_class is program.instructions[0].op_class
+        assert first.length_parcels() == program.instructions[0].length_parcels()
+
+    def test_predecode_cached_shared_between_cpus(self):
+        program = get_workload("sieve").compiled()
+        cpu = CrispCpu(program)
+        entries = predecode_cached(program, cpu.config.fold_policy)
+        assert predecode_cached(program, cpu.config.fold_policy) is entries
+        assert [e.address for e in entries] == list(program.addresses)
+
+    def test_predecode_matches_pdu_folder(self):
+        program = get_workload("alternating").compiled()
+        cpu = CrispCpu(program)
+        entries = predecode_cached(program, cpu.config.fold_policy)
+        for entry in entries:
+            assert entry == cpu.pdu.folder.decode(entry.address)
+
+    def test_warm_cache_uses_predecoded_entries(self):
+        program = get_workload("fib").compiled()
+        cache = default_cache()
+        CrispCpu(program).warm_cache()
+        misses = cache.stats()["misses"]
+        CrispCpu(program).warm_cache()
+        assert cache.stats()["misses"] == misses  # second warm is a pure hit
