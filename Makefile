@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-throughput eval report examples obs \
-	obs-overhead gate annotate clean
+	obs-overhead gate annotate fuzz clean
 
 install:
 	pip install -e .
@@ -38,6 +38,10 @@ gate:
 annotate:
 	$(PYTHON) -m repro.obs.cli annotate --workload figure3 --spread
 
+fuzz:
+	$(PYTHON) -m repro.verify.cli fuzz --seed 0 --budget 60 --jobs 0 \
+		--coverage-out fuzz_coverage.json
+
 examples:
 	@for example in examples/*.py; do \
 		echo "== $$example =="; \
@@ -47,4 +51,4 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .benchmarks build *.egg-info
-	rm -f obs_trace.json obs_run.json obs_metrics.jsonl
+	rm -f obs_trace.json obs_run.json obs_metrics.jsonl fuzz_coverage.json

@@ -39,6 +39,70 @@ def disassemble(parcels: Sequence[int], base_address: int = 0) -> list[str]:
     return lines
 
 
+def program_to_source(program) -> str:
+    """Render a :class:`~repro.asm.program.Program` back to assembly text.
+
+    The output is designed to *re-assemble byte-identically*: same parcel
+    image, data image and entry point. PC-relative branch targets are
+    rewritten as synthesized labels (a numeric target would force the
+    assembler's always-long encoding and change the image); absolute
+    targets stay numeric, indirect targets keep their specifier form.
+    Raises ``ValueError`` if a PC-relative target does not land on an
+    instruction boundary — such a program cannot be expressed in the
+    source grammar.
+    """
+    addresses = set(program.addresses)
+    needed_labels: set[int] = set()
+    for address, instruction in zip(program.addresses, program.instructions):
+        spec = instruction.branch
+        if spec is not None and spec.mode is BranchMode.PC_RELATIVE:
+            target = address + spec.value
+            if target not in addresses:
+                raise ValueError(
+                    f"branch at {address:#x} targets {target:#x}, which is "
+                    f"not an instruction boundary")
+            needed_labels.add(target)
+    if program.entry not in addresses:
+        raise ValueError(f"entry {program.entry:#x} is not an instruction")
+
+    lines = [f"    .org {program.code_base:#x}",
+             f"    .stack {program.stack_top:#x}",
+             "    .entry __entry"]
+    if program.data:
+        lines.append(f"    .dataorg {program.data[0].address:#x}")
+        seen: set[str] = set()
+        for item in program.data:
+            # multi-value .word directives stamp every item with the
+            # same name; only the first occurrence may keep it
+            name = item.name if item.name and item.name not in seen \
+                else f"__w{item.address:x}"
+            if item.name:
+                seen.add(item.name)
+            lines.append(f"    .word {name}, {item.value}")
+
+    for address, instruction in zip(program.addresses, program.instructions):
+        if address in needed_labels:
+            lines.append(f"__L{address:x}:")
+        if address == program.entry:
+            lines.append("__entry:")
+        lines.append(f"    {_render_statement(instruction, address)}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_statement(instruction: Instruction, address: int) -> str:
+    spec = instruction.branch
+    if spec is None:
+        return str(instruction)  # operands round-trip via their str forms
+    mnemonic = instruction.opcode.value
+    if spec.mode is BranchMode.PC_RELATIVE:
+        return f"{mnemonic} __L{address + spec.value:x}"
+    if spec.mode is BranchMode.ABSOLUTE:
+        return f"{mnemonic} *{spec.value:#x}"
+    if spec.mode is BranchMode.INDIRECT_ABS:
+        return f"{mnemonic} (*{spec.value:#x})"
+    return f"{mnemonic} ({spec.value}(sp))"
+
+
 def annotated_listing(program, margin_for: Callable[[int], str],
                       margin_width: int = 0,
                       interleave: Callable[[int], list[str]] | None = None

@@ -521,6 +521,16 @@ class ReferenceCpu:
         raise SimulationError(
             f"machine did not halt within {max_cycles} cycles")
 
+    def warm_cache(self) -> None:
+        """Pre-decode the whole program, as :meth:`CrispCpu.warm_cache`.
+
+        Lets differential checks put both kernels in the same
+        steady-state cache condition before comparing their timing.
+        """
+        from repro.sim.progcache import predecode_cached
+        for entry in predecode_cached(self.program, self.config.fold_policy):
+            self.icache.fill(entry)
+
     def read_symbol(self, name: str) -> int:
         return self.memory.read_word(self.program.symbol(name))
 

@@ -1,0 +1,262 @@
+"""``crisp-verify`` — differential conformance fuzzing front-end.
+
+Subcommands:
+
+``fuzz``
+    Generate programs and run the 3-way differential check
+    (fast kernel vs reference kernel vs architectural oracle) on each.
+    Stops after ``--programs`` N, or at ``--target-coverage`` F, or at a
+    ``--budget`` wall-clock limit (CI mode; program count then depends
+    on machine speed, everything else stays seed-deterministic).
+    Disagreements are shrunk to minimal ``.s`` repros in
+    ``--corpus-dir`` and the process exits 1.
+``replay``
+    Re-run corpus ``.s`` files through the same differential check.
+``coverage``
+    Oracle-only sweep: report which opcode × fold-class × outcome ×
+    interlock cells a seed/profile mix reaches, without running the
+    cycle kernels.
+
+``--jobs N`` fans tasks out over processes via
+:func:`repro.eval.parallel.map_ordered`; results are merged in task
+order, so output is byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.asm.assembler import AssemblyError, assemble
+from repro.eval.parallel import map_ordered
+from repro.verify.coverage import CoverageMap, reachable_cells
+from repro.verify.generator import PROFILES, generate_source
+from repro.verify.oracle import OracleError, run_oracle
+from repro.verify.runner import (
+    FuzzTask,
+    ProgramReport,
+    program_parcels,
+    run_differential,
+    run_fuzz_task,
+)
+from repro.verify.shrink import shrink_source
+
+_BATCH = 25  #: tasks per scheduling round in coverage/budget modes
+
+
+def _tasks(seed: int, start: int, count: int, profiles: list[str],
+           stress: bool) -> list[FuzzTask]:
+    return [FuzzTask(seed=seed * 1_000_003 + index,
+                     profile=profiles[index % len(profiles)],
+                     stress=stress)
+            for index in range(start, start + count)]
+
+
+def _still_failing(source: str, stress: bool) -> bool:
+    try:
+        program = assemble(source)
+    except Exception:
+        return False
+    try:
+        mismatches, _ = run_differential(
+            program, stress=stress, max_cycles=1_000_000)
+    except Exception:
+        return False
+    return bool(mismatches)
+
+
+def _shrink_and_save(report: ProgramReport, corpus_dir: Path) -> Path:
+    assert report.source is not None
+    minimal = shrink_source(
+        report.source, lambda src: _still_failing(src, stress=True))
+    if not _still_failing(minimal, stress=True):
+        minimal = report.source  # budget ran out mid-shrink: keep original
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"repro-{report.profile}-{report.seed}.s"
+    header = (f"; shrunk disagreement repro (profile {report.profile}, "
+              f"task seed {report.seed})\n"
+              + "".join(f"; {line}\n" for line in report.mismatches[:8]))
+    path.write_text(header + minimal)
+    return path
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    profiles = args.profile or list(PROFILES)
+    coverage = CoverageMap()
+    failures: list[ProgramReport] = []
+    ran = 0
+    deadline = (time.monotonic() + args.budget
+                if args.budget is not None else None)
+
+    def run_batch(count: int) -> None:
+        nonlocal ran
+        batch = _tasks(args.seed, ran, count, profiles,
+                       stress=not args.no_stress)
+        for report in map_ordered(run_fuzz_task, batch, jobs=args.jobs):
+            coverage.add_records(
+                [_Cell(*cell) for cell in report.branch_cells],
+                report.body_cells)
+            if not report.ok:
+                failures.append(report)
+        ran += count
+
+    if args.target_coverage is not None:
+        while (coverage.fraction() < args.target_coverage
+               and ran < args.max_programs):
+            run_batch(min(_BATCH, args.max_programs - ran))
+    elif deadline is not None:
+        while time.monotonic() < deadline and ran < args.max_programs:
+            run_batch(min(_BATCH, args.max_programs - ran))
+    else:
+        run_batch(args.programs)
+
+    print(f"programs: {ran}")
+    print(f"profiles: {', '.join(profiles)}")
+    print(f"agreements: {ran - len(failures)}")
+    print(f"disagreements: {len(failures)}")
+    print(f"coverage: {len(coverage.hit())}/{len(reachable_cells())} "
+          f"reachable cells ({coverage.fraction():.1%})")
+    for cell in coverage.missing():
+        print(f"  missing: {'/'.join(cell)}")
+
+    if args.coverage_out:
+        Path(args.coverage_out).write_text(coverage.to_json())
+        print(f"coverage map written to {args.coverage_out}")
+
+    if failures:
+        corpus_dir = Path(args.corpus_dir)
+        for report in failures[:args.max_shrinks]:
+            print(f"FAIL seed={report.seed} profile={report.profile}")
+            for line in report.mismatches[:8]:
+                print(f"  {line}")
+            path = _shrink_and_save(report, corpus_dir)
+            print(f"  shrunk repro: {path}")
+        return 1
+    return 0
+
+
+class _Cell:
+    """Adapter giving coverage the BranchRecord attribute shape."""
+
+    __slots__ = ("opcode", "folded", "outcome", "interlock")
+
+    def __init__(self, opcode: str, folded: bool, outcome: str,
+                 interlock: str) -> None:
+        self.opcode = opcode
+        self.folded = folded
+        self.outcome = outcome
+        self.interlock = interlock
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    status = 0
+    for name in args.files:
+        source = Path(name).read_text()
+        try:
+            program = assemble(source)
+        except AssemblyError as exc:
+            print(f"{name}: ASSEMBLY ERROR: {exc}")
+            status = 1
+            continue
+        mismatches, oracle = run_differential(
+            program, stress=not args.no_stress)
+        if mismatches:
+            print(f"{name}: DISAGREE ({len(mismatches)} mismatches)")
+            for line in mismatches:
+                print(f"  {line}")
+            status = 1
+        else:
+            summary = ""
+            if oracle is not None:
+                summary = (f" cycles={oracle.cycles}"
+                           f" issued={oracle.issued_instructions}"
+                           f" folded={oracle.folded_branches}"
+                           f" mispredicts={oracle.mispredictions}")
+            print(f"{name}: agree "
+                  f"({program_parcels(program)} parcels{summary})")
+    return status
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    profiles = args.profile or list(PROFILES)
+    coverage = CoverageMap()
+    for index in range(args.programs):
+        seed = args.seed * 1_000_003 + index
+        profile = profiles[index % len(profiles)]
+        try:
+            program = assemble(generate_source(seed, profile))
+            result = run_oracle(program)
+        except (AssemblyError, OracleError) as exc:
+            print(f"seed {seed} ({profile}): generator produced a bad "
+                  f"program: {exc}", file=sys.stderr)
+            return 1
+        coverage.add_records(result.branches, result.body_records)
+    print(f"programs: {args.programs}")
+    print(f"coverage: {len(coverage.hit())}/{len(reachable_cells())} "
+          f"reachable cells ({coverage.fraction():.1%})")
+    for cell, count in sorted(coverage.cells.items()):
+        print(f"  {'/'.join(cell)}: {count}")
+    for cell in coverage.missing():
+        print(f"  missing: {'/'.join(cell)}")
+    if args.json:
+        Path(args.json).write_text(coverage.to_json())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crisp-verify",
+        description="Differential conformance fuzzing for the CRISP "
+                    "simulators (fast kernel vs reference vs oracle).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="generate and differentially "
+                                       "check programs")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--programs", type=int, default=200,
+                      help="number of programs (default mode)")
+    fuzz.add_argument("--budget", type=float, default=None, metavar="SECS",
+                      help="wall-clock stop instead of a program count")
+    fuzz.add_argument("--target-coverage", type=float, default=None,
+                      metavar="FRACTION",
+                      help="keep generating until this fraction of "
+                           "reachable cells is hit")
+    fuzz.add_argument("--max-programs", type=int, default=2000,
+                      help="hard cap for budget/target modes")
+    fuzz.add_argument("--profile", action="append", choices=PROFILES,
+                      help="restrict profiles (repeatable; default all)")
+    fuzz.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (0 = all cores)")
+    fuzz.add_argument("--no-stress", action="store_true",
+                      help="skip the cold-cache stress comparison")
+    fuzz.add_argument("--coverage-out", metavar="FILE",
+                      help="write the coverage map as JSON")
+    fuzz.add_argument("--corpus-dir", default="tests/corpus",
+                      help="where shrunk repros are written")
+    fuzz.add_argument("--max-shrinks", type=int, default=3,
+                      help="shrink at most this many disagreements")
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    replay = sub.add_parser("replay", help="re-check corpus .s files")
+    replay.add_argument("files", nargs="+")
+    replay.add_argument("--no-stress", action="store_true")
+    replay.set_defaults(func=cmd_replay)
+
+    cover = sub.add_parser("coverage", help="oracle-only coverage sweep")
+    cover.add_argument("--seed", type=int, default=0)
+    cover.add_argument("--programs", type=int, default=200)
+    cover.add_argument("--profile", action="append", choices=PROFILES)
+    cover.add_argument("--json", metavar="FILE")
+    cover.set_defaults(func=cmd_coverage)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

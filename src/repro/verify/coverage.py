@@ -1,0 +1,139 @@
+"""Coverage map over branch-behaviour cells, driving the fuzzer.
+
+A *cell* is the tuple ``(opcode, fold-class, outcome, interlock)``
+classifying one dynamic branch retirement as reported by the oracle
+(:class:`repro.verify.oracle.BranchRecord`). The acceptance metric is
+the fraction of **reachable** cells hit in the 3-dimensional projection
+``opcode × fold-class × outcome`` — the interlock axis is tracked and
+reported but, being a refinement of the ``mispredict``/``correct``
+outcomes, is not part of the denominator. Body opcodes are tracked too
+(``opcode × {plain, folded-body}``) so profile drift is visible.
+
+Reachability is enumerated statically from the ISA and the CRISP fold
+policy rather than measured, so a generator regression that stops
+producing some behaviour *lowers* the fraction instead of silently
+shrinking the universe:
+
+* short conditional jumps are 1 parcel and PC-relative: they can fold
+  or stand alone, and resolve to ``correct``/``mispredict``/``override``;
+* long conditional jumps are 3 parcels (the CRISP policy folds only
+  1-parcel branches): always standalone; with an indirect target their
+  outcome is ``dynamic``;
+* ``jmp`` folds or stands alone, always taken; ``jmpl`` is standalone
+  and additionally reachable as ``dynamic`` via a jump table;
+* ``call`` never folds (policy) and is always taken; ``return`` is the
+  canonical ``dynamic`` branch;
+* ``reti`` is excluded: generated programs take no interrupts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable
+
+Cell = tuple[str, str, str, str]
+ProjectedCell = tuple[str, str, str]
+
+_SHORT_CONDJMPS = ("iftjmpy", "iftjmpn", "iffjmpy", "iffjmpn")
+_LONG_CONDJMPS = ("iftjmply", "iftjmpln", "iffjmply", "iffjmpln")
+_CONDITIONAL_OUTCOMES = ("correct", "mispredict", "override")
+
+
+def reachable_cells() -> frozenset[ProjectedCell]:
+    """The statically reachable ``opcode × fold-class × outcome`` cells."""
+    cells: set[ProjectedCell] = set()
+    for opcode in _SHORT_CONDJMPS:
+        for fold in ("folded", "standalone"):
+            for outcome in _CONDITIONAL_OUTCOMES:
+                cells.add((opcode, fold, outcome))
+    for opcode in _LONG_CONDJMPS:
+        for outcome in _CONDITIONAL_OUTCOMES + ("dynamic",):
+            cells.add((opcode, "standalone", outcome))
+    cells.add(("jmp", "folded", "always"))
+    cells.add(("jmp", "standalone", "always"))
+    cells.add(("jmpl", "standalone", "always"))
+    cells.add(("jmpl", "standalone", "dynamic"))
+    cells.add(("call", "standalone", "always"))
+    cells.add(("return", "standalone", "dynamic"))
+    return frozenset(cells)
+
+
+class CoverageMap:
+    """Accumulates hit counts per cell; merge order is irrelevant."""
+
+    def __init__(self) -> None:
+        self.cells: Counter[Cell] = Counter()
+        self.body_cells: Counter[tuple[str, str]] = Counter()
+
+    def add_branch(self, opcode: str, folded: bool, outcome: str,
+                   interlock: str, count: int = 1) -> None:
+        fold = "folded" if folded else "standalone"
+        self.cells[(opcode, fold, outcome, interlock)] += count
+
+    def add_body(self, opcode: str, folded: bool, count: int = 1) -> None:
+        self.body_cells[(opcode, "folded-body" if folded else "plain")] \
+            += count
+
+    def add_records(self, branch_records: Iterable, body_records:
+                    Iterable[tuple[str, bool]] = ()) -> None:
+        """Ingest a program's oracle records (``BranchRecord`` ducks)."""
+        for record in branch_records:
+            self.add_branch(record.opcode, record.folded, record.outcome,
+                            record.interlock)
+        for opcode, folded in body_records:
+            self.add_body(opcode, folded)
+
+    def merge(self, other: "CoverageMap") -> None:
+        self.cells.update(other.cells)
+        self.body_cells.update(other.body_cells)
+
+    # ---- the acceptance metric --------------------------------------------
+
+    def projected(self) -> set[ProjectedCell]:
+        return {(op, fold, outcome)
+                for (op, fold, outcome, _interlock) in self.cells}
+
+    def hit(self) -> set[ProjectedCell]:
+        return self.projected() & reachable_cells()
+
+    def missing(self) -> list[ProjectedCell]:
+        return sorted(reachable_cells() - self.projected())
+
+    def fraction(self) -> float:
+        reachable = reachable_cells()
+        if not reachable:
+            return 1.0
+        return len(self.hit()) / len(reachable)
+
+    # ---- serialization ----------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "reachable": len(reachable_cells()),
+            "hit": len(self.hit()),
+            "fraction": round(self.fraction(), 6),
+            "missing": ["/".join(cell) for cell in self.missing()],
+            "cells": {"/".join(cell): count for cell, count
+                      in sorted(self.cells.items())},
+            "body_cells": {"/".join(cell): count for cell, count
+                           in sorted(self.body_cells.items())},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CoverageMap":
+        cover = cls()
+        for key, count in payload.get("cells", {}).items():
+            cell = tuple(key.split("/"))
+            if len(cell) != 4:
+                raise ValueError(f"bad coverage cell {key!r}")
+            cover.cells[cell] = count
+        for key, count in payload.get("body_cells", {}).items():
+            cell = tuple(key.split("/"))
+            if len(cell) != 2:
+                raise ValueError(f"bad body cell {key!r}")
+            cover.body_cells[cell] = count
+        return cover

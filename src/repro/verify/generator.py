@@ -1,0 +1,346 @@
+"""Constraint-shaped assembly program generator for the fuzzer.
+
+Programs are generated as ``.s`` text and pushed through the real
+assembler, so the fuzzer exercises the same encode path users do. The
+shape grammar guarantees termination by construction:
+
+* every control-transfer is **forward** except loop back-edges;
+* each loop decrements a dedicated counter word that nothing in its
+  body writes, so back-edges fire a bounded number of times;
+* subroutines live after ``halt``, balance their frames and ``return``;
+* indirect jumps read jump-table words that hold forward labels;
+* divide-class opcodes only ever see non-zero immediate divisors, and
+  shift counts are immediate and small.
+
+``generate_source(seed, profile)`` is pure: the same (seed, profile)
+pair yields the same text on any host or process (seeding goes through
+``zlib.crc32``, never the salted builtin ``hash``). Profiles skew the
+block mix toward different coverage territory:
+
+``branch-dense``
+    short blocks, many folded/standalone conditional branches.
+``fold-chains``
+    long runs of contiguous body+branch folds (the paper's zero-time
+    branch motif), including folded unconditional ``jmp`` chains.
+``interlock-heavy``
+    compare-to-branch distances 0–2, mispredict-prone prediction bits,
+    loops whose exit bit is wrong by construction.
+``mixed-width``
+    3-parcel bodies (still foldable), 5-parcel bodies (standalone
+    branches), long conditional jumps, indirect targets.
+``mixed``
+    a blend of all of the above.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+DATA_BASE = 0x8000  #: must match the assembler default the runner uses
+
+PROFILES = ("branch-dense", "fold-chains", "interlock-heavy",
+            "mixed-width", "mixed")
+
+_ALU2 = ("mov", "add", "sub", "and", "or", "xor", "mul", "not", "neg")
+_ALU3 = ("add3", "sub3", "and3", "or3", "xor3", "mul3")
+_SHIFTS2 = ("shl", "shr", "sar")
+_DIVS2 = ("div", "rem", "udiv", "urem")
+_DIVS3 = ("div3", "rem3", "udiv3", "urem3")
+_CONDS = ("=", "!=", "s<", "s<=", "s>", "s>=", "u<", "u<=", "u>", "u>=")
+_SHORT_CONDJMP = ("iftjmpy", "iftjmpn", "iffjmpy", "iffjmpn")
+_LONG_CONDJMP = ("iftjmply", "iftjmpln", "iffjmply", "iffjmpln")
+
+#: per-profile weights for the block shapes drawn at the top level
+_WEIGHTS = {
+    "branch-dense": {"filler": 1, "fold_play": 6, "standalone_play": 4,
+                     "long_condjmp": 3, "override_play": 3, "loop": 3,
+                     "fold_chain": 1, "call": 1, "indirect": 1, "acc": 1,
+                     "wide": 0},
+    "fold-chains": {"filler": 1, "fold_play": 3, "standalone_play": 1,
+                    "long_condjmp": 1, "override_play": 1, "loop": 2,
+                    "fold_chain": 8, "call": 1, "indirect": 1, "acc": 1,
+                    "wide": 0},
+    "interlock-heavy": {"filler": 1, "fold_play": 8, "standalone_play": 3,
+                        "long_condjmp": 1, "override_play": 1, "loop": 6,
+                        "fold_chain": 1, "call": 1, "indirect": 0, "acc": 1,
+                        "wide": 0},
+    "mixed-width": {"filler": 2, "fold_play": 3, "standalone_play": 3,
+                    "long_condjmp": 4, "override_play": 1, "loop": 2,
+                    "fold_chain": 1, "call": 2, "indirect": 3, "acc": 2,
+                    "wide": 6},
+    "mixed": {"filler": 2, "fold_play": 4, "standalone_play": 3,
+              "long_condjmp": 2, "override_play": 2, "loop": 3,
+              "fold_chain": 2, "call": 2, "indirect": 2, "acc": 2,
+              "wide": 2},
+}
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, profile: str) -> None:
+        self.rng = rng
+        self.profile = profile
+        self.lines: list[str] = []
+        self.data: list[tuple[str, object]] = []  #: (name, value-or-label)
+        self.n_labels = 0
+        self.n_counters = 0
+        self.n_subs = rng.randint(1, 3)
+        #: None at top level (sp above the stack, any small offset is
+        #: scratch); inside a subroutine, offsets must stay below the
+        #: frame size or they would clobber the saved return address
+        self.frame: int | None = None
+        self.data_names: list[str] = []
+        for i in range(rng.randint(3, 6)):
+            name = f"d{i}"
+            self.data.append((name, rng.randint(0, 999)))
+            self.data_names.append(name)
+
+    # ---- small helpers -----------------------------------------------------
+
+    def label(self) -> str:
+        self.n_labels += 1
+        return f"L{self.n_labels}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def place(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def data_word(self, value: object) -> tuple[str, int]:
+        """Declare a data word; returns (name, absolute address)."""
+        name = f"w{len(self.data)}"
+        address = DATA_BASE + 4 * len(self.data)
+        self.data.append((name, value))
+        return name, address
+
+    # ---- operand pool ------------------------------------------------------
+
+    def sp_slot(self) -> str | None:
+        if self.frame is None:
+            offsets = (0, 4, 8)
+        else:
+            offsets = tuple(range(0, self.frame - 4, 4))
+        if not offsets:
+            return None
+        return f"{self.rng.choice(offsets)}(sp)"
+
+    def dst(self, wide: bool = False) -> str:
+        roll = self.rng.random()
+        if roll < 0.55:
+            return self.rng.choice(self.data_names)
+        if roll < 0.75:
+            return "Accum"
+        return self.sp_slot() or self.rng.choice(self.data_names)
+
+    def src(self, wide: bool = False) -> str:
+        roll = self.rng.random()
+        if roll < 0.35:
+            if wide or self.rng.random() < 0.3:
+                return f"${self.rng.randint(-40_000, 40_000)}"
+            return f"${self.rng.randint(-8, 7)}"
+        if roll < 0.75:
+            return self.rng.choice(self.data_names)
+        if roll < 0.9:
+            return "Accum"
+        return self.sp_slot() or self.rng.choice(self.data_names)
+
+    def filler(self, wide: bool = False) -> None:
+        """One random non-branch, non-compare instruction."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45:
+            self.emit(f"{rng.choice(_ALU2)} {self.dst(wide)}, {self.src(wide)}")
+        elif roll < 0.65:
+            self.emit(f"{rng.choice(_ALU3)} {self.src(wide)}, {self.src(wide)}")
+        elif roll < 0.75:
+            self.emit(f"{rng.choice(_SHIFTS2)} {self.dst()}, "
+                      f"${rng.randint(0, 7)}")
+        elif roll < 0.85:
+            self.emit(f"{rng.choice(_DIVS2)} {self.dst()}, "
+                      f"${rng.randint(1, 7)}")
+        elif roll < 0.95:
+            self.emit(f"{rng.choice(_DIVS3)} {self.src()}, "
+                      f"${rng.randint(1, 7)}")
+        else:
+            self.emit("nop")
+
+    def wide_filler(self) -> None:
+        """A 5-parcel body: two extended operands (never folds)."""
+        self.emit(f"{self.rng.choice(('mov', 'add', 'xor'))} "
+                  f"{self.rng.choice(self.data_names)}, "
+                  f"${self.rng.randint(10_000, 99_999)}")
+
+    def compare(self) -> None:
+        self.emit(f"cmp.{self.rng.choice(_CONDS)} {self.src()}, {self.src()}")
+
+    # ---- block shapes ------------------------------------------------------
+
+    def blk_filler(self) -> None:
+        for _ in range(self.rng.randint(1, 3)):
+            self.filler()
+
+    def blk_wide(self) -> None:
+        for _ in range(self.rng.randint(1, 2)):
+            self.filler(wide=True)
+        self.wide_filler()
+
+    def blk_fold_play(self) -> None:
+        """compare → (0..2 fillers) → folded short condjmp forward."""
+        rng = self.rng
+        self.compare()
+        for _ in range(rng.randint(0, 2)):
+            self.filler()
+        target = self.label()
+        self.emit(f"{rng.choice(_SHORT_CONDJMP)} {target}")
+        for _ in range(rng.randint(1, 2)):
+            self.filler()
+        self.place(target)
+
+    def blk_standalone_play(self) -> None:
+        """compare → wide body → standalone short condjmp forward."""
+        self.compare()
+        if self.rng.random() < 0.5:
+            self.filler()
+        self.wide_filler()  # 5 parcels: the branch cannot fold into it
+        target = self.label()
+        self.emit(f"{self.rng.choice(_SHORT_CONDJMP)} {target}")
+        self.filler()
+        self.place(target)
+
+    def blk_long_condjmp(self) -> None:
+        self.compare()
+        for _ in range(self.rng.randint(0, 3)):
+            self.filler()
+        target = self.label()
+        self.emit(f"{self.rng.choice(_LONG_CONDJMP)} {target}")
+        self.filler()
+        self.place(target)
+
+    def blk_override_play(self) -> None:
+        """compare settled ≥3 entries before the branch: no interlock."""
+        self.compare()
+        for _ in range(self.rng.randint(3, 4)):
+            self.filler()
+        target = self.label()
+        self.emit(f"{self.rng.choice(_SHORT_CONDJMP)} {target}")
+        self.filler()
+        self.place(target)
+
+    def blk_fold_chain(self) -> None:
+        """Contiguous folded entries: body+jmp pairs falling forward."""
+        rng = self.rng
+        for _ in range(rng.randint(2, 5)):
+            target = self.label()
+            if rng.random() < 0.4:
+                self.compare()
+                self.emit(f"{rng.choice(_SHORT_CONDJMP)} {target}")
+            else:
+                self.filler()
+                self.emit(f"jmp {target}")
+            self.place(target)
+
+    def blk_loop(self) -> None:
+        rng = self.rng
+        counter = f"c{self.n_counters}"
+        self.n_counters += 1
+        self.data.append((counter, 0))
+        head = self.label()
+        self.emit(f"mov {counter}, ${rng.randint(2, 5)}")
+        self.place(head)
+        for _ in range(rng.randint(1, 3)):
+            self.filler()
+        if rng.random() < 0.4:
+            self.blk_fold_play()
+        self.emit(f"sub {counter}, $1")
+        self.emit(f"cmp.u> {counter}, $0")
+        # distance 0–2 between the loop compare and its back-edge; the
+        # gap fillers must not touch the counter or the flag
+        for _ in range(rng.randint(0, 2)):
+            self.emit(f"{rng.choice(_ALU3)} {rng.choice(self.data_names)}, "
+                      f"${rng.randint(-8, 7)}")
+        # iftjmpy predicts the common (taken) case; iftjmpn mispredicts
+        # every iteration but the last
+        mnemonic = "iftjmpy" if rng.random() < 0.7 else "iftjmpn"
+        self.emit(f"{mnemonic} {head}")
+
+    def blk_call(self) -> None:
+        self.emit(f"call f{self.rng.randrange(self.n_subs)}")
+
+    def blk_indirect(self) -> None:
+        """jmpl / conditional long jump through a data-word jump table."""
+        rng = self.rng
+        target = self.label()
+        roll = rng.random()
+        if roll < 0.3:
+            self.emit(f"jmpl {target}")  # direct long jump (absolute)
+        elif roll < 0.6:
+            _, address = self.data_word(target)
+            self.emit(f"jmpl (*{address:#x})")
+        else:
+            _, address = self.data_word(target)
+            self.compare()
+            self.emit(f"{rng.choice(_LONG_CONDJMP)} (*{address:#x})")
+            self.filler()
+        self.place(target)
+
+    def blk_acc(self) -> None:
+        """Accum-indirect access to a known data word."""
+        name = self.rng.choice(self.data_names)
+        self.emit(f"mov Accum, ${name}")
+        if self.rng.random() < 0.5:
+            self.emit(f"add (Accum), ${self.rng.randint(-8, 7)}")
+        else:
+            self.emit(f"mov {self.dst()}, (Accum)")
+
+    # ---- whole program -----------------------------------------------------
+
+    _SHAPES = {
+        "filler": blk_filler, "fold_play": blk_fold_play,
+        "standalone_play": blk_standalone_play,
+        "long_condjmp": blk_long_condjmp, "override_play": blk_override_play,
+        "fold_chain": blk_fold_chain, "loop": blk_loop, "call": blk_call,
+        "indirect": blk_indirect, "acc": blk_acc, "wide": blk_wide,
+    }
+
+    def subroutine(self, index: int) -> None:
+        rng = self.rng
+        frame = rng.choice((0, 8, 12))
+        self.frame = frame
+        self.place(f"f{index}")
+        if frame:
+            self.emit(f"enter {frame}")
+        for _ in range(rng.randint(1, 3)):
+            self.filler()
+        if rng.random() < 0.5:
+            self.blk_fold_play()
+        if frame:
+            self.emit(f"spadd {frame}")
+        self.emit("return")
+        self.frame = None
+
+    def generate(self) -> str:
+        weights = _WEIGHTS[self.profile]
+        shapes = [name for name, w in weights.items() if w]
+        wvals = [weights[name] for name in shapes]
+        self.place("start")
+        for _ in range(self.rng.randint(6, 14)):
+            shape = self.rng.choices(shapes, weights=wvals, k=1)[0]
+            self._SHAPES[shape](self)
+        self.emit("halt")
+        for i in range(self.n_subs):
+            self.subroutine(i)
+        header = ["    .entry start"]
+        for name, value in self.data:
+            header.append(f"    .word {name}, {value}")
+        return "\n".join(header + self.lines) + "\n"
+
+
+def generate_source(seed: int, profile: str = "mixed") -> str:
+    """Deterministically generate one ``.s`` source for (seed, profile)."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; "
+                         f"choose from {', '.join(PROFILES)}")
+    rng = random.Random((zlib.crc32(profile.encode()) << 32)
+                        ^ (seed & 0xFFFFFFFFFFFF))
+    return _Gen(rng, profile).generate()

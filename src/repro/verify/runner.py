@@ -1,0 +1,314 @@
+"""Three-way differential execution: fast kernel vs reference vs oracle.
+
+Two comparison regimes are run per program:
+
+**Ideal mode** — both cycle kernels get a conflict-free, pre-warmed
+decoded cache (:func:`ideal_config`), which makes the pipeline's timing
+exactly the analytic model the oracle computes. Here the oracle's
+cycle/issue/fold/mispredict/stall counters, ``ExecutionStats`` and full
+architectural state (every memory byte, accumulator, flag, SP) must
+match the fast kernel *exactly*; ``zero_cost_overrides`` is checked as
+a lower bound, because the kernels legitimately count additional
+overrides on wrong-path and post-halt fetches the correct-path oracle
+never sees. Those wrong-path-dependent counters (overrides, squashed
+slots, cache hit/miss traffic) are instead reconciled fast-vs-reference
+bit for bit, as is the entire ``PipelineStats`` dict.
+
+**Stress mode** — a cold 16-entry cache forces miss traffic, conflict
+evictions and wrong-path demand fetches. Timing is no longer analytic,
+so the oracle only checks timing-independent facts (architectural
+state, ``ExecutionStats``, issued/executed/folded counts — these are
+address-deterministic regardless of cache behaviour), while the two
+kernels must again agree bitwise.
+
+On top of both, the runner validates the decode layer itself:
+
+* every decoded-cache entry matches the oracle's independently derived
+  fold structure, and its Next-PC / Alternate-Next-PC fields match a
+  from-scratch recomputation out of the branch specifier (target =
+  branch's own PC + displacement, resp. absolute/indirect rules);
+* the per-site attribution table reconciles exactly with the aggregate
+  pipeline counters on an instrumented run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.assembler import AssemblyError, assemble
+from repro.asm.program import Program
+from repro.core.policy import FoldPolicy
+from repro.isa.instructions import BranchMode
+from repro.isa.parcels import PARCEL_BYTES
+from repro.obs.attrib import attribute_run
+from repro.sim.cpu import CpuConfig, CrispCpu
+from repro.sim.progcache import predecode_cached
+from repro.sim.reference import ReferenceCpu
+from repro.sim.semantics import SimulationError
+from repro.verify.generator import generate_source
+from repro.verify.oracle import OracleError, OracleResult, run_oracle
+from repro.verify.oracle import oracle_entries
+
+_EXEC_ERRORS = (SimulationError, ZeroDivisionError)
+
+
+def program_parcels(program: Program) -> int:
+    return (program.code_end - program.code_base) // PARCEL_BYTES
+
+
+def _next_pow2(n: int) -> int:
+    power = 1
+    while power < n:
+        power <<= 1
+    return power
+
+
+def ideal_config(program: Program,
+                 policy: FoldPolicy | None = None) -> CpuConfig:
+    """A conflict-free cache configuration for analytic-timing runs.
+
+    The cache needs one line per code address plus margin for the
+    PDU's prefetch overrunning the image (decode stops at the first
+    unmapped parcel, but may land a stray entry first).
+    """
+    span = program_parcels(program)
+    return CpuConfig(
+        fold_policy=policy if policy is not None else FoldPolicy.crisp(),
+        icache_entries=_next_pow2(span + 64))
+
+
+def stress_config(policy: FoldPolicy | None = None) -> CpuConfig:
+    """A deliberately tiny cache: misses, conflicts, wrong-path fetches."""
+    return CpuConfig(
+        fold_policy=policy if policy is not None else FoldPolicy.crisp(),
+        icache_entries=16)
+
+
+# ---- invariant checks ------------------------------------------------------
+
+
+def check_nextpc_invariants(program: Program,
+                            policy: FoldPolicy) -> list[str]:
+    """Recompute every entry's Next-PC fields from the branch specifier.
+
+    Independent of :mod:`repro.core.nextpc`: a taken static target is
+    the branch instruction's *own* address plus its PC-relative
+    displacement (fold adjust falls out of using the branch PC, not the
+    entry PC), or the absolute specifier; indirect and return entries
+    must have no static fields at all.
+    """
+    problems: list[str] = []
+    mirror = oracle_entries(program, policy)
+    entries = predecode_cached(program, policy)
+    seen = set()
+    for entry in entries:
+        expect = mirror.get(entry.address)
+        seen.add(entry.address)
+        where = f"entry {entry.address:#x}"
+        if expect is None:
+            problems.append(f"{where}: decoder entry at non-instruction "
+                            f"address")
+            continue
+        if (entry.body, entry.branch) != (expect.body, expect.branch) or \
+                entry.length_bytes != expect.length_bytes:
+            problems.append(f"{where}: fold structure differs from "
+                            f"instruction-level mirror")
+            continue
+        sequential = entry.address + entry.length_bytes
+        if entry.branch is None:
+            want = (sequential, None)
+        else:
+            spec = entry.branch.branch
+            if spec is None or spec.is_indirect:
+                want = (None, None)
+            else:
+                branch_pc = (entry.address if entry.body is None
+                             else entry.address + entry.body.length_bytes())
+                if spec.mode is BranchMode.PC_RELATIVE:
+                    target = branch_pc + spec.value
+                else:
+                    target = spec.value
+                if not entry.branch.is_conditional_branch:
+                    want = (target, None)
+                elif entry.branch.predicted_taken:
+                    want = (target, sequential)
+                else:
+                    want = (sequential, target)
+        got = (entry.next_pc, entry.alt_pc)
+        if got != want:
+            problems.append(f"{where}: Next-PC/Alternate {got} != "
+                            f"recomputed {want}")
+    for address in mirror:
+        if address not in seen:
+            problems.append(f"entry {address:#x}: missing from decoder "
+                            f"pre-decode")
+    return problems
+
+
+def _compare_kernels(label: str, fast: CrispCpu, ref: ReferenceCpu,
+                     out: list[str]) -> None:
+    fast_stats = fast.stats.as_dict()
+    ref_stats = ref.stats.as_dict()
+    if fast_stats != ref_stats:
+        keys = sorted(set(fast_stats) | set(ref_stats))
+        for key in keys:
+            a, b = fast_stats.get(key), ref_stats.get(key)
+            if a != b:
+                out.append(f"{label} stats.{key}: fast {a} != reference {b}")
+    if fast.memory.snapshot() != ref.memory.snapshot():
+        out.append(f"{label} memory: fast != reference")
+    for attr in ("accum", "flag", "sp"):
+        a, b = getattr(fast.state, attr), getattr(ref.state, attr)
+        if a != b:
+            out.append(f"{label} state.{attr}: fast {a} != reference {b}")
+
+
+def _compare_arch(label: str, fast: CrispCpu,
+                  oracle: OracleResult, out: list[str]) -> None:
+    if fast.memory.snapshot() != oracle.memory:
+        out.append(f"{label} memory: kernel != oracle")
+    for attr in ("accum", "flag", "sp"):
+        a, b = getattr(fast.state, attr), getattr(oracle, attr)
+        if a != b:
+            out.append(f"{label} state.{attr}: kernel {a} != oracle {b}")
+    if fast.stats.execution.as_dict() != oracle.execution.as_dict():
+        out.append(f"{label} ExecutionStats: kernel != oracle")
+
+
+def run_differential(program: Program,
+                     policy: FoldPolicy | None = None,
+                     *,
+                     stress: bool = True,
+                     check_attribution: bool = True,
+                     max_cycles: int = 5_000_000,
+                     ) -> tuple[list[str], OracleResult | None]:
+    """Run all three implementations; return (mismatches, oracle result).
+
+    An empty mismatch list means full 3-way agreement. If the oracle
+    *and* both kernels fail to complete (non-terminating or faulting
+    program — possible for shrinker candidates, never for generated
+    programs), that counts as agreement and returns ``([], None)``.
+    """
+    if policy is None:
+        policy = FoldPolicy.crisp()
+    mismatches: list[str] = []
+
+    oracle: OracleResult | None = None
+    oracle_error: Exception | None = None
+    try:
+        oracle = run_oracle(program, policy)
+    except (OracleError, *_EXEC_ERRORS) as exc:
+        oracle_error = exc
+
+    config = ideal_config(program, policy)
+    fast = CrispCpu(program, config)
+    fast.warm_cache()
+    try:
+        fast.run(max_cycles)
+    except _EXEC_ERRORS as exc:
+        if oracle_error is not None:
+            return [], None  # all implementations agree the program is bad
+        return [f"ideal fast kernel failed but oracle halted: {exc}"], oracle
+    if oracle_error is not None:
+        return [f"ideal fast kernel halted but oracle failed: "
+                f"{oracle_error}"], None
+    assert oracle is not None
+
+    ref = ReferenceCpu(program, config)
+    ref.warm_cache()
+    try:
+        ref.run(max_cycles)
+    except _EXEC_ERRORS as exc:
+        return [f"ideal reference kernel failed: {exc}"], oracle
+
+    _compare_kernels("ideal", fast, ref, mismatches)
+    fast_stats = fast.stats.as_dict()
+    for key, want in oracle.timing_dict().items():
+        got = fast_stats[key]
+        if got != want:
+            mismatches.append(f"ideal {key}: kernel {got} != oracle {want}")
+    _compare_arch("ideal", fast, oracle, mismatches)
+    if fast.stats.zero_cost_overrides < oracle.zero_cost_overrides:
+        mismatches.append(
+            f"ideal zero_cost_overrides: kernel "
+            f"{fast.stats.zero_cost_overrides} below oracle correct-path "
+            f"count {oracle.zero_cost_overrides}")
+
+    mismatches.extend(check_nextpc_invariants(program, policy))
+
+    if check_attribution:
+        cpu, table = attribute_run(program, config, max_cycles=max_cycles)
+        mismatches.extend(
+            f"attribution: {problem}"
+            for problem in table.reconcile(cpu.stats))
+
+    if stress:
+        sconfig = stress_config(policy)
+        sfast = CrispCpu(program, sconfig)
+        sref = ReferenceCpu(program, sconfig)
+        try:
+            sfast.run(max_cycles)
+            sref.run(max_cycles)
+        except _EXEC_ERRORS as exc:
+            mismatches.append(f"stress kernel failed: {exc}")
+        else:
+            _compare_kernels("stress", sfast, sref, mismatches)
+            sstats = sfast.stats.as_dict()
+            for key in ("issued_instructions", "executed_instructions",
+                        "folded_branches"):
+                got, want = sstats[key], oracle.timing_dict()[key]
+                if got != want:
+                    mismatches.append(
+                        f"stress {key}: kernel {got} != oracle {want}")
+            _compare_arch("stress", sfast, oracle, mismatches)
+
+    return mismatches, oracle
+
+
+# ---- picklable fuzz tasks for repro.eval.parallel --------------------------
+
+
+@dataclass(frozen=True)
+class FuzzTask:
+    """One generated program to run through the differential check."""
+
+    seed: int
+    profile: str
+    stress: bool = True
+
+
+@dataclass
+class ProgramReport:
+    """Worker result: verdict plus the coverage records to merge."""
+
+    seed: int
+    profile: str
+    ok: bool
+    mismatches: list[str] = field(default_factory=list)
+    parcels: int = 0
+    branch_cells: list[tuple[str, bool, str, str]] = \
+        field(default_factory=list)
+    body_cells: list[tuple[str, bool]] = field(default_factory=list)
+    source: str | None = None  #: carried only for disagreeing programs
+
+
+def run_fuzz_task(task: FuzzTask) -> ProgramReport:
+    """Module-level worker: pure function of the task (process-safe)."""
+    source = generate_source(task.seed, task.profile)
+    try:
+        program = assemble(source)
+    except AssemblyError as exc:
+        return ProgramReport(task.seed, task.profile, ok=False,
+                             mismatches=[f"assemble: {exc}"], source=source)
+    mismatches, oracle = run_differential(program, stress=task.stress)
+    report = ProgramReport(task.seed, task.profile, ok=not mismatches,
+                           mismatches=mismatches,
+                           parcels=program_parcels(program))
+    if oracle is not None:
+        report.branch_cells = [
+            (record.opcode, record.folded, record.outcome, record.interlock)
+            for record in oracle.branches]
+        report.body_cells = list(oracle.body_records)
+    if mismatches:
+        report.source = source
+    return report

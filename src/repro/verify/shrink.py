@@ -1,0 +1,62 @@
+"""Delta-debugging shrinker for disagreeing fuzz programs.
+
+Classic ddmin over source lines: repeatedly try dropping chunks of
+lines (halving the chunk size down to single lines) and keep any
+candidate on which the *failure predicate* still holds. Candidates
+that no longer assemble — e.g. a deleted label still referenced by a
+branch — simply fail the predicate, so the grammar needs no special
+handling; the only structural tweak is also trying to strip a label
+line down to nothing while keeping its referents alive is unnecessary
+because generated sources always place labels on their own lines.
+
+The predicate convention matches :func:`repro.verify.runner
+.run_differential`: a candidate where every implementation fails to
+terminate counts as *agreeing*, so shrinking cannot wander off into
+degenerate non-programs; the minimized repro still exhibits a genuine
+divergence between implementations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+
+def _candidates(lines: list[str], chunk: int) -> list[list[str]]:
+    out = []
+    for start in range(0, len(lines), chunk):
+        out.append(lines[:start] + lines[start + chunk:])
+    return out
+
+
+def shrink_source(source: str, failing: Callable[[str], bool],
+                  max_checks: int = 2000) -> str:
+    """Minimize ``source`` while ``failing`` (the disagreement) holds.
+
+    ``failing`` must be True for ``source`` itself; the result is
+    1-minimal with respect to line deletion (no single remaining line
+    can be dropped), subject to the ``max_checks`` predicate budget.
+    """
+    lines = source.splitlines()
+    checks = 0
+
+    def check(candidate: list[str]) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        return failing("\n".join(candidate) + "\n")
+
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1:
+        shrunk = True
+        while shrunk and checks < max_checks:
+            shrunk = False
+            for candidate in _candidates(lines, chunk):
+                if len(candidate) < len(lines) and check(candidate):
+                    lines = candidate
+                    shrunk = True
+                    break
+        if chunk == 1:
+            break
+        chunk //= 2
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,20 @@
+; Nested calls with stack frames: return-address push/pop, frame
+; allocate/release, sp-relative operands inside the frame, and the
+; dynamic-target fetch bubble on each return.
+    .entry start
+    .word x, 3
+start:
+    call outer
+    call leaf
+    halt
+outer:
+    enter 8
+    mov 0(sp), x
+    add 0(sp), $10
+    call leaf
+    add x, 0(sp)
+    spadd 8
+    return
+leaf:
+    mul x, $2
+    return

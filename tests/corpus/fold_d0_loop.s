@@ -1,0 +1,14 @@
+; Figure-3 style counted loop: the compare folds directly into the
+; back-edge (d0 interlock), so every iteration speculates on the
+; prediction bit and only the exit iteration mispredicts (penalty 3).
+    .entry start
+    .word sum, 0
+    .word i, 0
+start:
+    mov i, $12
+loop:
+    add sum, i
+    sub i, $1
+    cmp.u> i, $0
+    iftjmpy loop
+    halt

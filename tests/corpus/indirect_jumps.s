@@ -1,0 +1,19 @@
+; Dynamic targets: a jump table in data feeding an absolute-indirect
+; jmpl, an sp-relative indirect jump through a slot written at runtime,
+; and a conditional long jump with an indirect target (taken once,
+; then falls through).
+    .entry start
+    .word v, 2
+    .word jt, case1        ; 0x8004: jump table entry
+start:
+    jmpl (*0x8004)         ; absolute-indirect through the table
+    add v, $100            ; skipped
+case1:
+    mov 0(sp), $case2
+    jmpl (0(sp))           ; sp-relative indirect
+    add v, $200            ; skipped
+case2:
+    sub v, $1
+    cmp.u> v, $0           ; true on the first pass only
+    iftjmply (*0x8004)     ; conditional indirect: taken, then not
+    halt

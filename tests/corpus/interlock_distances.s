@@ -1,0 +1,27 @@
+; Compare-to-branch distances 1, 2 and >=3: folded branches at d1/d2
+; speculate with reduced penalties (2/1); at distance 3 the flag is
+; architectural and a wrong prediction bit is a zero-cost override.
+    .entry start
+    .word a, 5
+    .word b, 9
+    .word out, 0
+start:
+    cmp.s< a, b            ; true
+    add out, $1            ; d1 gap filler
+    iffjmpy skip1          ; folded d1, predicted taken, not taken: mispredict (2)
+    add out, $2
+skip1:
+    cmp.s> a, b            ; false
+    add out, $4            ; d2 gap
+    sub out, $1            ; d2 gap
+    iffjmpn skip2          ; folded d2, not-taken sense false => taken? flag false -> taken; predicted not-taken: mispredict (1)
+    add out, $8
+skip2:
+    cmp.= a, $5            ; true
+    add out, $16
+    add out, $32
+    add out, $64           ; distance 3: flag settled
+    iffjmpy skip3          ; predicted taken but flag true & sense false -> not taken: zero-cost override
+    add out, $128
+skip3:
+    halt

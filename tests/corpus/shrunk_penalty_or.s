@@ -1,0 +1,12 @@
+; Shrinker-minimized repro (8 parcels) from an injected-bug exercise:
+; with the fast kernel's OR-stage interlock penalty mutated from 2 to
+; 3, this is the minimal program on which the kernels disagree. Kept
+; as a regression guard for the per-distance penalty table: a folded
+; conditional branch one entry behind its compare (d1) mispredicting.
+    .entry start
+start:
+    cmp.s< $26597, $3
+    mul3 Accum, $-28069
+    iffjmpn L1
+L1:
+    halt

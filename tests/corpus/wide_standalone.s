@@ -1,0 +1,24 @@
+; Width mix: 3-parcel bodies still fold; 5-parcel bodies (two extended
+; operands) exceed the CRISP fold policy, leaving the following branch
+; standalone; long conditional jumps are 3 parcels and never fold.
+    .entry start
+    .word t, 7
+start:
+    cmp.s>= t, $1          ; true
+    mov t, $70000          ; 5-parcel body: branch below stays standalone
+    iftjmpy thin           ; standalone, speculates (spec), correct
+    nop
+thin:
+    add t, $3              ; 1-parcel body
+    jmp mid                ; folds into the add
+mid:
+    cmp.u<= t, $100000     ; true
+    iffjmply wide          ; long condjmp: standalone, predicted taken
+                           ; but not taken at distance 1 -> mispredict
+    sub t, $1
+wide:
+    xor t, $0x5a5a         ; 3-parcel body
+    jmp done               ; folds into the 3-parcel xor
+    nop
+done:
+    halt

@@ -269,3 +269,25 @@ class TestTrajectory:
         assert document["entries"][-1]["cases"] == {"w": {}}
         document = update_trajectory(document, {"git_sha": "b", "cases": {}})
         assert len(document["entries"]) == 2
+
+
+class TestFuzzedReconciliation:
+    """Property extension of the fixed Table-4 cases: attribution totals
+    must reconcile exactly with ``PipelineStats`` across the fuzz
+    generator's whole program distribution (folded chains, interlocks,
+    indirect jumps, frames), not just curated workloads."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_site_totals_reconcile_on_fuzzed_programs(self, seed):
+        from repro.asm.assembler import assemble
+        from repro.verify.generator import PROFILES, generate_source
+        from repro.verify.runner import ideal_config
+
+        profile = PROFILES[seed % len(PROFILES)]
+        program = assemble(generate_source(seed, profile))
+        cpu, table = attribute_run(program, ideal_config(program))
+        assert table.reconcile(cpu.stats) == [], (seed, profile)
+        totals = table.totals()
+        assert totals["executions"] == cpu.stats.execution.branches
+        assert totals["penalty_cycles"] \
+            == cpu.stats.misprediction_penalty_cycles

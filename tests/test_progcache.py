@@ -169,3 +169,58 @@ class TestCachedBuilds:
         misses = cache.stats()["misses"]
         CrispCpu(program).warm_cache()
         assert cache.stats()["misses"] == misses  # second warm is a pure hit
+
+
+class TestCrossProcessAndDifferential:
+    """Disk-tier entries must survive process boundaries, and a cache
+    hit must be *bit-identical* to a cold compile under the 3-way
+    differential runner — a poisoned or stale cache entry would
+    otherwise mask (or fake) kernel bugs during fuzzing."""
+
+    def test_disk_entries_round_trip_across_processes(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, CRISP_CACHE_DIR=str(tmp_path))
+        script = (
+            "from repro.sim.progcache import compile_cached\n"
+            f"program = compile_cached({SOURCE!r})\n"
+            "print(sorted(program.parcel_image().items()))\n")
+        first = subprocess.run([sys.executable, "-c", script], env=env,
+                               capture_output=True, text=True, check=True)
+        assert list(tmp_path.glob("*.pkl"))
+        # a second process must load the same image from disk, not rebuild
+        probe = script + "print(__import__('repro.sim.progcache', fromlist=['default_cache']).default_cache().disk_hits)\n"
+        second = subprocess.run([sys.executable, "-c", probe], env=env,
+                                capture_output=True, text=True, check=True)
+        lines = second.stdout.splitlines()
+        assert lines[0] == first.stdout.splitlines()[0]
+        assert int(lines[1]) >= 1
+
+    def test_cache_hit_bit_identical_under_differential_runner(
+            self, tmp_path, monkeypatch):
+        from repro.lang import compile_source
+        from repro.verify.runner import ideal_config, run_differential
+
+        monkeypatch.setenv("CRISP_CACHE_DIR", str(tmp_path))
+        reset_default()
+        cold = compile_source(SOURCE, CompilerOptions())
+        warm = compile_cached(SOURCE)   # populates memory + disk tiers
+        reset_default()                 # drop memory tier
+        hit = compile_cached(SOURCE)    # served from the disk tier
+        assert default_cache().disk_hits == 1
+        assert hit.parcel_image() == cold.parcel_image() \
+            == warm.parcel_image()
+
+        results = []
+        for program in (cold, hit):
+            mismatches, oracle = run_differential(program)
+            assert mismatches == []
+            assert oracle is not None
+            config = ideal_config(program)
+            cpu = CrispCpu(program, config)
+            cpu.warm_cache()
+            cpu.run()
+            results.append(cpu.stats.as_dict())
+        assert results[0] == results[1]

@@ -1,0 +1,173 @@
+"""The architectural oracle and the fuzz generator.
+
+The oracle is only useful if it is genuinely independent *and* exactly
+right: its fold structure must mirror the parcel-stream decoder, its
+analytic timing must equal the warmed fast kernel cycle for cycle, and
+its per-branch outcome classification must follow the paper's model
+(d0/d1/d2 interlock penalties 3/2/1, distance ≥3 overrides, dynamic
+target bubbles).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.policy import FoldPolicy
+from repro.sim.cpu import CrispCpu
+from repro.verify.coverage import CoverageMap, reachable_cells
+from repro.verify.generator import PROFILES, generate_source
+from repro.verify.oracle import OracleError, oracle_entries, run_oracle
+from repro.verify.runner import check_nextpc_invariants, ideal_config
+
+CORPUS = Path(__file__).parent / "corpus"
+
+LOOP_WITH_CALL = """
+    .entry start
+    .word n, 10
+    .word acc, 0
+start:
+    mov *0x8000, $10
+    mov *0x8004, $0
+loop:
+    mov Accum, *0x8004
+    add3 Accum, *0x8000
+    mov *0x8004, Accum
+    sub *0x8000, $1
+    cmp.u> *0x8000, $0
+    iftjmpy loop
+    call fn
+    halt
+fn:
+    add *0x8004, $7
+    return
+"""
+
+
+class TestAnalyticTiming:
+    def test_exact_match_with_warmed_fast_kernel(self):
+        program = assemble(LOOP_WITH_CALL)
+        cpu = CrispCpu(program, ideal_config(program))
+        cpu.warm_cache()
+        cpu.run()
+        oracle = run_oracle(program)
+        stats = cpu.stats.as_dict()
+        for key, want in oracle.timing_dict().items():
+            assert stats[key] == want, key
+        assert cpu.state.accum == oracle.accum
+        assert cpu.memory.snapshot() == oracle.memory
+        assert cpu.stats.execution.as_dict() == oracle.execution.as_dict()
+
+    def test_known_quantities(self):
+        oracle = run_oracle(assemble(LOOP_WITH_CALL))
+        # 10 folded loop back-edges; only the exit iteration mispredicts,
+        # at d0 (compare folded into the branch) => penalty 3
+        assert oracle.folded_branches == 10
+        assert oracle.mispredictions == 1
+        assert oracle.misprediction_penalty_cycles == 3
+        assert oracle.accum == 55
+        # call + return + mispredict bubbles are the only stalls:
+        # 3 (mispredict) + 3 (call is sequential; the return's dynamic
+        # target costs 3 dead fetches) + 3 pipeline-drain cycles at halt
+        assert oracle.stall_cycles == oracle.cycles - oracle.issued_instructions
+
+    def test_outcome_classification(self):
+        source = (CORPUS / "interlock_distances.s").read_text()
+        oracle = run_oracle(assemble(source))
+        conditionals = [record for record in oracle.branches
+                        if record.opcode.startswith(("ift", "iff"))]
+        assert [(r.outcome, r.interlock, r.penalty) for r in conditionals] \
+            == [("mispredict", "d1", 2),
+                ("mispredict", "d2", 1),
+                ("override", "none", 0)]
+        assert oracle.zero_cost_overrides == 1
+
+    def test_dynamic_targets_cost_three_dead_fetches(self):
+        oracle = run_oracle(assemble("""
+            .entry start
+            .word jt, there
+        start:
+            jmpl (*0x8000)
+        there:
+            halt
+        """))
+        [record] = oracle.branches
+        assert record.outcome == "dynamic"
+        # issue jmpl at 0, next fetch at 4, halt drains 4 more
+        assert oracle.cycles == 8
+        assert oracle.stall_cycles == 6
+
+    def test_non_terminating_program_raises(self):
+        with pytest.raises(OracleError):
+            run_oracle(assemble("here: jmp here"), max_entries=1000)
+
+
+class TestStructureMirror:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_fold_structure_and_nextpc_fields(self, profile):
+        """Instruction-level mirror == parcel-stream decoder, and every
+        Next-PC field equals the from-scratch recomputation."""
+        program = assemble(generate_source(3, profile))
+        assert check_nextpc_invariants(program, FoldPolicy.crisp()) == []
+
+    def test_folded_away_branch_address_gets_standalone_entry(self):
+        # jumping into the middle of a folded pair must execute the
+        # branch alone; the mirror models that address too
+        program = assemble("add *0x8000, $1\njmp out\nout: halt")
+        entries = oracle_entries(program, FoldPolicy.crisp())
+        folded = entries[program.code_base]
+        assert folded.is_folded
+        branch_pc = program.addresses[1]
+        assert entries[branch_pc].body is None
+        assert entries[branch_pc].branch is not None
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_source(7, "mixed") == generate_source(7, "mixed")
+
+    def test_profiles_and_seeds_differ(self):
+        sources = {generate_source(seed, profile)
+                   for seed in (0, 1) for profile in PROFILES}
+        assert len(sources) == 2 * len(PROFILES)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            generate_source(0, "nope")
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_output_assembles_and_halts(self, profile):
+        for seed in range(3):
+            oracle = run_oracle(assemble(generate_source(seed, profile)))
+            assert oracle.halted
+
+
+class TestCoverageMap:
+    def test_reachable_universe(self):
+        cells = reachable_cells()
+        assert len(cells) == 46
+        assert ("return", "standalone", "dynamic") in cells
+        assert ("call", "standalone", "always") in cells
+        # long conditional jumps never fold under the CRISP policy
+        assert not any(op.endswith(("ply", "pln")) and fold == "folded"
+                       for op, fold, _ in cells)
+
+    def test_fraction_and_merge(self):
+        one = CoverageMap()
+        one.add_branch("jmp", True, "always", "none")
+        two = CoverageMap()
+        two.add_branch("return", False, "dynamic", "none")
+        two.add_branch("jmp", True, "always", "none")
+        one.merge(two)
+        assert one.cells[("jmp", "folded", "always", "none")] == 2
+        assert len(one.hit()) == 2
+        assert 0 < one.fraction() < 1
+        assert ("jmpl", "standalone", "always") in one.missing()
+
+    def test_json_round_trip(self):
+        cover = CoverageMap()
+        cover.add_branch("iftjmpy", True, "mispredict", "d1")
+        cover.add_body("add", True)
+        again = CoverageMap.from_dict(cover.as_dict())
+        assert again.cells == cover.cells
+        assert again.body_cells == cover.body_cells
