@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-throughput eval report examples obs \
-	obs-overhead gate annotate fuzz clean
+	obs-overhead gate annotate fuzz fuzz-inject clean
 
 install:
 	pip install -e .
@@ -38,9 +38,15 @@ gate:
 annotate:
 	$(PYTHON) -m repro.obs.cli annotate --workload figure3 --spread
 
+# the default fuzz mix already rotates {static, dynamic_fold @ conf 1/2/3}
 fuzz:
 	$(PYTHON) -m repro.verify.cli fuzz --seed 0 --budget 60 --jobs 0 \
 		--coverage-out fuzz_coverage.json
+
+# every verified-correct fold forced down the recovery path
+fuzz-inject:
+	$(PYTHON) -m repro.verify.cli fuzz --seed 1 --budget 30 --jobs 0 \
+		--inject always-wrong --coverage-out fuzz_coverage_inject.json
 
 examples:
 	@for example in examples/*.py; do \
@@ -51,4 +57,5 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .benchmarks build *.egg-info
-	rm -f obs_trace.json obs_run.json obs_metrics.jsonl fuzz_coverage.json
+	rm -f obs_trace.json obs_run.json obs_metrics.jsonl \
+		fuzz_coverage.json fuzz_coverage_inject.json

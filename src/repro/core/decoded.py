@@ -69,6 +69,11 @@ class DecodedEntry:
               branch is not None and self.next_pc is None)
         cache(self, "halts",
               body is not None and body.opcode is Opcode.HALT)
+        # dynamic-fold eligibility: a folded conditional with a static
+        # target (both next-address fields populated) can be steered down
+        # the predicted-taken path under FoldPolicy.dynamic_fold
+        cache(self, "dyn_foldable",
+              uses_cc and body is not None and self.next_pc is not None)
         cache(self, "sequential", self.address + self.length_bytes)
         if branch is None:
             cache(self, "_branch_pc", None)

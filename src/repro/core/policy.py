@@ -33,11 +33,28 @@ class FoldPolicy:
     #: resolves only at the RR stage, like pre-BTB machines where "a
     #: branch can interfere with program prefetching strategies"
     next_address_fields: bool = True
+    #: dynamic-confidence conditional-branch folding: when the run-time
+    #: predictor says "taken" with confidence >= ``dyn_confidence``, a
+    #: folded conditional is steered down the taken path like one of the
+    #: paper's unconditional folds, shadowed by a verification record
+    #: that triggers flush/recovery (and predictor untraining) when the
+    #: real condition disagrees. This is the feature the m2sim2 bug
+    #: report shipped *without* the verification path (SNIPPETS.md).
+    dynamic_fold: bool = False
+    dyn_confidence: int = 2  #: minimum taken-confidence to fold on
+    dyn_predictor: str = "3-bit"  #: repro.predict.factory name
 
     @classmethod
     def crisp(cls) -> "FoldPolicy":
         """The policy implemented in CRISP silicon."""
         return cls()
+
+    @classmethod
+    def dynamic(cls, confidence: int = 2,
+                predictor: str = "3-bit") -> "FoldPolicy":
+        """CRISP folding plus dynamic-confidence conditional folding."""
+        return cls(dynamic_fold=True, dyn_confidence=confidence,
+                   dyn_predictor=predictor)
 
     @classmethod
     def none(cls) -> "FoldPolicy":

@@ -9,6 +9,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
+
+from repro.sim.semantics import SimulationHungError
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -17,10 +20,11 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures.")
     parser.add_argument(
         "exhibit",
-        choices=["table1", "table2", "table3", "table4", "figures",
-                 "branch-stats", "report", "all"],
+        choices=["table1", "table2", "table3", "table4", "dynfold",
+                 "figures", "branch-stats", "report", "all"],
         help="which exhibit to regenerate ('report' renders everything "
-             "as markdown)")
+             "as markdown; 'dynfold' compares static vs dynamic-"
+             "confidence folding on the Table-4 cases)")
     parser.add_argument("--events", type=int, default=100_000,
                         help="synthetic-trace length for table1")
     parser.add_argument("--json", action="store_true",
@@ -33,6 +37,16 @@ def main(argv: list[str] | None = None) -> int:
                              "to a serial run")
     args = parser.parse_args(argv)
 
+    try:
+        return _run(args)
+    except SimulationHungError as exc:
+        # a hung simulation is a hard failure, but the watchdog's
+        # diagnostics (ring of PCs, hot fold sites) must reach the user
+        print(f"crisp-eval: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.exhibit == "report":
         from repro.eval.report import generate_report
         report = generate_report(args.events)
@@ -42,8 +56,9 @@ def main(argv: list[str] | None = None) -> int:
             print(report)
         return 0
 
-    wanted = (["table1", "table2", "table3", "table4", "figures",
-               "branch-stats"] if args.exhibit == "all" else [args.exhibit])
+    wanted = (["table1", "table2", "table3", "table4", "dynfold",
+               "figures", "branch-stats"]
+              if args.exhibit == "all" else [args.exhibit])
 
     if args.json:
         from repro.eval.jsonout import exhibit_json
@@ -72,6 +87,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.eval.table4 import format_table4, run_table4
         print("== Table 4: execution statistics, cases A-E ==")
         print(format_table4(run_table4(jobs=args.jobs)))
+        print()
+    if "dynfold" in wanted:
+        from repro.eval.table4 import format_dynfold, run_dynfold
+        print("== Dynamic-confidence folding on the Table-4 cases ==")
+        print(format_dynfold(run_dynfold(jobs=args.jobs)))
         print()
     if "figures" in wanted:
         from repro.eval.figures import nextpc_datapath_cases, pipeline_structure

@@ -103,6 +103,21 @@ def table4_json(jobs: int | None = None) -> dict[str, Any]:
     return {"exhibit": "table4", "rows": rows}
 
 
+def dynfold_json(jobs: int | None = None) -> dict[str, Any]:
+    """The dynamic-fold exhibit: Table-4 cases × fold-policy variants."""
+    from repro.eval.table4 import run_dynfold
+    rows = []
+    for row in run_dynfold(jobs=jobs):
+        rows.append({
+            "case": row.case.name,
+            "variant": row.label,
+            "confidence": row.confidence,
+            "relative_performance": row.relative_performance,
+            "metrics": row.stats.as_dict(),
+        })
+    return {"exhibit": "dynfold", "rows": rows}
+
+
 def figures_json() -> dict[str, Any]:
     from repro.eval.figures import nextpc_datapath_cases, pipeline_structure
     return {
@@ -139,6 +154,7 @@ def exhibit_json(name: str, synthetic_events: int = 100_000,
         "table2": table2_json,
         "table3": table3_json,
         "table4": lambda: table4_json(jobs),
+        "dynfold": lambda: dynfold_json(jobs),
         "figures": figures_json,
         "branch-stats": branch_stats_json,
     }

@@ -25,11 +25,24 @@ and JSON documents to the serial run. Three properties make that hold:
 one worker per CPU, ``N`` = at most N workers. The serial path runs the
 same worker functions without a pool, so it is also the fallback when a
 pool cannot start.
+
+**Fault tolerance.** A long campaign must not be lost to one crashed or
+hung worker. A task that raises — or whose worker process dies, which
+surfaces as :class:`~concurrent.futures.process.BrokenProcessPool` — is
+redispatched once, after an exponential backoff, into a *fresh* pool
+(the broken one is unusable). The retry runs the identical task object,
+so per-task seeds are preserved and a flaky-environment retry is
+byte-identical to a first-try success. A task that fails again is
+marked in the merged output as a :class:`TaskFailure` in its original
+slot instead of aborting the whole campaign; callers decide whether a
+marker is fatal. The no-failure fast path is exactly ``pool.map``, so
+determinism is untouched.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -51,6 +64,54 @@ def effective_jobs(jobs: int | None) -> int:
     return jobs
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """Placeholder merged in place of a result when a task keeps failing.
+
+    Carries enough to reproduce the failure: the original task (with its
+    seed still inside), the last error rendered as text (exceptions from
+    a dead worker process are not reliably picklable), and the attempt
+    count. Callers check ``isinstance(result, TaskFailure)`` and decide
+    whether one lost point is fatal for their report.
+    """
+
+    index: int  #: position in the submitted task list
+    task: Any
+    error: str
+    attempts: int
+
+
+#: Base delay (seconds) before redispatching a failed task; attempt *k*
+#: waits ``RETRY_BACKOFF * 2**k``. Kept small: the common causes (a
+#: worker OOM-killed, a transient fork failure) clear immediately.
+RETRY_BACKOFF = 0.05
+
+#: How many times a failed task is redispatched before it is marked.
+RETRIES = 1
+
+
+def _failure(index: int, task: Any, exc: BaseException,
+             attempts: int) -> TaskFailure:
+    return TaskFailure(index, task, f"{type(exc).__name__}: {exc}",
+                       attempts)
+
+
+def _serial_with_retry(worker: Callable[[_Task], _Result],
+                       task_list: list[_Task]) -> list:
+    results: list = []
+    for index, task in enumerate(task_list):
+        for attempt in range(RETRIES + 1):
+            try:
+                results.append(worker(task))
+                break
+            except Exception as exc:
+                if attempt >= RETRIES:
+                    results.append(_failure(index, task, exc, attempt + 1))
+                else:
+                    time.sleep(RETRY_BACKOFF * (2 ** attempt))
+    return results
+
+
 def map_ordered(worker: Callable[[_Task], _Result],
                 tasks: Iterable[_Task],
                 jobs: int | None = None) -> list[_Result]:
@@ -60,13 +121,40 @@ def map_ordered(worker: Callable[[_Task], _Result],
     function; only the transport differs. ``worker`` and each task must
     be picklable when ``jobs > 1`` (module-level functions and frozen
     dataclasses of primitives are safe).
+
+    A task that raises or whose worker process dies is retried once in
+    a fresh pool (see the module docstring); a persistent failure comes
+    back as a :class:`TaskFailure` in the task's slot rather than an
+    exception.
     """
     task_list = list(tasks)
     workers = min(effective_jobs(jobs), len(task_list))
     if workers <= 1:
-        return [worker(task) for task in task_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, task_list))
+        return _serial_with_retry(worker, task_list)
+    results: list = [None] * len(task_list)
+    pending: list[tuple[int, _Task]] = list(enumerate(task_list))
+    for attempt in range(RETRIES + 1):
+        failed: list[tuple[int, _Task, BaseException]] = []
+        # A fresh pool per attempt: a BrokenProcessPool poisons every
+        # outstanding future, so the retry cannot reuse it.
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))) as pool:
+            futures = [(index, task, pool.submit(worker, task))
+                       for index, task in pending]
+            for index, task, future in futures:
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    failed.append((index, task, exc))
+        if not failed:
+            break
+        if attempt >= RETRIES:
+            for index, task, exc in failed:
+                results[index] = _failure(index, task, exc, attempt + 1)
+            break
+        time.sleep(RETRY_BACKOFF * (2 ** attempt))
+        pending = [(index, task) for index, task, _exc in failed]
+    return results
 
 
 # ---- sweep tasks -----------------------------------------------------------

@@ -104,6 +104,92 @@ def run_table4(source: str = FIGURE3,
     return rows
 
 
+DYNFOLD_VARIANTS: tuple[tuple[str, int | None], ...] = (
+    ("static", None),
+    ("dyn-conf1", 1),
+    ("dyn-conf2", 2),
+    ("dyn-conf3", 3),
+)
+"""Per-case hardware variants for the dynfold exhibit: the case's own
+static policy, then dynamic-confidence conditional folding at each
+engagement threshold."""
+
+
+@dataclass
+class DynfoldRow:
+    """One dynfold-exhibit point: a Table-4 case under one fold policy.
+
+    ``static`` keeps the case's own hardware (CRISP folding for C/D,
+    none for A/B/E); ``dyn-confN`` swaps in
+    :meth:`FoldPolicy.dynamic(confidence=N) <FoldPolicy.dynamic>` —
+    which implies the CRISP fold classes — on the *same compiled
+    program*, so within a case the rows isolate what
+    dynamic-confidence folding buys over that case's software setting.
+    """
+
+    case: CaseDefinition
+    label: str
+    confidence: int | None  #: ``None`` = the case's own static policy
+    stats: PipelineStats
+    relative_performance: float = 0.0  #: vs the case's static row
+
+
+def dynfold_case_config(case: CaseDefinition, confidence: int | None,
+                        source: str = FIGURE3):
+    """Compile one Table-4 case and pick the variant's fold policy."""
+    program, config = case_program_config(case, source)
+    if confidence is None:
+        return program, config
+    return program, CpuConfig(
+        fold_policy=FoldPolicy.dynamic(confidence=confidence))
+
+
+def run_dynfold_point(task: tuple[str, str, int | None, str]):
+    """Worker for one dynfold point: ``(case, label, confidence, src)``."""
+    case_name, _label, confidence, source = task
+    case = next(c for c in CASE_DEFINITIONS if c.name == case_name)
+    program, config = dynfold_case_config(case, confidence, source)
+    return run_cycle_accurate(program, config).stats
+
+
+def run_dynfold(source: str = FIGURE3,
+                jobs: int | None = None) -> list[DynfoldRow]:
+    """Run the dynamic-fold exhibit over every Table-4 case."""
+    from repro.eval.parallel import map_ordered
+    grid = [(case, label, confidence)
+            for case in CASE_DEFINITIONS
+            for label, confidence in DYNFOLD_VARIANTS]
+    stats_list = map_ordered(
+        run_dynfold_point,
+        [(case.name, label, confidence, source)
+         for case, label, confidence in grid], jobs)
+    rows = [DynfoldRow(case, label, confidence, stats)
+            for (case, label, confidence), stats in zip(grid, stats_list)]
+    reference = {row.case.name: row.stats.cycles
+                 for row in rows if row.confidence is None}
+    for row in rows:
+        row.relative_performance = reference[row.case.name] \
+            / row.stats.cycles
+    return rows
+
+
+def format_dynfold(rows: list[DynfoldRow]) -> str:
+    lines = [
+        f"{'Case':<5}{'Variant':<11}{'Conf':<6}{'Cycles':>8}{'iCPI':>7}"
+        f"{'DynFold':>9}{'Mispred':>9}{'RecCyc':>8}{'RelPerf':>9}",
+    ]
+    for row in rows:
+        stats = row.stats
+        lines.append(
+            f"{row.case.name:<5}{row.label:<11}"
+            f"{'-' if row.confidence is None else row.confidence:<6}"
+            f"{stats.cycles:>8}{stats.issued_cpi:>7.2f}"
+            f"{stats.dynamic_folds:>9}{stats.folded_mispredicts:>9}"
+            f"{stats.recovery_flush_cycles:>8}"
+            f"{row.relative_performance:>9.2f}")
+    return "\n".join(lines)
+
+
 def format_table4(rows: list[Table4Row]) -> str:
     lines = [
         f"{'Case':<5}{'Fold':<6}{'Pred':<6}{'Sprd':<6}{'Cycles':>8}"

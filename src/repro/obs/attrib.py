@@ -54,6 +54,9 @@ class SiteStats:
     mispredicts: int = 0  #: wrong-path resolutions charged to this site
     penalty_cycles: int = 0  #: recovery bubbles charged to this site
     overrides: int = 0  #: free fetch-time corrections of a wrong bit
+    dynamic_folds: int = 0  #: dynamic-confidence fold engagements
+    verify_fails: int = 0  #: shadow verifications that failed (recoveries)
+    recovery_cycles: int = 0  #: flush bubbles charged to those recoveries
     decodes: int = 0  #: PDU decodes of the entry at this address
     icache_misses: int = 0  #: EU demand misses at this address
 
@@ -122,6 +125,18 @@ def _upd_overrides(row: SiteStats, delta: int, event: dict) -> None:
     row.overrides += delta
 
 
+def _upd_dynamic_folds(row: SiteStats, delta: int, event: dict) -> None:
+    row.dynamic_folds += delta
+
+
+def _upd_verify_fails(row: SiteStats, delta: int, event: dict) -> None:
+    row.verify_fails += delta
+
+
+def _upd_recovery(row: SiteStats, delta: int, event: dict) -> None:
+    row.recovery_cycles += delta
+
+
 def _upd_decodes(row: SiteStats, delta: int, event: dict) -> None:
     row.decodes += delta
 
@@ -138,6 +153,9 @@ _PROBE_UPDATERS = {
     "mispredict.count": _upd_mispredicts,
     "mispredict.penalty_cycles": _upd_penalty,
     "zero_cost.overrides": _upd_overrides,
+    "fold.dynamic": _upd_dynamic_folds,
+    "fold.verify_fail": _upd_verify_fails,
+    "recovery.flush_cycles": _upd_recovery,
     "pdu.decoded": _upd_decodes,
     "icache.demand_miss": _upd_icache_misses,
 }
@@ -165,6 +183,7 @@ class AttributionTable:
         """Column sums over every site — what reconciliation checks."""
         keys = ("executions", "taken", "folded", "speculations",
                 "mispredicts", "penalty_cycles", "overrides",
+                "dynamic_folds", "verify_fails", "recovery_cycles",
                 "decodes", "icache_misses")
         totals = dict.fromkeys(keys, 0)
         for row in self.sites.values():
@@ -186,6 +205,9 @@ class AttributionTable:
             ("mispredicts", stats.mispredictions),
             ("penalty_cycles", stats.misprediction_penalty_cycles),
             ("overrides", stats.zero_cost_overrides),
+            ("dynamic_folds", stats.dynamic_folds),
+            ("verify_fails", stats.folded_mispredicts),
+            ("recovery_cycles", stats.recovery_flush_cycles),
             ("icache_misses", stats.icache_misses),
         )
         return [f"{key}: per-site sum {totals[key]} != aggregate {value}"

@@ -69,6 +69,9 @@ def config_dict(config: CpuConfig) -> dict[str, Any]:
             "branch_lengths": sorted(policy.branch_lengths),
             "fold_calls": policy.fold_calls,
             "next_address_fields": policy.next_address_fields,
+            "dynamic_fold": policy.dynamic_fold,
+            "dyn_confidence": policy.dyn_confidence,
+            "dyn_predictor": policy.dyn_predictor,
         },
     }
 
@@ -116,31 +119,57 @@ def write_manifest(path: str, manifest: dict[str, Any]) -> None:
         stream.write("\n")
 
 
-def _baseline_case(case_name: str) -> dict[str, Any]:
+def _baseline_case(label: str) -> dict[str, Any]:
     """One attributed Table-4 case manifest (parallel-runner worker).
 
-    Workers rebuild the program from the case definition (compiles hit
-    the content-hash cache), so the manifest a worker returns is exactly
-    the manifest the serial loop would have built — including the
-    ``git_sha`` field, which is a repository property, not a process
-    property.
+    ``label`` is either a bare case name (``"D"``) or a dynfold-exhibit
+    point (``"D/dyn2"`` — case D's compilation under
+    ``FoldPolicy.dynamic(confidence=2)``). Workers rebuild the program
+    from the case definition (compiles hit the content-hash cache), so
+    the manifest a worker returns is exactly the manifest the serial
+    loop would have built — including the ``git_sha`` field, which is a
+    repository property, not a process property.
     """
-    from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
+    from repro.eval.table4 import (
+        CASE_DEFINITIONS,
+        case_program_config,
+        dynfold_case_config,
+    )
     from repro.obs.attrib import attribute_run
 
+    case_name, _, variant = label.partition("/")
     case = next(c for c in CASE_DEFINITIONS if c.name == case_name)
-    program, config = case_program_config(case)
+    if variant:
+        confidence = int(variant.removeprefix("dyn"))
+        program, config = dynfold_case_config(case, confidence)
+    else:
+        confidence = None
+        program, config = case_program_config(case)
     cpu, table = attribute_run(program, config)
     return build_manifest(
-        f"figure3/case_{case.name}", config, cpu.stats, cpu.obs,
-        extra={"case": case.name, "folding": case.folding,
+        f"figure3/case_{label}", config, cpu.stats, cpu.obs,
+        extra={"case": label, "folding": case.folding,
                "prediction": case.prediction,
-               "spreading": case.spreading},
+               "spreading": case.spreading,
+               "dyn_confidence": confidence},
         sites=table.as_dict())
 
 
+def baseline_labels() -> list[str]:
+    """Every baseline case label: A–E plus the dynfold-exhibit points."""
+    from repro.eval.table4 import CASE_DEFINITIONS, DYNFOLD_VARIANTS
+
+    labels = [case.name for case in CASE_DEFINITIONS]
+    labels += [f"{case.name}/dyn{confidence}"
+               for case in CASE_DEFINITIONS
+               for _label, confidence in DYNFOLD_VARIANTS
+               if confidence is not None]
+    return labels
+
+
 def table4_baseline(jobs: int | None = None) -> dict[str, Any]:
-    """Manifests for the Table-4 cases A–E: the perf-trajectory seed.
+    """Manifests for the Table-4 cases A–E (plus the dynamic-fold
+    exhibit points): the perf-trajectory seed.
 
     Each case runs with per-site attribution attached, so the baseline
     carries the ``sites`` blocks future PRs diff against (``crisp-obs
@@ -150,10 +179,8 @@ def table4_baseline(jobs: int | None = None) -> dict[str, Any]:
     simulation — see :mod:`repro.eval.parallel`).
     """
     from repro.eval.parallel import map_ordered
-    from repro.eval.table4 import CASE_DEFINITIONS
 
-    cases = map_ordered(_baseline_case,
-                        [case.name for case in CASE_DEFINITIONS], jobs)
+    cases = map_ordered(_baseline_case, baseline_labels(), jobs)
     return {
         "schema": SCHEMA_VERSION,
         "kind": "crisp-bench-baseline",

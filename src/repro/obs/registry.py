@@ -49,6 +49,20 @@ CATALOGUE: tuple[ProbeSpec, ...] = (
               "(includes wrong-path fetches later squashed)."),
     ProbeSpec("eu.interrupts", "counter", "events",
               "Precise interrupts delivered to the EU."),
+    ProbeSpec("fold.dynamic", "counter", "branches",
+              "Dynamic-confidence fold engagements: interlocked "
+              "conditional folds run down the predicted-taken path under "
+              "a shadow verification record. Includes wrong-path "
+              "engagements later squashed."),
+    ProbeSpec("fold.verify_fail", "counter", "events",
+              "Shadow verifications that failed at resolution (the real "
+              "condition disagreed with the engaged prediction), forcing "
+              "a flush-and-refetch recovery. forced=True marks faults "
+              "injected by --inject always-wrong."),
+    ProbeSpec("recovery.flush_cycles", "counter", "cycles",
+              "Bubbles charged to dynamic-fold recoveries (the "
+              "folded-mispredict share of mispredict.penalty_cycles). "
+              "Reconciles with PipelineStats.recovery_flush_cycles."),
     # ---- decoded instruction cache ----------------------------------------
     ProbeSpec("icache.demand_hit", "counter", "fetches",
               "EU fetches served directly by the Decoded Instruction "
@@ -79,6 +93,11 @@ CATALOGUE: tuple[ProbeSpec, ...] = (
     ProbeSpec("pdu.prefetch.ahead", "gauge", "entries",
               "How far decode ran past the last EU demand, sampled per "
               "decode."),
+    # ---- program decode cache ----------------------------------------------
+    ProbeSpec("progcache.quarantined", "counter", "entries",
+              "Disk-tier cache entries whose content hash failed to "
+              "verify on load; the file is renamed aside and the program "
+              "is re-decoded."),
     # ---- prediction harness -----------------------------------------------
     ProbeSpec("predict.events", "counter", "branches",
               "Dynamic branch events scored by the prediction study."),

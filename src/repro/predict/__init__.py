@@ -23,9 +23,12 @@ from repro.predict.dynamic import CounterPredictor, FiniteCounterPredictor
 from repro.predict.btb import BranchTargetBuffer
 from repro.predict.jumptrace import JumpTrace
 from repro.predict.twolevel import GsharePredictor
+from repro.predict.factory import PREDICTOR_NAMES, make_predictor
 from repro.predict.harness import PredictionStudy, measure_predictors
 
 __all__ = [
+    "PREDICTOR_NAMES",
+    "make_predictor",
     "BranchPredictor",
     "AlwaysTakenPredictor",
     "BackwardTakenPredictor",

@@ -26,6 +26,24 @@ class BranchPredictor:
                target: int | None = None) -> None:
         """Learn the actual outcome."""
 
+    def confidence(self, pc: int, target: int | None = None) -> int:
+        """Strength of the current prediction for ``pc`` (>= 0).
+
+        0 means "no information" (e.g. a BTB miss); larger values mean
+        the predictor is deeper into saturation on the predicted side.
+        The dynamic-fold unit compares this against the policy's
+        confidence threshold before folding a predicted-taken branch.
+        Stateless predictors report a fixed 1.
+        """
+        return 1
+
+    def untrain(self, pc: int, target: int | None = None) -> None:
+        """Verified-recovery feedback: the prediction for ``pc`` caused a
+        pipeline flush. Knock the branch back to its weakly-not-taken
+        state so a cooling branch stops being folded immediately instead
+        of after ``2**bits`` wrong guesses. Default: no state, no-op.
+        """
+
     def observe(self, pc: int, taken: bool,
                 target: int | None = None) -> bool:
         """Score one dynamic branch; returns True when predicted right."""

@@ -67,6 +67,19 @@ class BranchTargetBuffer(BranchPredictor):
             return entry.target
         return None
 
+    def confidence(self, pc: int, target: int | None = None) -> int:
+        entry = self._find(pc)
+        if entry is None:
+            return 0  # a miss carries no history at all
+        if entry.counter >= self.threshold:
+            return entry.counter - self.threshold + 1
+        return self.threshold - entry.counter
+
+    def untrain(self, pc: int, target: int | None = None) -> None:
+        entry = self._find(pc)
+        if entry is not None:
+            entry.counter = self.threshold - 1
+
     def update(self, pc: int, taken: bool,
                target: int | None = None) -> None:
         self._clock += 1

@@ -43,6 +43,15 @@ class CounterPredictor(BranchPredictor):
             value = max(0, value - 1)
         self._counters[pc] = value
 
+    def confidence(self, pc: int, target: int | None = None) -> int:
+        value = self._counters.get(pc, self.initial)
+        if value >= self.threshold:
+            return value - self.threshold + 1
+        return self.threshold - value
+
+    def untrain(self, pc: int, target: int | None = None) -> None:
+        self._counters[pc] = self.initial
+
     def reset(self) -> None:
         super().reset()
         self._counters.clear()
@@ -93,6 +102,15 @@ class FiniteCounterPredictor(BranchPredictor):
             self._table[index] = min(self.maximum, value + 1)
         else:
             self._table[index] = max(0, value - 1)
+
+    def confidence(self, pc: int, target: int | None = None) -> int:
+        value = self._table[self._index(pc)]
+        if value >= self.threshold:
+            return value - self.threshold + 1
+        return self.threshold - value
+
+    def untrain(self, pc: int, target: int | None = None) -> None:
+        self._table[self._index(pc)] = self.threshold - 1
 
     def reset(self) -> None:
         super().reset()

@@ -1,0 +1,37 @@
+"""Predictor factory for config-named predictors.
+
+:class:`~repro.core.policy.FoldPolicy` names its dynamic-fold predictor
+by string (the policy must stay a frozen, picklable value object), so
+the simulator needs a single place that maps those names to predictor
+instances. Kept separate from ``repro.predict.__init__`` so the cycle
+kernels can import it without dragging in the measurement harness.
+"""
+
+from __future__ import annotations
+
+from repro.predict.base import BranchPredictor
+from repro.predict.btb import BranchTargetBuffer
+from repro.predict.dynamic import CounterPredictor
+from repro.predict.twolevel import GsharePredictor
+
+#: names accepted by :func:`make_predictor` (and by FoldPolicy.dyn_predictor)
+PREDICTOR_NAMES = ("1-bit", "2-bit", "3-bit", "btb", "gshare")
+
+
+def make_predictor(name: str) -> BranchPredictor:
+    """A fresh predictor instance for a config name.
+
+    ``"1-bit"``/``"2-bit"``/``"3-bit"`` are the paper's infinite-table
+    saturating counters; ``"btb"`` and ``"gshare"`` come from the
+    comparison section. Raises ValueError on unknown names.
+    """
+    if name.endswith("-bit"):
+        prefix = name[:-len("-bit")]
+        if prefix.isdigit() and int(prefix) >= 1:
+            return CounterPredictor(bits=int(prefix))
+    if name == "btb":
+        return BranchTargetBuffer()
+    if name == "gshare":
+        return GsharePredictor()
+    raise ValueError(
+        f"unknown predictor {name!r}; expected one of {PREDICTOR_NAMES}")

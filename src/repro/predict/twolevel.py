@@ -47,6 +47,17 @@ class GsharePredictor(BranchPredictor):
             self._table[index] = max(0, value - 1)
         self._history = ((self._history << 1) | int(taken)) & self._mask
 
+    def confidence(self, pc: int, target: int | None = None) -> int:
+        value = self._table[self._index(pc)]
+        if value >= self.threshold:
+            return value - self.threshold + 1
+        return self.threshold - value
+
+    def untrain(self, pc: int, target: int | None = None) -> None:
+        # Reset the counter the *current* history selects; the history
+        # register itself is shared state and stays untouched.
+        self._table[self._index(pc)] = self.threshold - 1
+
     def reset(self) -> None:
         super().reset()
         self._history = 0

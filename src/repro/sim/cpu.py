@@ -20,12 +20,17 @@ from dataclasses import dataclass, field
 from repro.asm.program import Program
 from repro.core.policy import FoldPolicy
 from repro.obs.events import EventBus
+from repro.sim.dynfold import DynamicFoldUnit
 from repro.sim.eu import ExecutionUnit
 from repro.sim.icache import DecodedICache
 from repro.sim.memory import Memory
 from repro.sim.pdu import PrefetchDecodeUnit
-from repro.sim.semantics import MachineState, SimulationError
+from repro.sim.semantics import MachineState, SimulationHungError
 from repro.sim.stats import PipelineStats
+
+#: how many post-budget fetch addresses the watchdog samples for the
+#: SimulationHungError diagnostic ring buffer
+WATCHDOG_RING = 64
 
 
 @dataclass(frozen=True)
@@ -37,6 +42,10 @@ class CpuConfig:
     mem_latency: int = 2  #: cycles per four-parcel instruction fetch
     decode_latency: int = 2  #: PDR + PIR stages
     prefetch_depth: int = 16  #: entries decoded ahead of the last demand
+    max_cycles: int = 50_000_000  #: watchdog budget for :meth:`CrispCpu.run`
+    #: fault injection mode (None or "always-wrong"); see
+    #: :mod:`repro.sim.dynfold`
+    inject: str | None = None
 
 
 class CrispCpu:
@@ -56,13 +65,18 @@ class CrispCpu:
             self.memory, pc=program.entry, sp=program.stack_top)
         self.stats = PipelineStats()
         self.icache = DecodedICache(self.config.icache_entries, obs=self.obs)
+        #: one dynamic-fold unit per machine, shared by the PDU (queries
+        #: only) and the EU (folds, trains, untrains)
+        self.dyn = (DynamicFoldUnit(self.config.fold_policy)
+                    if self.config.fold_policy.dynamic_fold else None)
         self.pdu = PrefetchDecodeUnit(
             self.memory, self.icache, self.config.fold_policy,
             mem_latency=self.config.mem_latency,
             decode_latency=self.config.decode_latency,
             prefetch_depth=self.config.prefetch_depth,
-            obs=self.obs)
-        self.eu = ExecutionUnit(self.state, self.stats, obs=self.obs)
+            obs=self.obs, dyn=self.dyn)
+        self.eu = ExecutionUnit(self.state, self.stats, obs=self.obs,
+                                dyn=self.dyn, inject=self.config.inject)
         self._pending_interrupt: int | None = None
         self.interrupts_taken = 0
         self._obs_on = self.obs.enabled
@@ -129,18 +143,39 @@ class CrispCpu:
         """
         self._pending_interrupt = vector
 
-    def run(self, max_cycles: int = 50_000_000) -> PipelineStats:
-        """Run to ``halt``; raise if the cycle budget is exhausted."""
+    def run(self, max_cycles: int | None = None) -> PipelineStats:
+        """Run to ``halt``; the cycle-budget watchdog raises a diagnostic
+        :class:`~repro.sim.semantics.SimulationHungError` on exhaustion.
+
+        ``max_cycles`` overrides ``config.max_cycles`` when given.
+        """
+        limit = self.config.max_cycles if max_cycles is None else max_cycles
         eu = self.eu
         step = self.step
-        for _ in range(max_cycles):
+        for _ in range(limit):
             if eu.halted:
                 eu.flush_execution()  # idempotent: batch already folded
                 return self.stats
             step()
         eu.flush_execution()
-        raise SimulationError(
-            f"machine did not halt within {max_cycles} cycles")
+        raise self._watchdog_error(limit)
+
+    def _watchdog_error(self, limit: int) -> SimulationHungError:
+        """Budget exhausted: sample the next fetch addresses (a hang shows
+        up as a short repeating PC cycle) and attach the dynamic-fold
+        unit's per-site tallies. Sampling *after* exhaustion keeps the
+        hot run loop free of ring-buffer bookkeeping."""
+        pcs: list[int] = []
+        for _ in range(WATCHDOG_RING):
+            if self.eu.halted:
+                break
+            if self.eu.ir_next_pc is not None:
+                pcs.append(self.eu.ir_next_pc)
+            self.step()
+        return SimulationHungError(
+            limit, pcs,
+            self.dyn.fold_counts if self.dyn is not None else None,
+            self.dyn.flush_counts if self.dyn is not None else None)
 
     # ---- conveniences ------------------------------------------------------
 
@@ -165,7 +200,7 @@ class CrispCpu:
 
 def run_cycle_accurate(program: Program,
                        config: CpuConfig | None = None,
-                       max_cycles: int = 50_000_000,
+                       max_cycles: int | None = None,
                        obs: EventBus | None = None) -> CrispCpu:
     """Run ``program`` on the cycle-accurate machine and return the CPU."""
     cpu = CrispCpu(program, config, obs=obs)

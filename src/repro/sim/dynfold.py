@@ -1,0 +1,97 @@
+"""Dynamic-confidence conditional-branch folding with verified recovery.
+
+The paper folds branches whose direction is *statically* predicted; the
+m2sim2 bug report (SNIPPETS.md) documents the failure mode of extending
+folding to *dynamically* predicted conditionals without a verification
+path: the folded branch never occupies an execution slot, so a wrong
+prediction is never detected and ``branch_hot_loop`` spins forever.
+
+This module is the verification path. One :class:`DynamicFoldUnit` is
+shared by the PDU and the EU of a CPU:
+
+* at fetch/decode time the unit is *queried only* — :meth:`decide` is a
+  pure function of predictor state, so wrong-path fetches can probe it
+  freely without perturbing training;
+* when the EU folds on the unit's say-so it attaches a frozen
+  :class:`ShadowRecord` (predicted direction, fold site, alternate
+  next-PC) to the pipeline slot. The record rides down the pipeline with
+  the merged entry and is checked the moment the governing compare
+  retires;
+* on a verified mismatch the EU flushes younger stages, restores PC from
+  the record's alternate next-PC and calls :meth:`untrain`, knocking the
+  branch's counter back below the fold threshold;
+* actual outcomes train the predictor only at retirement
+  (:meth:`train`), so squashed wrong-path slots never teach it anything.
+
+``inject="always-wrong"`` flips the unit into fault-injection mode: the
+EU treats every *verified-correct* shadow fold as a mismatch too, forcing
+a full flush/recovery on every dynamic fold. A machine that survives an
+``always-wrong`` campaign with architectural state intact has proven its
+recovery is total — the regression test that would have caught the
+m2sim2 bug on day one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import FoldPolicy
+from repro.predict.factory import make_predictor
+
+#: the fault-injection mode names accepted by CpuConfig.inject
+INJECT_MODES = ("always-wrong",)
+
+
+@dataclass(frozen=True)
+class ShadowRecord:
+    """The verification record that flows down the pipeline with a
+    dynamically folded conditional branch."""
+
+    site: int  #: byte address of the branch instruction (the fold site)
+    predicted_taken: bool  #: direction the fold committed to (always True)
+    chosen_pc: int  #: next-PC of the predicted path
+    alternate_pc: int  #: recovery next-PC when verification fails
+    confidence: int  #: predictor confidence at fold time
+
+
+class DynamicFoldUnit:
+    """Confidence-gated fold decisions plus training/untraining feedback.
+
+    Also keeps per-site fold/flush tallies — pure diagnostics (never
+    part of :class:`~repro.sim.stats.PipelineStats`), surfaced by
+    :class:`~repro.sim.semantics.SimulationHungError` so a hung run
+    names its hottest fold sites.
+    """
+
+    def __init__(self, policy: FoldPolicy) -> None:
+        self.predictor = make_predictor(policy.dyn_predictor)
+        self.threshold = policy.dyn_confidence
+        self.fold_counts: dict[int, int] = {}
+        self.flush_counts: dict[int, int] = {}
+
+    def decide(self, site: int) -> int:
+        """Confidence of folding the branch at ``site`` taken; 0 = don't.
+
+        Pure: no predictor state changes, so the PDU and wrong-path
+        fetches may call this speculatively.
+        """
+        predictor = self.predictor
+        if not predictor.predict(site):
+            return 0
+        confidence = predictor.confidence(site)
+        return confidence if confidence >= self.threshold else 0
+
+    def train(self, site: int, taken: bool) -> None:
+        """Retirement feedback: the branch at ``site`` actually went
+        ``taken``. Only architecturally retired branches reach here."""
+        self.predictor.observe(site, taken)
+
+    def untrain(self, site: int) -> None:
+        """Verified-recovery feedback: the fold at ``site`` was wrong."""
+        self.predictor.untrain(site)
+
+    def note_fold(self, site: int) -> None:
+        self.fold_counts[site] = self.fold_counts.get(site, 0) + 1
+
+    def note_flush(self, site: int) -> None:
+        self.flush_counts[site] = self.flush_counts.get(site, 0) + 1

@@ -45,6 +45,7 @@ from repro.isa.instructions import resolve_target
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.parcels import to_u32
 from repro.obs.events import EventBus, NULL_BUS
+from repro.sim.dynfold import DynamicFoldUnit, ShadowRecord
 from repro.sim.semantics import BODY_EXECUTORS, MachineState
 from repro.sim.stats import PipelineStats
 
@@ -63,16 +64,25 @@ class StageSlot:
     governing_seq: int | None = None  #: seq of the compare this branch awaits
     resolved: bool = True  #: False while the branch direction is speculative
     speculated: bool = False  #: True if fetch had to trust the prediction bit
+    shadow: ShadowRecord | None = None  #: set when dynamically folded
 
 
 class ExecutionUnit:
     """Cycle-level model of the CRISP execution pipeline."""
 
     def __init__(self, state: MachineState, stats: PipelineStats,
-                 obs: EventBus = NULL_BUS) -> None:
+                 obs: EventBus = NULL_BUS, *,
+                 dyn: DynamicFoldUnit | None = None,
+                 inject: str | None = None) -> None:
         self.state = state
         self.stats = stats
         self.obs = obs
+        #: dynamic-fold unit, shared with the PDU (None unless the fold
+        #: policy enables dynamic_fold)
+        self._dyn = dyn
+        #: fault injection: "always-wrong" forces a full flush/recovery
+        #: on every dynamic fold, even verified-correct ones
+        self._inject_wrong = inject == "always-wrong"
         #: probes fire only on an enabled bus; a disabled bus's probes are
         #: shared no-ops, so skipping the calls (and their keyword-dict
         #: construction) is behaviourally identical and free. On an
@@ -89,6 +99,9 @@ class ExecutionUnit:
         self._p_override = obs.counter("zero_cost.overrides")
         self._p_interlock = obs.counter("cc.interlock")
         self._p_interrupt = obs.counter("eu.interrupts")
+        self._p_dynfold = obs.counter("fold.dynamic")
+        self._p_verify_fail = obs.counter("fold.verify_fail")
+        self._p_recovery = obs.counter("recovery.flush_cycles")
         self.ir: StageSlot | None = None
         self.or_: StageSlot | None = None
         self.rr: StageSlot | None = None
@@ -181,6 +194,7 @@ class ExecutionUnit:
                 fetched.governing_seq = None
                 fetched.resolved = True
                 fetched.speculated = False
+                fetched.shadow = None
             else:
                 fetched = StageSlot(fetched_entry, self._seq)
 
@@ -336,6 +350,11 @@ class ExecutionUnit:
             self._x_one_parcel += 1
         if entry.uses_cc:
             self._x_conditional += 1
+            if self._dyn is not None:
+                # train only at retirement: squashed wrong-path slots
+                # never reach here, so the predictor learns exactly the
+                # architectural branch stream
+                self._dyn.train(entry._branch_pc, taken)
         if taken:
             self._x_taken += 1
 
@@ -355,8 +374,17 @@ class ExecutionUnit:
             entry = slot.entry
             correct = entry.taken_when(flag)
             slot.resolved = True
+            shadow = slot.shadow
+            forced = False
             if slot.chosen_taken == correct:
-                continue
+                if shadow is None or not self._inject_wrong:
+                    continue
+                # fault injection (--inject always-wrong): treat this
+                # verified-correct dynamic fold as a mismatch too,
+                # exercising the full flush/recovery path. The redirect
+                # refetches the *chosen* (correct) path, so architectural
+                # state is unchanged — only timing suffers.
+                forced = True
             # misprediction: squash younger work, re-introduce the
             # Alternate-PC as the next fetch address
             stage = self._stage_of(slot) if slot is not fetched else "IR"
@@ -367,19 +395,36 @@ class ExecutionUnit:
                 penalty = 1
             stats.mispredictions += 1
             stats.misprediction_penalty_cycles += penalty
+            if shadow is not None:
+                # verified recovery of a dynamic fold: count it, flush,
+                # and untrain the predictor so a cooling branch stops
+                # being folded immediately
+                stats.folded_mispredicts += 1
+                stats.recovery_flush_cycles += penalty
+                self._dyn.untrain(shadow.site)
+                self._dyn.note_flush(shadow.site)
             if self._obs_on:
                 if self._obs_sinks:
                     site = entry._branch_pc
                     self._p_mispredict.inc(stage=stage, folded=True,
                                            site=site)
                     self._p_penalty.inc(penalty, site=site)
+                    if shadow is not None:
+                        self._p_verify_fail.inc(site=site, forced=forced)
+                        self._p_recovery.inc(penalty, site=site)
                 else:
                     self._p_mispredict.add()
                     self._p_penalty.add(penalty)
+                    if shadow is not None:
+                        self._p_verify_fail.add()
+                        self._p_recovery.add(penalty)
             slot.chosen_taken = correct
             self._squash_younger(slot, fetched)
-            assert slot.other_pc is not None
-            self._redirect(slot.other_pc)
+            if forced:
+                self._redirect(shadow.chosen_pc)
+            else:
+                assert slot.other_pc is not None
+                self._redirect(slot.other_pc)
 
     def _redirect(self, target: int) -> None:
         self.ir_next_pc = target
@@ -477,6 +522,30 @@ class ExecutionUnit:
             slot.speculated = True
             chosen = entry.next_pc
             other = entry.alt_pc
+            dyn = self._dyn
+            if dyn is not None and entry.dyn_foldable:
+                confidence = dyn.decide(entry._branch_pc)
+                if confidence:
+                    # dynamic fold: the predictor says taken with enough
+                    # confidence, so commit to the taken path like one of
+                    # the paper's unconditional folds. The ShadowRecord
+                    # rides down the pipeline; verification happens when
+                    # the governing compare retires (below, via
+                    # _resolve_dependents).
+                    slot.chosen_taken = True
+                    chosen = taken_pc
+                    other = fall_pc
+                    assert chosen is not None and other is not None
+                    slot.shadow = ShadowRecord(
+                        entry._branch_pc, True, chosen, other, confidence)
+                    self.stats.dynamic_folds += 1
+                    dyn.note_fold(entry._branch_pc)
+                    if self._obs_on:
+                        if self._obs_sinks:
+                            self._p_dynfold.inc(site=entry._branch_pc,
+                                                confidence=confidence)
+                        else:
+                            self._p_dynfold.add()
             if entry.is_folded:
                 # folded branches recover as soon as the governing compare
                 # resolves, wherever the branch is in the pipeline

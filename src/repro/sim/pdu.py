@@ -55,10 +55,14 @@ class PrefetchDecodeUnit:
     def __init__(self, memory: Memory, icache: DecodedICache,
                  policy: FoldPolicy, *, mem_latency: int = 2,
                  decode_latency: int = 2, prefetch_depth: int = 16,
-                 obs: EventBus = NULL_BUS) -> None:
+                 obs: EventBus = NULL_BUS, dyn=None) -> None:
         self.memory = memory
         self.icache = icache
         self.folder = BranchFolder(memory.read_parcel, policy)
+        #: dynamic-fold unit shared with the EU; the PDU only *queries*
+        #: it (a pure read of predictor state) to steer prefetch down
+        #: the predicted-taken path of a dynamically foldable entry
+        self._dyn = dyn
         self.mem_latency = mem_latency
         self.decode_latency = decode_latency
         self.prefetch_depth = prefetch_depth
@@ -183,15 +187,22 @@ class PrefetchDecodeUnit:
                     self._p_fold_attempted.add()
 
         sequential = entry.sequential
-        if entry.next_pc is None:
+        follow = entry.next_pc
+        if (self._dyn is not None and entry.dyn_foldable
+                and self._dyn.decide(entry._branch_pc)):
+            # dynamic fold engaged: prefetch continues down the
+            # predicted-taken path instead of the static-bit path
+            follow = (entry.next_pc if entry._predicted_taken
+                      else entry.alt_pc)
+        if follow is None:
             self.decode_pc = None  # dynamic target: wait for a demand
-        elif entry.next_pc == sequential:
+        elif follow == sequential:
             self.decode_pc = sequential
         else:
             # predicted-path prefetch leaves the sequential stream: the
             # queue contents past this point are the wrong path
-            self.decode_pc = entry.next_pc
-            self.queue_base = entry.next_pc
+            self.decode_pc = follow
+            self.queue_base = follow
             self.queue_parcels = 0
             self.fetch_countdown = 0
         if entry.halts:

@@ -20,9 +20,11 @@ Storage is a small in-memory LRU (:class:`ProgramCache`), optionally
 backed by an on-disk pickle store so repeated CLI invocations skip
 compilation entirely. The disk store is opt-in: pass ``disk_dir=`` or set
 the ``CRISP_CACHE_DIR`` environment variable (conventionally
-``.crisp-cache/``). Corrupt or unreadable disk entries are treated as
-misses and rebuilt — the store is a pure accelerator, never a source of
-truth.
+``.crisp-cache/``). Every disk entry is prefixed with a SHA-256 digest of
+its pickle payload, verified on load; corrupt or truncated entries are
+*quarantined* (renamed to ``<key>.pkl.corrupt``, counted by the
+``progcache.quarantined`` probe and the ``quarantined`` stat) and rebuilt
+— the store is a pure accelerator, never a source of truth.
 """
 
 from __future__ import annotations
@@ -70,7 +72,7 @@ class ProgramCache:
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 disk_dir: str | None = None) -> None:
+                 disk_dir: str | None = None, obs: Any = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
@@ -80,6 +82,9 @@ class ProgramCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.quarantined = 0
+        self._p_quarantined = (obs.counter("progcache.quarantined")
+                               if obs is not None else None)
 
     def get_or_build(self, key: str, build: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building it on a miss."""
@@ -129,34 +134,65 @@ class ProgramCache:
     def stats(self) -> dict[str, int]:
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses, "disk_hits": self.disk_hits,
-                "evictions": self.evictions}
+                "evictions": self.evictions,
+                "quarantined": self.quarantined}
 
     # ---- disk tier ---------------------------------------------------------
+    #
+    # On-disk format: one line holding the SHA-256 hex digest of the
+    # pickle payload, then the payload itself. The digest is verified on
+    # every load; a mismatch (bit rot, torn write from a crashed worker,
+    # a file from before this format existed) quarantines the entry and
+    # reports a miss, so the caller recompiles instead of crashing or —
+    # worse — simulating from a silently corrupted artifact.
 
     def _disk_path(self, key: str) -> str:
         return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def _quarantine(self, key: str) -> None:
+        self.quarantined += 1
+        if self._p_quarantined is not None:
+            self._p_quarantined.add()
+        path = self._disk_path(key)
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass  # racing worker already handled it
 
     def _disk_load(self, key: str) -> Any:
         if not self.disk_dir:
             return _MISSING
         try:
             with open(self._disk_path(key), "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # missing, truncated, or written by an incompatible version:
-            # a disk problem is just a miss
+                blob = fh.read()
+        except OSError:
+            return _MISSING  # not cached yet: a plain miss
+        digest, sep, payload = blob.partition(b"\n")
+        if (not sep or len(digest) != 64
+                or hashlib.sha256(payload).hexdigest().encode() != digest):
+            self._quarantine(key)
+            return _MISSING
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # digest-valid but unreadable: written by an incompatible
+            # version. Not corruption — just a miss (the rebuild
+            # overwrites it with the current format).
             return _MISSING
 
     def _disk_store(self, key: str, value: Any) -> None:
         if not self.disk_dir:
             return
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             os.makedirs(self.disk_dir, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(hashlib.sha256(payload).hexdigest().encode())
+                    fh.write(b"\n")
+                    fh.write(payload)
                 os.replace(tmp, self._disk_path(key))
             except BaseException:
                 os.unlink(tmp)
@@ -215,7 +251,10 @@ def policy_key(policy: Any) -> str:
             f"body={sorted(policy.body_lengths)};"
             f"branch={sorted(policy.branch_lengths)};"
             f"calls={policy.fold_calls};"
-            f"nextpc={policy.next_address_fields}")
+            f"nextpc={policy.next_address_fields};"
+            f"dynfold={policy.dynamic_fold};"
+            f"dynconf={policy.dyn_confidence};"
+            f"dynpred={policy.dyn_predictor}")
 
 
 def compile_cached(source: str, options: Any = None, *,

@@ -42,8 +42,13 @@ from repro.isa.parcels import PARCEL_BYTES, to_u16, to_u32
 from repro.obs.events import EventBus
 from repro.sim.icache import DecodedICache
 from repro.sim.memory import Memory
+from repro.sim.dynfold import DynamicFoldUnit, ShadowRecord
 from repro.sim.pdu import PrefetchDecodeUnit
-from repro.sim.semantics import MachineState, SimulationError
+from repro.sim.semantics import (
+    MachineState,
+    SimulationError,
+    SimulationHungError,
+)
 from repro.sim.stats import PipelineStats
 
 # ---- per-access property derivation (the pre-refactor cost model) --------
@@ -106,6 +111,11 @@ def _taken_when(entry: DecodedEntry, flag: bool) -> bool:
 def _predicted_taken(entry: DecodedEntry) -> bool:
     from repro.isa.opcodes import condjmp_predicted_taken
     return condjmp_predicted_taken(entry.branch.opcode)
+
+
+def _dyn_foldable(entry: DecodedEntry) -> bool:
+    return (_uses_cc(entry) and entry.body is not None
+            and entry.next_pc is not None)
 
 
 def _resolve_target(instruction, pc: int, sp: int, read_word) -> int:
@@ -203,16 +213,22 @@ class _Slot:
     governing_seq: int | None = None
     resolved: bool = True
     speculated: bool = False
+    shadow: ShadowRecord | None = None
 
 
 class ReferenceExecutionUnit:
-    """The pre-refactor three-stage EU, preserved verbatim."""
+    """The pre-refactor three-stage EU, preserved verbatim (plus the
+    dynamic-fold verification path, mirrored from the fast kernel in
+    this kernel's re-derive-everything style)."""
 
     def __init__(self, state: MachineState, stats: PipelineStats,
-                 obs: EventBus) -> None:
+                 obs: EventBus, dyn: DynamicFoldUnit | None = None,
+                 inject: str | None = None) -> None:
         self.state = state
         self.stats = stats
         self.obs = obs
+        self._dyn = dyn
+        self._inject_wrong = inject == "always-wrong"
         self._p_branch = obs.counter("branch.executed")
         self._p_folded = obs.counter("fold.succeeded")
         self._p_mispredict = obs.counter("mispredict.count")
@@ -221,6 +237,9 @@ class ReferenceExecutionUnit:
         self._p_override = obs.counter("zero_cost.overrides")
         self._p_interlock = obs.counter("cc.interlock")
         self._p_interrupt = obs.counter("eu.interrupts")
+        self._p_dynfold = obs.counter("fold.dynamic")
+        self._p_verify_fail = obs.counter("fold.verify_fail")
+        self._p_recovery = obs.counter("recovery.flush_cycles")
         self.ir: _Slot | None = None
         self.or_: _Slot | None = None
         self.rr: _Slot | None = None
@@ -371,6 +390,11 @@ class ReferenceExecutionUnit:
             is_conditional=opcode_class(branch.opcode) is OpClass.CONDJMP,
             taken=taken,
             one_parcel=_length_parcels(branch) == 1)
+        if self._dyn is not None and _uses_cc(entry):
+            # train only at retirement: wrong-path slots are squashed
+            # before they reach RR, so predictor state is a pure function
+            # of the correct-path instruction stream
+            self._dyn.train(_branch_pc(entry), taken)
 
     def _resolve_dependents(self, cmp_slot: _Slot,
                             fetched: _Slot | None) -> None:
@@ -382,8 +406,15 @@ class ReferenceExecutionUnit:
                 continue
             correct = _taken_when(slot.entry, flag)
             slot.resolved = True
+            shadow = slot.shadow
+            forced = False
             if slot.chosen_taken == correct:
-                continue
+                if shadow is None or not self._inject_wrong:
+                    continue
+                # fault injection: treat this verified-correct dynamic
+                # fold as a mismatch, exercising the full recovery path;
+                # redirecting to the chosen PC refetches the correct path
+                forced = True
             stage = self._stage_of(slot) if slot is not fetched else "IR"
             penalty = {"RR": 3, "OR": 2, "IR": 1}[stage]
             if slot is fetched:
@@ -391,11 +422,22 @@ class ReferenceExecutionUnit:
             site = _branch_pc(slot.entry)
             self.stats.mispredictions += 1
             self.stats.misprediction_penalty_cycles += penalty
+            if shadow is not None:
+                self.stats.folded_mispredicts += 1
+                self.stats.recovery_flush_cycles += penalty
+                self._dyn.untrain(shadow.site)
+                self._dyn.note_flush(shadow.site)
             self._p_mispredict.inc(stage=stage, folded=True, site=site)
             self._p_penalty.inc(penalty, site=site)
+            if shadow is not None:
+                self._p_verify_fail.inc(site=shadow.site, forced=forced)
+                self._p_recovery.inc(penalty, site=shadow.site)
             slot.chosen_taken = correct
             self._squash_younger(slot, fetched)
-            self._redirect(slot.other_pc)
+            if forced:
+                self._redirect(shadow.chosen_pc)
+            else:
+                self._redirect(slot.other_pc)
 
     def _redirect(self, target: int) -> None:
         self.ir_next_pc = target
@@ -441,6 +483,21 @@ class ReferenceExecutionUnit:
             slot.speculated = True
             chosen = entry.next_pc
             other = entry.alt_pc
+            if (self._dyn is not None and _is_folded(entry)
+                    and _dyn_foldable(entry)):
+                confidence = self._dyn.decide(_branch_pc(entry))
+                if confidence:
+                    # dynamic fold engaged: run down the predicted-taken
+                    # path under a shadow verification record
+                    slot.chosen_taken = True
+                    chosen = taken_pc
+                    other = fall_pc
+                    slot.shadow = ShadowRecord(
+                        _branch_pc(entry), True, chosen, other, confidence)
+                    self.stats.dynamic_folds += 1
+                    self._dyn.note_fold(_branch_pc(entry))
+                    self._p_dynfold.inc(site=_branch_pc(entry),
+                                        confidence=confidence)
             if _is_folded(entry):
                 governing = slot if _sets_cc(entry) else next(
                     older for older in (self.or_, self.rr)
@@ -468,13 +525,17 @@ class ReferenceCpu:
             self.memory, pc=program.entry, sp=program.stack_top)
         self.stats = PipelineStats()
         self.icache = DecodedICache(self.config.icache_entries, obs=self.obs)
+        self.dyn = (DynamicFoldUnit(self.config.fold_policy)
+                    if self.config.fold_policy.dynamic_fold else None)
         self.pdu = PrefetchDecodeUnit(
             self.memory, self.icache, self.config.fold_policy,
             mem_latency=self.config.mem_latency,
             decode_latency=self.config.decode_latency,
             prefetch_depth=self.config.prefetch_depth,
-            obs=self.obs)
-        self.eu = ReferenceExecutionUnit(self.state, self.stats, self.obs)
+            obs=self.obs, dyn=self.dyn)
+        self.eu = ReferenceExecutionUnit(
+            self.state, self.stats, self.obs,
+            dyn=self.dyn, inject=getattr(self.config, "inject", None))
         self._p_demand_hit = self.obs.counter("icache.demand_hit")
         self._p_demand_miss = self.obs.counter("icache.demand_miss")
         self._p_miss_latency = self.obs.histogram("icache.miss.latency")
@@ -513,13 +574,27 @@ class ReferenceCpu:
         self.eu.tick(fetched)
         self.stats.cycles += 1
 
-    def run(self, max_cycles: int = 50_000_000) -> PipelineStats:
-        for _ in range(max_cycles):
+    def run(self, max_cycles: int | None = None) -> PipelineStats:
+        from repro.sim.cpu import WATCHDOG_RING
+
+        limit = self.config.max_cycles if max_cycles is None else max_cycles
+        for _ in range(limit):
             if self.eu.halted:
                 return self.stats
             self.step()
-        raise SimulationError(
-            f"machine did not halt within {max_cycles} cycles")
+        # budget exhausted: sample the next fetch addresses for the
+        # diagnostic, exactly as the fast kernel's watchdog does
+        pcs: list[int] = []
+        for _ in range(WATCHDOG_RING):
+            if self.eu.halted:
+                break
+            if self.eu.ir_next_pc is not None:
+                pcs.append(self.eu.ir_next_pc)
+            self.step()
+        raise SimulationHungError(
+            limit, pcs,
+            self.dyn.fold_counts if self.dyn is not None else None,
+            self.dyn.flush_counts if self.dyn is not None else None)
 
     def warm_cache(self) -> None:
         """Pre-decode the whole program, as :meth:`CrispCpu.warm_cache`.
@@ -536,7 +611,7 @@ class ReferenceCpu:
 
 
 def run_reference(program: Program, config=None,
-                  max_cycles: int = 50_000_000,
+                  max_cycles: int | None = None,
                   obs: EventBus | None = None) -> ReferenceCpu:
     """Run ``program`` on the reference machine and return the CPU."""
     cpu = ReferenceCpu(program, config, obs=obs)

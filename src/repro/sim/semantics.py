@@ -33,6 +33,37 @@ class SimulationError(RuntimeError):
     """Raised when a simulated program does something unrecoverable."""
 
 
+class SimulationHungError(SimulationError):
+    """The cycle-budget watchdog fired: the machine did not halt.
+
+    Carries enough to diagnose the hang without re-running: the PCs the
+    EU fetched right after the budget expired (a tight loop shows up as
+    a short repeating cycle), and the per-site dynamic-fold and
+    recovery-flush tallies — the m2sim2 hang signature is a site whose
+    fold count grows without bound while its flush count stays zero.
+    """
+
+    def __init__(self, max_cycles: int, pcs: list[int],
+                 fold_counts: dict[int, int] | None = None,
+                 flush_counts: dict[int, int] | None = None) -> None:
+        self.max_cycles = max_cycles
+        self.pcs = list(pcs)
+        self.fold_counts = dict(fold_counts or {})
+        self.flush_counts = dict(flush_counts or {})
+        distinct = sorted(set(self.pcs))
+        parts = [f"machine did not halt within {max_cycles} cycles; "
+                 f"looping over {len(distinct)} PCs: "
+                 + ", ".join(f"{pc:#x}" for pc in distinct[:16])]
+        if self.fold_counts:
+            hot = sorted(self.fold_counts.items(),
+                         key=lambda item: -item[1])[:4]
+            parts.append("hot fold sites: " + ", ".join(
+                f"{site:#x}(folds={count}, "
+                f"flushes={self.flush_counts.get(site, 0)})"
+                for site, count in hot))
+        super().__init__("; ".join(parts))
+
+
 @dataclass
 class MachineState:
     """Architectural state: PC, SP, accumulator, the CC flag and memory."""

@@ -82,6 +82,9 @@ class PipelineStats:
     mispredictions: int = 0
     misprediction_penalty_cycles: int = 0
     zero_cost_overrides: int = 0  #: wrong prediction bit but CC known: free
+    dynamic_folds: int = 0  #: conditional folds taken on dynamic confidence
+    folded_mispredicts: int = 0  #: dynamic folds whose verification failed
+    recovery_flush_cycles: int = 0  #: bubble cycles spent on those flushes
     icache_misses: int = 0
     icache_hits: int = 0
     stall_cycles: int = 0
@@ -149,6 +152,9 @@ class PipelineStats:
             "misprediction_penalty_cycles":
                 self.misprediction_penalty_cycles,
             "zero_cost_overrides": self.zero_cost_overrides,
+            "dynamic_folds": self.dynamic_folds,
+            "folded_mispredicts": self.folded_mispredicts,
+            "recovery_flush_cycles": self.recovery_flush_cycles,
             "icache_misses": self.icache_misses,
             "icache_hits": self.icache_hits,
             "icache_hit_rate": self.icache_hit_rate,

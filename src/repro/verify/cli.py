@@ -14,12 +14,19 @@ Subcommands:
     Re-run corpus ``.s`` files through the same differential check.
 ``coverage``
     Oracle-only sweep: report which opcode × fold-class × outcome ×
-    interlock cells a seed/profile mix reaches, without running the
-    cycle kernels.
+    interlock × fold-verify cells a seed/profile mix reaches, without
+    running the cycle kernels.
 
 ``--jobs N`` fans tasks out over processes via
 :func:`repro.eval.parallel.map_ordered`; results are merged in task
 order, so output is byte-identical to a serial run.
+
+By default tasks cycle over fold policies — static CRISP, then
+``FoldPolicy.dynamic`` at confidence thresholds 1, 2 and 3 — so one run
+covers both the paper's machine and the dynamic-confidence extension
+(the fold-verify coverage cells are only reachable under the latter).
+``--dyn-confidence N`` pins the mix; ``--inject always-wrong`` turns on
+misprediction fault injection in both cycle kernels.
 """
 
 from __future__ import annotations
@@ -30,8 +37,10 @@ import time
 from pathlib import Path
 
 from repro.asm.assembler import AssemblyError, assemble
-from repro.eval.parallel import map_ordered
-from repro.verify.coverage import CoverageMap, reachable_cells
+from repro.core.policy import FoldPolicy
+from repro.eval.parallel import TaskFailure, map_ordered
+from repro.sim.dynfold import INJECT_MODES
+from repro.verify.coverage import CoverageMap, total_reachable
 from repro.verify.generator import PROFILES, generate_source
 from repro.verify.oracle import OracleError, run_oracle
 from repro.verify.runner import (
@@ -45,23 +54,39 @@ from repro.verify.shrink import shrink_source
 
 _BATCH = 25  #: tasks per scheduling round in coverage/budget modes
 
+#: default per-task fold-policy mix: static, then dynamic_fold at each
+#: confidence threshold (None = the static CRISP policy)
+_DYN_MIX: tuple[int | None, ...] = (None, 1, 2, 3)
+
+
+def _confidence_policy(confidence: int | None) -> FoldPolicy | None:
+    return (None if confidence is None
+            else FoldPolicy.dynamic(confidence=confidence))
+
 
 def _tasks(seed: int, start: int, count: int, profiles: list[str],
-           stress: bool) -> list[FuzzTask]:
+           stress: bool,
+           dyn_mix: tuple[int | None, ...] = _DYN_MIX,
+           inject: str | None = None) -> list[FuzzTask]:
     return [FuzzTask(seed=seed * 1_000_003 + index,
                      profile=profiles[index % len(profiles)],
-                     stress=stress)
+                     stress=stress,
+                     dyn_confidence=dyn_mix[index % len(dyn_mix)],
+                     inject=inject)
             for index in range(start, start + count)]
 
 
-def _still_failing(source: str, stress: bool) -> bool:
+def _still_failing(source: str, stress: bool,
+                   dyn_confidence: int | None = None,
+                   inject: str | None = None) -> bool:
     try:
         program = assemble(source)
     except Exception:
         return False
     try:
         mismatches, _ = run_differential(
-            program, stress=stress, max_cycles=1_000_000)
+            program, _confidence_policy(dyn_confidence),
+            stress=stress, max_cycles=1_000_000, inject=inject)
     except Exception:
         return False
     return bool(mismatches)
@@ -69,14 +94,24 @@ def _still_failing(source: str, stress: bool) -> bool:
 
 def _shrink_and_save(report: ProgramReport, corpus_dir: Path) -> Path:
     assert report.source is not None
-    minimal = shrink_source(
-        report.source, lambda src: _still_failing(src, stress=True))
-    if not _still_failing(minimal, stress=True):
+
+    def still_failing(src: str) -> bool:
+        return _still_failing(src, stress=True,
+                              dyn_confidence=report.dyn_confidence,
+                              inject=report.inject)
+
+    minimal = shrink_source(report.source, still_failing)
+    if not still_failing(minimal):
         minimal = report.source  # budget ran out mid-shrink: keep original
     corpus_dir.mkdir(parents=True, exist_ok=True)
     path = corpus_dir / f"repro-{report.profile}-{report.seed}.s"
+    regime = ""
+    if report.dyn_confidence is not None:
+        regime += f", dyn-confidence {report.dyn_confidence}"
+    if report.inject is not None:
+        regime += f", inject {report.inject}"
     header = (f"; shrunk disagreement repro (profile {report.profile}, "
-              f"task seed {report.seed})\n"
+              f"task seed {report.seed}{regime})\n"
               + "".join(f"; {line}\n" for line in report.mismatches[:8]))
     path.write_text(header + minimal)
     return path
@@ -86,15 +121,28 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     profiles = args.profile or list(PROFILES)
     coverage = CoverageMap()
     failures: list[ProgramReport] = []
+    lost: list[TaskFailure] = []
     ran = 0
     deadline = (time.monotonic() + args.budget
                 if args.budget is not None else None)
 
+    if args.dyn_confidence:
+        dyn_mix = tuple(None if value < 0 else value
+                        for value in args.dyn_confidence)
+    else:
+        dyn_mix = _DYN_MIX
+
     def run_batch(count: int) -> None:
         nonlocal ran
         batch = _tasks(args.seed, ran, count, profiles,
-                       stress=not args.no_stress)
+                       stress=not args.no_stress,
+                       dyn_mix=dyn_mix, inject=args.inject)
         for report in map_ordered(run_fuzz_task, batch, jobs=args.jobs):
+            if isinstance(report, TaskFailure):
+                # A worker crashed (twice) on this task; the campaign
+                # continues but the lost point is visible and fatal.
+                lost.append(report)
+                continue
             coverage.add_records(
                 [_Cell(*cell) for cell in report.branch_cells],
                 report.body_cells)
@@ -114,12 +162,19 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     print(f"programs: {ran}")
     print(f"profiles: {', '.join(profiles)}")
-    print(f"agreements: {ran - len(failures)}")
+    print(f"agreements: {ran - len(failures) - len(lost)}")
     print(f"disagreements: {len(failures)}")
-    print(f"coverage: {len(coverage.hit())}/{len(reachable_cells())} "
+    for failure in lost:
+        task = failure.task
+        print(f"LOST seed={getattr(task, 'seed', '?')} "
+              f"profile={getattr(task, 'profile', '?')} "
+              f"after {failure.attempts} attempts: {failure.error}")
+    print(f"coverage: {coverage.total_hit()}/{total_reachable()} "
           f"reachable cells ({coverage.fraction():.1%})")
     for cell in coverage.missing():
         print(f"  missing: {'/'.join(cell)}")
+    for cell in coverage.missing_fold_verify():
+        print(f"  missing fold-verify: {'/'.join(cell)}")
 
     if args.coverage_out:
         Path(args.coverage_out).write_text(coverage.to_json())
@@ -134,20 +189,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             path = _shrink_and_save(report, corpus_dir)
             print(f"  shrunk repro: {path}")
         return 1
-    return 0
+    return 1 if lost else 0
 
 
 class _Cell:
     """Adapter giving coverage the BranchRecord attribute shape."""
 
-    __slots__ = ("opcode", "folded", "outcome", "interlock")
+    __slots__ = ("opcode", "folded", "outcome", "interlock", "fold_verify")
 
     def __init__(self, opcode: str, folded: bool, outcome: str,
-                 interlock: str) -> None:
+                 interlock: str, fold_verify: str = "none") -> None:
         self.opcode = opcode
         self.folded = folded
         self.outcome = outcome
         self.interlock = interlock
+        self.fold_verify = fold_verify
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -161,7 +217,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
             status = 1
             continue
         mismatches, oracle = run_differential(
-            program, stress=not args.no_stress)
+            program, _confidence_policy(args.dyn_confidence),
+            stress=not args.no_stress, inject=args.inject)
         if mismatches:
             print(f"{name}: DISAGREE ({len(mismatches)} mismatches)")
             for line in mismatches:
@@ -181,25 +238,33 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 def cmd_coverage(args: argparse.Namespace) -> int:
     profiles = args.profile or list(PROFILES)
+    if args.dyn_confidence:
+        dyn_mix: tuple[int | None, ...] = tuple(
+            None if value < 0 else value for value in args.dyn_confidence)
+    else:
+        dyn_mix = _DYN_MIX
     coverage = CoverageMap()
     for index in range(args.programs):
         seed = args.seed * 1_000_003 + index
         profile = profiles[index % len(profiles)]
+        policy = _confidence_policy(dyn_mix[index % len(dyn_mix)])
         try:
             program = assemble(generate_source(seed, profile))
-            result = run_oracle(program)
+            result = run_oracle(program, policy)
         except (AssemblyError, OracleError) as exc:
             print(f"seed {seed} ({profile}): generator produced a bad "
                   f"program: {exc}", file=sys.stderr)
             return 1
         coverage.add_records(result.branches, result.body_records)
     print(f"programs: {args.programs}")
-    print(f"coverage: {len(coverage.hit())}/{len(reachable_cells())} "
+    print(f"coverage: {coverage.total_hit()}/{total_reachable()} "
           f"reachable cells ({coverage.fraction():.1%})")
     for cell, count in sorted(coverage.cells.items()):
         print(f"  {'/'.join(cell)}: {count}")
     for cell in coverage.missing():
         print(f"  missing: {'/'.join(cell)}")
+    for cell in coverage.missing_fold_verify():
+        print(f"  missing fold-verify: {'/'.join(cell)}")
     if args.json:
         Path(args.json).write_text(coverage.to_json())
     return 0
@@ -237,17 +302,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="where shrunk repros are written")
     fuzz.add_argument("--max-shrinks", type=int, default=3,
                       help="shrink at most this many disagreements")
+    fuzz.add_argument("--dyn-confidence", action="append", type=int,
+                      metavar="N",
+                      help="pin the fold-policy mix to these dynamic-fold "
+                           "confidence thresholds (repeatable; -1 = the "
+                           "static policy; default cycles static,1,2,3)")
+    fuzz.add_argument("--inject", choices=INJECT_MODES, default=None,
+                      help="misprediction fault injection in both kernels")
     fuzz.set_defaults(func=cmd_fuzz)
 
     replay = sub.add_parser("replay", help="re-check corpus .s files")
     replay.add_argument("files", nargs="+")
     replay.add_argument("--no-stress", action="store_true")
+    replay.add_argument("--dyn-confidence", type=int, default=None,
+                        metavar="N",
+                        help="replay under FoldPolicy.dynamic(N)")
+    replay.add_argument("--inject", choices=INJECT_MODES, default=None)
     replay.set_defaults(func=cmd_replay)
 
     cover = sub.add_parser("coverage", help="oracle-only coverage sweep")
     cover.add_argument("--seed", type=int, default=0)
     cover.add_argument("--programs", type=int, default=200)
     cover.add_argument("--profile", action="append", choices=PROFILES)
+    cover.add_argument("--dyn-confidence", action="append", type=int,
+                       metavar="N",
+                       help="as for fuzz: pin the fold-policy mix")
     cover.add_argument("--json", metavar="FILE")
     cover.set_defaults(func=cmd_coverage)
     return parser

@@ -1,13 +1,16 @@
 """Coverage map over branch-behaviour cells, driving the fuzzer.
 
-A *cell* is the tuple ``(opcode, fold-class, outcome, interlock)``
-classifying one dynamic branch retirement as reported by the oracle
-(:class:`repro.verify.oracle.BranchRecord`). The acceptance metric is
-the fraction of **reachable** cells hit in the 3-dimensional projection
-``opcode × fold-class × outcome`` — the interlock axis is tracked and
-reported but, being a refinement of the ``mispredict``/``correct``
-outcomes, is not part of the denominator. Body opcodes are tracked too
-(``opcode × {plain, folded-body}``) so profile drift is visible.
+A *cell* is the tuple ``(opcode, fold-class, outcome, interlock,
+fold-verify)`` classifying one dynamic branch retirement as reported by
+the oracle (:class:`repro.verify.oracle.BranchRecord`). The acceptance
+metric is the fraction of **reachable** cells hit in the 3-dimensional
+projection ``opcode × fold-class × outcome``, plus the dynamic-fold
+verification cells ``opcode × {confirmed, recovered, declined}`` (only
+reachable for the four short conditional jumps — the only branches the
+policy can fold). The interlock axis is tracked and reported but, being
+a refinement of the ``mispredict``/``correct`` outcomes, is not part of
+the denominator. Body opcodes are tracked too (``opcode × {plain,
+folded-body}``) so profile drift is visible.
 
 Reachability is enumerated statically from the ISA and the CRISP fold
 policy rather than measured, so a generator regression that stops
@@ -32,12 +35,14 @@ import json
 from collections import Counter
 from collections.abc import Iterable
 
-Cell = tuple[str, str, str, str]
+Cell = tuple[str, str, str, str, str]
 ProjectedCell = tuple[str, str, str]
+FoldVerifyCell = tuple[str, str]
 
 _SHORT_CONDJMPS = ("iftjmpy", "iftjmpn", "iffjmpy", "iffjmpn")
 _LONG_CONDJMPS = ("iftjmply", "iftjmpln", "iffjmply", "iffjmpln")
 _CONDITIONAL_OUTCOMES = ("correct", "mispredict", "override")
+FOLD_VERIFY_OUTCOMES = ("confirmed", "recovered", "declined")
 
 
 def reachable_cells() -> frozenset[ProjectedCell]:
@@ -59,6 +64,22 @@ def reachable_cells() -> frozenset[ProjectedCell]:
     return frozenset(cells)
 
 
+def reachable_fold_verify_cells() -> frozenset[FoldVerifyCell]:
+    """The reachable ``opcode × fold-verify`` cells under dynamic fold.
+
+    Only folded conditional branches can engage a dynamic fold, and the
+    policy only folds 1-parcel branches, so the axis is reachable
+    exactly for the four short conditional jumps.
+    """
+    return frozenset((opcode, verify) for opcode in _SHORT_CONDJMPS
+                     for verify in FOLD_VERIFY_OUTCOMES)
+
+
+def total_reachable() -> int:
+    """Denominator of the acceptance metric (both cell families)."""
+    return len(reachable_cells()) + len(reachable_fold_verify_cells())
+
+
 class CoverageMap:
     """Accumulates hit counts per cell; merge order is irrelevant."""
 
@@ -67,9 +88,10 @@ class CoverageMap:
         self.body_cells: Counter[tuple[str, str]] = Counter()
 
     def add_branch(self, opcode: str, folded: bool, outcome: str,
-                   interlock: str, count: int = 1) -> None:
+                   interlock: str, fold_verify: str = "none",
+                   count: int = 1) -> None:
         fold = "folded" if folded else "standalone"
-        self.cells[(opcode, fold, outcome, interlock)] += count
+        self.cells[(opcode, fold, outcome, interlock, fold_verify)] += count
 
     def add_body(self, opcode: str, folded: bool, count: int = 1) -> None:
         self.body_cells[(opcode, "folded-body" if folded else "plain")] \
@@ -80,7 +102,8 @@ class CoverageMap:
         """Ingest a program's oracle records (``BranchRecord`` ducks)."""
         for record in branch_records:
             self.add_branch(record.opcode, record.folded, record.outcome,
-                            record.interlock)
+                            record.interlock,
+                            getattr(record, "fold_verify", "none"))
         for opcode, folded in body_records:
             self.add_body(opcode, folded)
 
@@ -92,28 +115,45 @@ class CoverageMap:
 
     def projected(self) -> set[ProjectedCell]:
         return {(op, fold, outcome)
-                for (op, fold, outcome, _interlock) in self.cells}
+                for (op, fold, outcome, _interlock, _verify) in self.cells}
+
+    def fold_verify_projected(self) -> set[FoldVerifyCell]:
+        return {(op, verify)
+                for (op, _fold, _outcome, _interlock, verify) in self.cells
+                if verify != "none"}
 
     def hit(self) -> set[ProjectedCell]:
         return self.projected() & reachable_cells()
 
+    def fold_verify_hit(self) -> set[FoldVerifyCell]:
+        return self.fold_verify_projected() & reachable_fold_verify_cells()
+
     def missing(self) -> list[ProjectedCell]:
         return sorted(reachable_cells() - self.projected())
 
+    def missing_fold_verify(self) -> list[FoldVerifyCell]:
+        return sorted(reachable_fold_verify_cells()
+                      - self.fold_verify_projected())
+
+    def total_hit(self) -> int:
+        return len(self.hit()) + len(self.fold_verify_hit())
+
     def fraction(self) -> float:
-        reachable = reachable_cells()
+        reachable = total_reachable()
         if not reachable:
             return 1.0
-        return len(self.hit()) / len(reachable)
+        return self.total_hit() / reachable
 
     # ---- serialization ----------------------------------------------------
 
     def as_dict(self) -> dict:
         return {
-            "reachable": len(reachable_cells()),
-            "hit": len(self.hit()),
+            "reachable": total_reachable(),
+            "hit": self.total_hit(),
             "fraction": round(self.fraction(), 6),
             "missing": ["/".join(cell) for cell in self.missing()],
+            "missing_fold_verify": ["/".join(cell) for cell
+                                    in self.missing_fold_verify()],
             "cells": {"/".join(cell): count for cell, count
                       in sorted(self.cells.items())},
             "body_cells": {"/".join(cell): count for cell, count
@@ -128,7 +168,9 @@ class CoverageMap:
         cover = cls()
         for key, count in payload.get("cells", {}).items():
             cell = tuple(key.split("/"))
-            if len(cell) != 4:
+            if len(cell) == 4:  # pre-fold-verify documents
+                cell = cell + ("none",)
+            if len(cell) != 5:
                 raise ValueError(f"bad coverage cell {key!r}")
             cover.cells[cell] = count
         for key, count in payload.get("body_cells", {}).items():

@@ -28,6 +28,11 @@ block mix toward different coverage territory:
 ``mixed-width``
     3-parcel bodies (still foldable), 5-parcel bodies (standalone
     branches), long conditional jumps, indirect targets.
+``fold-verify``
+    counted loops whose foldable back-edge is taken for every
+    iteration but the last — under ``FoldPolicy.dynamic`` the predictor
+    warms up (declined), saturates (confirmed) and is finally wrong
+    once (recovered), walking the whole fold-verify coverage axis.
 ``mixed``
     a blend of all of the above.
 """
@@ -40,7 +45,7 @@ import zlib
 DATA_BASE = 0x8000  #: must match the assembler default the runner uses
 
 PROFILES = ("branch-dense", "fold-chains", "interlock-heavy",
-            "mixed-width", "mixed")
+            "mixed-width", "fold-verify", "mixed")
 
 _ALU2 = ("mov", "add", "sub", "and", "or", "xor", "mul", "not", "neg")
 _ALU3 = ("add3", "sub3", "and3", "or3", "xor3", "mul3")
@@ -69,10 +74,14 @@ _WEIGHTS = {
                     "long_condjmp": 4, "override_play": 1, "loop": 2,
                     "fold_chain": 1, "call": 2, "indirect": 3, "acc": 2,
                     "wide": 6},
+    "fold-verify": {"filler": 1, "fold_play": 3, "standalone_play": 1,
+                    "long_condjmp": 1, "override_play": 1, "loop": 2,
+                    "fold_chain": 1, "call": 1, "indirect": 1, "acc": 1,
+                    "wide": 0, "fv_loop": 8},
     "mixed": {"filler": 2, "fold_play": 4, "standalone_play": 3,
               "long_condjmp": 2, "override_play": 2, "loop": 3,
               "fold_chain": 2, "call": 2, "indirect": 2, "acc": 2,
-              "wide": 2},
+              "wide": 2, "fv_loop": 1},
 }
 
 
@@ -264,6 +273,38 @@ class _Gen:
         mnemonic = "iftjmpy" if rng.random() < 0.7 else "iftjmpn"
         self.emit(f"{mnemonic} {head}")
 
+    def blk_fv_loop(self) -> None:
+        """A counted loop whose foldable back-edge flips on the last trip.
+
+        Under ``FoldPolicy.dynamic`` the back-edge walks the whole
+        fold-verify coverage axis: *declined* while the predictor's
+        confidence is below threshold, *confirmed* once it saturates,
+        *recovered* on the final (not-taken) iteration. The leading
+        fillers keep back-edge fetches at least three entries apart, so
+        each retirement's training lands before the next fetch-time
+        query; 6–9 iterations cover confidence thresholds 1–3 with the
+        default 3-bit predictor.
+        """
+        rng = self.rng
+        counter = f"c{self.n_counters}"
+        self.n_counters += 1
+        self.data.append((counter, 0))
+        head = self.label()
+        self.emit(f"mov {counter}, ${rng.randint(6, 9)}")
+        self.place(head)
+        for _ in range(rng.randint(1, 2)):
+            self.emit(f"{rng.choice(_ALU3)} {rng.choice(self.data_names)}, "
+                      f"${rng.randint(-8, 7)}")
+        self.emit(f"sub {counter}, $1")
+        mnemonic = rng.choice(_SHORT_CONDJMP)
+        # the compare sense must make the back-edge *taken* while the
+        # counter is live: if-true senses loop on u>, if-false on u<=
+        if mnemonic.startswith("ift"):
+            self.emit(f"cmp.u> {counter}, $0")
+        else:
+            self.emit(f"cmp.u<= {counter}, $0")
+        self.emit(f"{mnemonic} {head}")
+
     def blk_call(self) -> None:
         self.emit(f"call f{self.rng.randrange(self.n_subs)}")
 
@@ -301,6 +342,7 @@ class _Gen:
         "long_condjmp": blk_long_condjmp, "override_play": blk_override_play,
         "fold_chain": blk_fold_chain, "loop": blk_loop, "call": blk_call,
         "indirect": blk_indirect, "acc": blk_acc, "wide": blk_wide,
+        "fv_loop": blk_fv_loop,
     }
 
     def subroutine(self, index: int) -> None:

@@ -36,6 +36,7 @@ bit for bit by the runner instead.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.asm.program import Program
@@ -43,6 +44,7 @@ from repro.core.policy import FoldPolicy
 from repro.isa.instructions import Instruction, resolve_target
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.parcels import to_u32
+from repro.sim.dynfold import DynamicFoldUnit
 from repro.sim.memory import Memory
 from repro.sim.semantics import MachineState, branch_decision, execute_body
 from repro.sim.stats import ExecutionStats
@@ -77,6 +79,13 @@ class BranchRecord:
     flag was architectural at fetch, else ``d0`` / ``d1`` / ``d2`` for
     folded branches by compare distance and ``spec`` for an unfolded
     branch forced to trust its bit.
+
+    ``fold_verify`` classifies the dynamic-fold shadow verification:
+    ``confirmed`` (engaged, condition agreed), ``recovered`` (engaged,
+    condition disagreed — flush and refetch), ``declined`` (eligible and
+    interlocked, but the predictor's confidence was below threshold) or
+    ``none`` (policy not dynamic, branch not eligible, or flag
+    architectural at fetch).
     """
 
     pc: int  #: the branch instruction's own address (the static site)
@@ -86,6 +95,7 @@ class BranchRecord:
     outcome: str
     interlock: str = "none"
     penalty: int = 0
+    fold_verify: str = "none"
 
 
 @dataclass
@@ -111,6 +121,12 @@ class OracleResult:
     zero_cost_overrides: int  #: correct-path count (kernel may add
     #: wrong-path fetch-time overrides on top; see module docstring)
     interlocks: int = 0  #: correct-path CC-interlock speculations
+    #: correct-path dynamic-fold engagements (the kernel's
+    #: ``dynamic_folds`` also counts wrong-path engagements that were
+    #: squashed, so this is only a lower bound on the kernel counter)
+    dynamic_folds: int = 0
+    folded_mispredicts: int = 0
+    recovery_flush_cycles: int = 0
     body_records: list[tuple[str, bool]] = field(default_factory=list)
 
     def timing_dict(self) -> dict[str, int]:
@@ -124,6 +140,8 @@ class OracleResult:
             "misprediction_penalty_cycles":
                 self.misprediction_penalty_cycles,
             "stall_cycles": self.stall_cycles,
+            "folded_mispredicts": self.folded_mispredicts,
+            "recovery_flush_cycles": self.recovery_flush_cycles,
         }
 
 
@@ -237,6 +255,20 @@ def run_oracle(program: Program,
     issued = len(trace)
     executed = 0
     folded = mispredicts = penalty_total = overrides = interlocks = 0
+    dynamic_folds = folded_mispredicts = recovery_flush = 0
+
+    # Dynamic-fold predictor replay. The kernels train the predictor at
+    # branch retirement (fetch + 3) and untrain it when a shadow-folded
+    # mispredict resolves (fetch + penalty); fetch-time queries see the
+    # state as of the end of the query cycle, because the EU executes RR
+    # before it selects the freshly latched entry's path. The event heap
+    # replays exactly that schedule: (cycle, kind, order, site, taken)
+    # with untrain (kind 0) draining before train (kind 1) on the same
+    # cycle — matching the kernel's _resolve_dependents-before-
+    # _execute_branch_part ordering within one RR.
+    dyn = DynamicFoldUnit(policy) if policy.dynamic_fold else None
+    events: list[tuple[int, int, int, int, bool]] = []
+    event_order = 0
 
     # Analytic fetch schedule over the correct-path trace. ``fetch`` is
     # the cycle the entry's cache read happens; the flag becomes
@@ -293,8 +325,27 @@ def run_oracle(program: Program,
                         record.interlock = f"d{distance}"
                     else:
                         record.interlock = "spec"
-                    if step.taken == predicted:
+                    engaged = False
+                    if dyn is not None and entry.is_folded:
+                        while events and events[0][0] <= fetch:
+                            _, kind, _, site, was_taken = heapq.heappop(
+                                events)
+                            if kind == 0:
+                                dyn.untrain(site)
+                            else:
+                                dyn.train(site, was_taken)
+                        if dyn.decide(branch_pc):
+                            # dynamic fold engages: commit to the taken
+                            # path regardless of the static bit
+                            engaged = True
+                            dynamic_folds += 1
+                        else:
+                            record.fold_verify = "declined"
+                    effective = True if engaged else predicted
+                    if step.taken == effective:
                         record.outcome = "correct"
+                        if engaged:
+                            record.fold_verify = "confirmed"
                     else:
                         record.outcome = "mispredict"
                         if d0 or not entry.is_folded:
@@ -306,6 +357,19 @@ def run_oracle(program: Program,
                         mispredicts += 1
                         penalty_total += record.penalty
                         next_fetch = fetch + record.penalty + 1
+                        if engaged:
+                            record.fold_verify = "recovered"
+                            folded_mispredicts += 1
+                            recovery_flush += record.penalty
+                            heapq.heappush(events, (
+                                fetch + record.penalty, 0, event_order,
+                                branch_pc, False))
+                            event_order += 1
+            if dyn is not None and branch.is_conditional_branch:
+                # retirement-time training, mirrored from _record_branch
+                heapq.heappush(events, (
+                    fetch + 3, 1, event_order, branch_pc, step.taken))
+                event_order += 1
             branches.append(record)
         if entry.body is not None and entry.body.sets_flag:
             last_cc_fetch = fetch
@@ -331,5 +395,8 @@ def run_oracle(program: Program,
         stall_cycles=cycles - issued,
         zero_cost_overrides=overrides,
         interlocks=interlocks,
+        dynamic_folds=dynamic_folds,
+        folded_mispredicts=folded_mispredicts,
+        recovery_flush_cycles=recovery_flush,
         body_records=body_records,
     )

@@ -64,7 +64,8 @@ def _next_pow2(n: int) -> int:
 
 
 def ideal_config(program: Program,
-                 policy: FoldPolicy | None = None) -> CpuConfig:
+                 policy: FoldPolicy | None = None,
+                 inject: str | None = None) -> CpuConfig:
     """A conflict-free cache configuration for analytic-timing runs.
 
     The cache needs one line per code address plus margin for the
@@ -74,14 +75,15 @@ def ideal_config(program: Program,
     span = program_parcels(program)
     return CpuConfig(
         fold_policy=policy if policy is not None else FoldPolicy.crisp(),
-        icache_entries=_next_pow2(span + 64))
+        icache_entries=_next_pow2(span + 64), inject=inject)
 
 
-def stress_config(policy: FoldPolicy | None = None) -> CpuConfig:
+def stress_config(policy: FoldPolicy | None = None,
+                  inject: str | None = None) -> CpuConfig:
     """A deliberately tiny cache: misses, conflicts, wrong-path fetches."""
     return CpuConfig(
         fold_policy=policy if policy is not None else FoldPolicy.crisp(),
-        icache_entries=16)
+        icache_entries=16, inject=inject)
 
 
 # ---- invariant checks ------------------------------------------------------
@@ -181,6 +183,7 @@ def run_differential(program: Program,
                      stress: bool = True,
                      check_attribution: bool = True,
                      max_cycles: int = 5_000_000,
+                     inject: str | None = None,
                      ) -> tuple[list[str], OracleResult | None]:
     """Run all three implementations; return (mismatches, oracle result).
 
@@ -188,6 +191,15 @@ def run_differential(program: Program,
     *and* both kernels fail to complete (non-terminating or faulting
     program — possible for shrinker candidates, never for generated
     programs), that counts as agreement and returns ``([], None)``.
+
+    ``inject`` (e.g. ``"always-wrong"``) turns on misprediction fault
+    injection in both cycle kernels. The oracle does not model injected
+    faults, so exact timing checks are skipped in that regime; the two
+    kernels must still agree bitwise, architectural state must still
+    match the oracle, and the timing-independent counts (issued /
+    executed / folded) must still be oracle-exact — injected recoveries
+    refetch the verified-correct path, so they may only add cycles,
+    never instructions.
     """
     if policy is None:
         policy = FoldPolicy.crisp()
@@ -200,7 +212,7 @@ def run_differential(program: Program,
     except (OracleError, *_EXEC_ERRORS) as exc:
         oracle_error = exc
 
-    config = ideal_config(program, policy)
+    config = ideal_config(program, policy, inject=inject)
     fast = CrispCpu(program, config)
     fast.warm_cache()
     try:
@@ -223,10 +235,24 @@ def run_differential(program: Program,
 
     _compare_kernels("ideal", fast, ref, mismatches)
     fast_stats = fast.stats.as_dict()
-    for key, want in oracle.timing_dict().items():
-        got = fast_stats[key]
-        if got != want:
-            mismatches.append(f"ideal {key}: kernel {got} != oracle {want}")
+    if inject is None:
+        for key, want in oracle.timing_dict().items():
+            got = fast_stats[key]
+            if got != want:
+                mismatches.append(
+                    f"ideal {key}: kernel {got} != oracle {want}")
+        if fast.stats.dynamic_folds < oracle.dynamic_folds:
+            mismatches.append(
+                f"ideal dynamic_folds: kernel {fast.stats.dynamic_folds} "
+                f"below oracle correct-path count {oracle.dynamic_folds}")
+    else:
+        # injected recoveries change timing but never instruction counts
+        for key in ("issued_instructions", "executed_instructions",
+                    "folded_branches"):
+            got, want = fast_stats[key], oracle.timing_dict()[key]
+            if got != want:
+                mismatches.append(
+                    f"ideal(inject) {key}: kernel {got} != oracle {want}")
     _compare_arch("ideal", fast, oracle, mismatches)
     if fast.stats.zero_cost_overrides < oracle.zero_cost_overrides:
         mismatches.append(
@@ -243,7 +269,7 @@ def run_differential(program: Program,
             for problem in table.reconcile(cpu.stats))
 
     if stress:
-        sconfig = stress_config(policy)
+        sconfig = stress_config(policy, inject=inject)
         sfast = CrispCpu(program, sconfig)
         sref = ReferenceCpu(program, sconfig)
         try:
@@ -275,6 +301,17 @@ class FuzzTask:
     seed: int
     profile: str
     stress: bool = True
+    #: run under ``FoldPolicy.dynamic(confidence)`` instead of the
+    #: static CRISP policy when set
+    dyn_confidence: int | None = None
+    inject: str | None = None  #: misprediction fault-injection mode
+
+
+def task_policy(task: FuzzTask) -> FoldPolicy | None:
+    """The fold policy a task runs under (None = default static)."""
+    if task.dyn_confidence is None:
+        return None
+    return FoldPolicy.dynamic(confidence=task.dyn_confidence)
 
 
 @dataclass
@@ -286,7 +323,9 @@ class ProgramReport:
     ok: bool
     mismatches: list[str] = field(default_factory=list)
     parcels: int = 0
-    branch_cells: list[tuple[str, bool, str, str]] = \
+    dyn_confidence: int | None = None  #: regime the task ran under
+    inject: str | None = None
+    branch_cells: list[tuple[str, bool, str, str, str]] = \
         field(default_factory=list)
     body_cells: list[tuple[str, bool]] = field(default_factory=list)
     source: str | None = None  #: carried only for disagreeing programs
@@ -300,13 +339,17 @@ def run_fuzz_task(task: FuzzTask) -> ProgramReport:
     except AssemblyError as exc:
         return ProgramReport(task.seed, task.profile, ok=False,
                              mismatches=[f"assemble: {exc}"], source=source)
-    mismatches, oracle = run_differential(program, stress=task.stress)
+    mismatches, oracle = run_differential(
+        program, task_policy(task), stress=task.stress, inject=task.inject)
     report = ProgramReport(task.seed, task.profile, ok=not mismatches,
                            mismatches=mismatches,
-                           parcels=program_parcels(program))
+                           parcels=program_parcels(program),
+                           dyn_confidence=task.dyn_confidence,
+                           inject=task.inject)
     if oracle is not None:
         report.branch_cells = [
-            (record.opcode, record.folded, record.outcome, record.interlock)
+            (record.opcode, record.folded, record.outcome, record.interlock,
+             record.fold_verify)
             for record in oracle.branches]
         report.body_cells = list(oracle.body_records)
     if mismatches:

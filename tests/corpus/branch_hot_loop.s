@@ -1,0 +1,29 @@
+; Port of the m2sim2 hang: a hot counted loop whose back-edge a
+; confidence-gated dynamic folder commits to on every iteration once
+; the predictor warms up. m2sim2 folded the branch *without* carrying
+; a verification record, so the exit iteration's mispredicted fold was
+; never caught and the simulator looped forever (fold count climbing,
+; flush count stuck at zero — the signature SimulationHungError now
+; reports). Here the shadow record must catch every wrong commitment:
+; the program must terminate with total == 2 * (2 + 3 + ... + 17) = 304
+; and at least one verified recovery recorded under dynamic_fold at
+; every confidence threshold — including with --inject always-wrong
+; forcing a recovery on every engaged iteration.
+    .entry start
+    .word total, 0
+    .word n, 0
+    .word pass, 0
+start:
+    mov pass, $2
+again:
+    mov n, $16
+hot:
+    add total, n
+    add total, $1
+    sub n, $1
+    cmp.u> n, $0
+    iftjmpy hot
+    sub pass, $1
+    cmp.u> pass, $0
+    iftjmpy again
+    halt

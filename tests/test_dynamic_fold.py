@@ -1,0 +1,241 @@
+"""Dynamic-confidence conditional-branch folding with verified recovery.
+
+The tentpole of the dynamic_fold mode: when the dynamic predictor says
+*taken* with enough confidence, an interlocked conditional branch is
+committed like one of the paper's unconditional folds, with a shadow
+verification record riding down the pipeline. These tests pin the whole
+contract — engagement, verified recovery, predictor untraining, bitwise
+fast/reference agreement, oracle timing, coverage cells, and the
+Table-4 exhibit — anchored on ``tests/corpus/branch_hot_loop.s``, the
+port of the m2sim2 hang (a confidence-gated folder *without*
+verification loops forever on exactly this program shape).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.policy import FoldPolicy
+from repro.predict import make_predictor
+from repro.sim.cpu import CpuConfig, CrispCpu, run_cycle_accurate
+from repro.sim.dynfold import INJECT_MODES, DynamicFoldUnit, ShadowRecord
+from repro.sim.reference import ReferenceCpu
+from repro.verify.coverage import (
+    CoverageMap,
+    reachable_fold_verify_cells,
+    total_reachable,
+)
+from repro.verify.generator import generate_source
+from repro.verify.oracle import run_oracle
+from repro.verify.runner import run_differential
+
+HOT_LOOP = Path("tests/corpus/branch_hot_loop.s").read_text()
+HOT_LOOP_TOTAL = 2 * sum(n + 1 for n in range(1, 17))  # 304
+
+CONFIDENCES = (1, 2, 3)
+
+#: generous budget: the hot loop needs a few hundred cycles, so any trip
+#: of the watchdog below this means the recovery path lost the PC
+WATCHDOG_BUDGET = 100_000
+
+
+def dynamic_config(confidence: int, inject: str | None = None) -> CpuConfig:
+    return CpuConfig(fold_policy=FoldPolicy.dynamic(confidence=confidence),
+                     max_cycles=WATCHDOG_BUDGET, inject=inject)
+
+
+class TestHotLoopRecovery:
+    """The m2sim2 regression: terminate, correct state, real recoveries."""
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    def test_terminates_with_correct_state(self, confidence):
+        program = assemble(HOT_LOOP)
+        cpu = run_cycle_accurate(program, dynamic_config(confidence))
+        assert cpu.eu.halted
+        assert cpu.read_symbol("total") == HOT_LOOP_TOTAL
+        assert cpu.read_symbol("n") == 0
+        assert cpu.read_symbol("pass") == 0
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    def test_at_least_one_recovery_recorded(self, confidence):
+        program = assemble(HOT_LOOP)
+        cpu = run_cycle_accurate(program, dynamic_config(confidence))
+        assert cpu.stats.dynamic_folds > 0
+        assert cpu.stats.folded_mispredicts >= 1
+        assert cpu.stats.recovery_flush_cycles >= 1
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    @pytest.mark.parametrize("inject", (None,) + INJECT_MODES)
+    def test_three_way_agreement(self, confidence, inject):
+        program = assemble(HOT_LOOP)
+        mismatches, oracle = run_differential(
+            program, FoldPolicy.dynamic(confidence=confidence),
+            inject=inject)
+        assert mismatches == []
+        assert oracle is not None and oracle.halted
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    def test_inject_always_wrong_recovers_every_engagement(self, confidence):
+        """Worst case: every verified-correct fold is *also* treated as
+        wrong. Recovery must be total — same architectural state, every
+        engagement recovered, zero watchdog trips, only cycles lost."""
+        program = assemble(HOT_LOOP)
+        clean = run_cycle_accurate(program, dynamic_config(confidence))
+        hurt = run_cycle_accurate(
+            program, dynamic_config(confidence, inject="always-wrong"))
+        assert hurt.eu.halted  # zero watchdog trips
+        assert hurt.read_symbol("total") == HOT_LOOP_TOTAL
+        assert hurt.stats.folded_mispredicts == hurt.stats.dynamic_folds
+        assert hurt.stats.cycles > clean.stats.cycles
+        # instruction counts are unchanged: recoveries refetch the
+        # correct path, they never execute down the wrong one
+        assert hurt.stats.issued_instructions \
+            == clean.stats.issued_instructions
+        assert hurt.stats.execution.as_dict() \
+            == clean.stats.execution.as_dict()
+
+    def test_static_policy_never_engages(self):
+        program = assemble(HOT_LOOP)
+        cpu = run_cycle_accurate(
+            program, CpuConfig(fold_policy=FoldPolicy.crisp()))
+        assert cpu.stats.dynamic_folds == 0
+        assert cpu.stats.folded_mispredicts == 0
+        assert cpu.read_symbol("total") == HOT_LOOP_TOTAL
+
+
+class TestKernelParity:
+    """Fast and reference kernels stay bitwise-identical in the new mode."""
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    @pytest.mark.parametrize("inject", (None,) + INJECT_MODES)
+    def test_hot_loop_stats_identical(self, confidence, inject):
+        program = assemble(HOT_LOOP)
+        config = dynamic_config(confidence, inject)
+        fast = CrispCpu(program, config)
+        fast.warm_cache()
+        fast.run()
+        ref = ReferenceCpu(program, config)
+        ref.warm_cache()
+        ref.run()
+        assert fast.stats.as_dict() == ref.stats.as_dict()
+
+    def test_generated_fold_verify_programs_identical(self):
+        for seed in range(4):
+            program = assemble(generate_source(seed, "fold-verify"))
+            config = dynamic_config(2)
+            fast = CrispCpu(program, config)
+            fast.warm_cache()
+            fast.run()
+            ref = ReferenceCpu(program, config)
+            ref.warm_cache()
+            ref.run()
+            assert fast.stats.as_dict() == ref.stats.as_dict(), seed
+
+
+class TestOracleModel:
+    """The analytic oracle models engagement, verification and recovery."""
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    def test_fold_verify_outcomes_all_reached(self, confidence):
+        result = run_oracle(assemble(HOT_LOOP),
+                            FoldPolicy.dynamic(confidence=confidence))
+        outcomes = {record.fold_verify for record in result.branches}
+        # warm-up iterations decline, steady state confirms, the loop
+        # exit recovers
+        assert {"declined", "confirmed", "recovered"} <= outcomes
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    def test_recovery_counters_match_kernel(self, confidence):
+        program = assemble(HOT_LOOP)
+        oracle = run_oracle(program,
+                            FoldPolicy.dynamic(confidence=confidence))
+        cpu = run_cycle_accurate(program, dynamic_config(confidence))
+        # correct-path exact (wrong-path shadow slots never resolve)
+        assert oracle.folded_mispredicts == cpu.stats.folded_mispredicts
+        assert oracle.recovery_flush_cycles \
+            == cpu.stats.recovery_flush_cycles
+        # kernel engagement may exceed the oracle's correct-path count
+        assert cpu.stats.dynamic_folds >= oracle.dynamic_folds > 0
+
+    def test_static_policy_records_no_fold_verify(self):
+        result = run_oracle(assemble(HOT_LOOP), FoldPolicy.crisp())
+        assert {record.fold_verify for record in result.branches} \
+            == {"none"}
+
+
+class TestPredictorSurface:
+    def test_confidence_grows_with_training(self):
+        predictor = make_predictor("3-bit")
+        site = 0x1000
+        assert not predictor.predict(site)  # initialized weakly not-taken
+        for step in range(1, 5):
+            predictor.update(site, True)
+            assert predictor.predict(site)
+            assert predictor.confidence(site) == step
+        predictor.update(site, True)
+        assert predictor.confidence(site) == 4  # saturates
+
+    def test_untrain_resets_to_weakly_not_taken(self):
+        predictor = make_predictor("3-bit")
+        site = 0x2000
+        for _ in range(4):
+            predictor.update(site, True)
+        assert predictor.predict(site)
+        predictor.untrain(site)
+        assert not predictor.predict(site)
+        assert predictor.confidence(site) == 1  # weakly held again
+
+    def test_unit_tracks_per_site_tallies(self):
+        unit = DynamicFoldUnit(FoldPolicy.dynamic(confidence=1))
+        site = 0x42
+        unit.train(site, True)
+        assert unit.decide(site) >= 1
+        unit.note_fold(site)
+        unit.note_flush(site)
+        assert unit.fold_counts[site] == 1
+        assert unit.flush_counts[site] == 1
+
+    def test_shadow_record_is_immutable(self):
+        record = ShadowRecord(0x10, True, 0x20, 0x30, 2)
+        with pytest.raises(AttributeError):
+            record.chosen_pc = 0x40
+
+
+class TestCoverageCells:
+    def test_reachable_universe_extended(self):
+        assert total_reachable() == 58
+        assert len(reachable_fold_verify_cells()) == 12
+
+    def test_hot_loop_hits_fold_verify_cells(self):
+        coverage = CoverageMap()
+        result = run_oracle(assemble(HOT_LOOP),
+                            FoldPolicy.dynamic(confidence=1))
+        coverage.add_records(result.branches, result.body_records)
+        hit = coverage.fold_verify_hit()
+        assert ("iftjmpy", "confirmed") in hit
+        assert ("iftjmpy", "recovered") in hit
+        assert ("iftjmpy", "declined") in hit
+
+
+class TestExhibit:
+    def test_dynfold_grid_shape_and_sanity(self):
+        from repro.eval.table4 import run_dynfold
+        rows = run_dynfold()
+        assert len(rows) == 20  # 5 cases x {static, conf 1/2/3}
+        by_case = {}
+        for row in rows:
+            by_case.setdefault(row.case.name, []).append(row)
+            assert row.stats.cycles > 0
+            if row.confidence is None:
+                assert row.stats.dynamic_folds == 0
+                assert row.relative_performance == 1.0
+            else:
+                assert row.stats.dynamic_folds > 0
+        assert sorted(by_case) == ["A", "B", "C", "D", "E"]
+        # dynamic folding never costs more than ~0.1% on any case: the
+        # recovery path makes wrong commitments cheap
+        for case_rows in by_case.values():
+            static = next(r for r in case_rows if r.confidence is None)
+            for row in case_rows:
+                assert row.stats.cycles <= static.stats.cycles * 1.001

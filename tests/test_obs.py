@@ -275,11 +275,21 @@ class TestManifest:
         assert document["kind"] == "crisp-bench-baseline"
         cases = {entry["extra"]["case"]: entry
                  for entry in document["cases"]}
-        assert sorted(cases) == ["A", "B", "C", "D", "E"]
+        # A-E plus the dynamic-fold exhibit points (5 cases x conf 1/2/3)
+        assert sorted(cases) == sorted(
+            [name for name in "ABCDE"]
+            + [f"{name}/dyn{conf}" for name in "ABCDE"
+               for conf in (1, 2, 3)])
         assert cases["A"]["metrics"]["folded_branches"] == 0
         assert cases["D"]["metrics"]["folded_branches"] > 0
         assert (cases["D"]["metrics"]["cycles"]
                 < cases["A"]["metrics"]["cycles"])
+        # the dynfold points record engagement and carry their regime
+        assert cases["A/dyn1"]["metrics"]["dynamic_folds"] > 0
+        assert cases["A/dyn1"]["extra"]["dyn_confidence"] == 1
+        assert (cases["A/dyn1"]["config"]["fold_policy"]["dynamic_fold"]
+                is True)
+        assert cases["A"]["extra"]["dyn_confidence"] is None
 
     def test_committed_baseline_current(self):
         """BENCH_obs_baseline.json must match what the code reproduces."""

@@ -117,6 +117,47 @@ class TestDiskStore:
         fresh = ProgramCache(disk_dir=str(tmp_path))
         assert fresh.get_or_build(key, lambda: "no") == "rebuilt"
 
+    def test_flipped_payload_byte_quarantines_and_recompiles(self, tmp_path):
+        """Bit rot inside a digest-valid-looking file must never be
+        simulated from: flipping any payload byte fails verification,
+        quarantines the file and rebuilds."""
+        from repro.obs.events import EventBus
+
+        writer = ProgramCache(disk_dir=str(tmp_path))
+        key = cache_key("compile", "victim")
+        writer.get_or_build(key, lambda: {"image": [1, 2, 3]})
+        path = tmp_path / f"{key}.pkl"
+        blob = bytearray(path.read_bytes())
+        digest_end = blob.index(b"\n")
+        blob[digest_end + 10] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(blob))
+
+        obs = EventBus()
+        reader = ProgramCache(disk_dir=str(tmp_path), obs=obs)
+        rebuilt = reader.get_or_build(key, lambda: {"image": [1, 2, 3]})
+        assert rebuilt == {"image": [1, 2, 3]}
+        assert reader.disk_hits == 0
+        assert reader.quarantined == 1
+        assert obs.counters().get("progcache.quarantined") == 1
+        # the corrupt blob is preserved for forensics, not deleted
+        assert (tmp_path / f"{key}.pkl.corrupt").exists()
+        # and the rebuild rewrote a loadable entry in its place
+        fresh = ProgramCache(disk_dir=str(tmp_path))
+        assert fresh.get_or_build(
+            key, lambda: pytest.fail("should hit disk")) \
+            == {"image": [1, 2, 3]}
+        assert fresh.disk_hits == 1
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        writer = ProgramCache(disk_dir=str(tmp_path))
+        key = cache_key("compile", "torn")
+        writer.get_or_build(key, lambda: list(range(100)))
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[:-7])  # torn write
+        reader = ProgramCache(disk_dir=str(tmp_path))
+        assert reader.get_or_build(key, lambda: "rebuilt") == "rebuilt"
+        assert reader.quarantined == 1
+
     def test_clear_disk(self, tmp_path):
         cache = ProgramCache(disk_dir=str(tmp_path))
         cache.get_or_build("k", lambda: 1)

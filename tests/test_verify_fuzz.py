@@ -95,7 +95,7 @@ class TestCli:
         assert "agreements: 3" in captured
         payload = json.loads(out.read_text())
         assert payload["hit"] >= 1
-        assert payload["reachable"] == 46
+        assert payload["reachable"] == 58
 
     def test_fuzz_budget_mode_runs_batches(self, tmp_path, capsys):
         status = main(["fuzz", "--seed", "12", "--budget", "0.01",

@@ -159,7 +159,7 @@ class TestCoverageMap:
         two.add_branch("return", False, "dynamic", "none")
         two.add_branch("jmp", True, "always", "none")
         one.merge(two)
-        assert one.cells[("jmp", "folded", "always", "none")] == 2
+        assert one.cells[("jmp", "folded", "always", "none", "none")] == 2
         assert len(one.hit()) == 2
         assert 0 < one.fraction() < 1
         assert ("jmpl", "standalone", "always") in one.missing()
