@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-throughput eval report examples obs \
-	obs-overhead gate annotate fuzz fuzz-inject clean
+	obs-overhead campaign-overhead gate annotate trend fuzz fuzz-inject \
+	clean
 
 install:
 	pip install -e .
@@ -19,6 +20,10 @@ eval:
 
 report:
 	$(PYTHON) -m repro.eval.cli report
+	$(PYTHON) -m repro.obs.cli trend
+
+trend:
+	$(PYTHON) -m repro.obs.cli trend
 
 obs:
 	$(PYTHON) -m repro.obs.cli --workload figure3 \
@@ -27,6 +32,9 @@ obs:
 
 obs-overhead:
 	$(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
+
+campaign-overhead:
+	$(PYTHON) -m pytest benchmarks/bench_campaign_overhead.py -q -s
 
 bench-throughput:
 	$(PYTHON) -m pytest benchmarks/bench_sim_throughput.py -q -s
@@ -41,12 +49,14 @@ annotate:
 # the default fuzz mix already rotates {static, dynamic_fold @ conf 1/2/3}
 fuzz:
 	$(PYTHON) -m repro.verify.cli fuzz --seed 0 --budget 60 --jobs 0 \
-		--coverage-out fuzz_coverage.json
+		--coverage-out fuzz_coverage.json \
+		--campaign-out fuzz_campaign
 
 # every verified-correct fold forced down the recovery path
 fuzz-inject:
 	$(PYTHON) -m repro.verify.cli fuzz --seed 1 --budget 30 --jobs 0 \
-		--inject always-wrong --coverage-out fuzz_coverage_inject.json
+		--inject always-wrong --coverage-out fuzz_coverage_inject.json \
+		--campaign-out fuzz_campaign_inject
 
 examples:
 	@for example in examples/*.py; do \
@@ -58,4 +68,9 @@ clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .benchmarks build *.egg-info
 	rm -f obs_trace.json obs_run.json obs_metrics.jsonl \
-		fuzz_coverage.json fuzz_coverage_inject.json
+		fuzz_coverage.json fuzz_coverage_inject.json \
+		fuzz_campaign.json fuzz_campaign.jsonl fuzz_campaign_trace.json \
+		fuzz_campaign_inject.json fuzz_campaign_inject.jsonl \
+		fuzz_campaign_inject_trace.json \
+		fuzz_campaign_report.md fuzz_campaign_inject_report.md \
+		trend_report.md

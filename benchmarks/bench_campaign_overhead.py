@@ -1,0 +1,78 @@
+"""Guard: campaign recording stays out of the simulation's way.
+
+`--campaign-out` wraps every task in
+:class:`repro.eval.parallel._Instrumented` — a progcache-counter
+snapshot, a span-recorder activation and one epoch/perf_counter pair per
+task. That must stay cheap: running the five Table-4 cases through
+:func:`repro.eval.parallel.map_ordered` with a
+:class:`~repro.obs.campaign.CampaignRecorder` attached may cost at most
+5 % more wall-clock than the identical unrecorded sweep.
+
+Arms are interleaved and the minimum of several repetitions compared,
+the same protocol as ``bench_obs_overhead.py``. The recorder streams to
+nothing (no JSONL sink), isolating the instrumentation cost itself; the
+byte-identity of the *results* is asserted separately in
+``tests/test_obs_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.eval.parallel import map_ordered, run_table4_case
+from repro.eval.table4 import CASE_DEFINITIONS
+from repro.obs.campaign import CampaignRecorder
+from repro.workloads import FIGURE3
+
+REPETITIONS = 3
+MAX_OVERHEAD = 0.05
+
+TASKS = [(case.name, FIGURE3) for case in CASE_DEFINITIONS]
+
+
+def _run_plain() -> float:
+    start = time.perf_counter()
+    map_ordered(run_table4_case, TASKS)
+    return time.perf_counter() - start
+
+
+def _run_recorded() -> float:
+    recorder = CampaignRecorder("bench", expected_tasks=len(TASKS))
+    start = time.perf_counter()
+    map_ordered(run_table4_case, TASKS, recorder=recorder,
+                labeler=lambda task: f"table4/{task[0]}")
+    elapsed = time.perf_counter() - start
+    recorder.finish()
+    return elapsed
+
+
+def test_campaign_recording_overhead_under_five_percent():
+    _run_plain()  # warm the compile cache and code paths
+
+    plain_times = []
+    recorded_times = []
+    for _ in range(REPETITIONS):
+        plain_times.append(_run_plain())
+        recorded_times.append(_run_recorded())
+
+    plain = min(plain_times)
+    recorded = min(recorded_times)
+    overhead = recorded / plain - 1.0
+    print(f"\n  unrecorded sweep {plain * 1000:8.1f} ms")
+    print(f"  recorded sweep   {recorded * 1000:8.1f} ms")
+    print(f"  overhead         {100 * overhead:+8.1f}%  "
+          f"(budget {100 * MAX_OVERHEAD:.0f}%)")
+    assert overhead < MAX_OVERHEAD, (
+        f"campaign recording overhead {100 * overhead:.1f}% exceeds "
+        f"the {100 * MAX_OVERHEAD:.0f}% budget")
+
+
+def test_recorded_sweep_collects_every_task():
+    recorder = CampaignRecorder("bench", expected_tasks=len(TASKS))
+    results = map_ordered(run_table4_case, TASKS, recorder=recorder,
+                          labeler=lambda task: f"table4/{task[0]}")
+    recorder.finish()
+    assert len(results) == len(TASKS)
+    assert [record.label for record in recorder.tasks] == \
+        [f"table4/{case.name}" for case in CASE_DEFINITIONS]
+    assert all(record.wall > 0 for record in recorder.tasks)

@@ -27,6 +27,13 @@ MAX_OVERHEAD = 0.10
 
 
 def _compiled_cases():
+    """The five static Table-4 cases plus a dynamic-fold variant.
+
+    The dynamic-confidence fold path (case D's compilation under
+    ``FoldPolicy.dynamic``) exercises the predictor/fold-verify probes
+    the static cases never touch, so the null-sink guard covers that
+    hot path too.
+    """
     cases = []
     for case in CASE_DEFINITIONS:
         options = CompilerOptions(
@@ -36,6 +43,9 @@ def _compiled_cases():
         config = CpuConfig(fold_policy=(FoldPolicy.crisp() if case.folding
                                         else FoldPolicy.none()))
         cases.append((compile_source(FIGURE3, options), config))
+        if case.name == "D":
+            cases.append((cases[-1][0], CpuConfig(
+                fold_policy=FoldPolicy.dynamic(confidence=2))))
     return cases
 
 

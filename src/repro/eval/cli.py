@@ -35,6 +35,15 @@ def main(argv: list[str] | None = None) -> int:
                              "many independent simulations (table4); "
                              "0 = one per CPU. Output is byte-identical "
                              "to a serial run")
+    parser.add_argument("--campaign-out", metavar="PREFIX", default=None,
+                        help="record campaign telemetry for multi-"
+                             "simulation exhibits (table4, dynfold): "
+                             "writes PREFIX.json (campaign manifest), "
+                             "PREFIX.jsonl (live stream for 'crisp-obs "
+                             "tail') and PREFIX_trace.json (merged "
+                             "Perfetto trace, one track per worker). "
+                             "The exhibits themselves stay byte-"
+                             "identical")
     args = parser.parse_args(argv)
 
     try:
@@ -60,11 +69,46 @@ def _run(args: argparse.Namespace) -> int:
                "figures", "branch-stats"]
               if args.exhibit == "all" else [args.exhibit])
 
+    # Campaign telemetry is out-of-band: the recorder observes the
+    # parallel runner, exhibits on stdout stay byte-identical, and the
+    # artefact paths go to stderr.
+    recorder = stream = None
+    if args.campaign_out is not None:
+        from repro.obs.campaign import open_campaign
+        expected = _expected_tasks(wanted)
+        recorder, stream = open_campaign(
+            f"crisp-eval {args.exhibit}", args.campaign_out,
+            jobs=args.jobs, expected_tasks=expected)
+    try:
+        return _run_exhibits(args, wanted, recorder)
+    finally:
+        if recorder is not None:
+            from repro.obs.campaign import close_campaign
+            paths = close_campaign(recorder, stream, args.campaign_out)
+            print(f"campaign artefacts: {paths['manifest']}, "
+                  f"{paths['trace']}, {paths['stream']}",
+                  file=sys.stderr)
+
+
+def _expected_tasks(wanted: list[str]) -> int | None:
+    """Parallel-runner task count for the requested exhibits, if known."""
+    from repro.eval.table4 import CASE_DEFINITIONS, DYNFOLD_VARIANTS
+    expected = 0
+    if "table4" in wanted:
+        expected += len(CASE_DEFINITIONS)
+    if "dynfold" in wanted:
+        expected += len(CASE_DEFINITIONS) * len(DYNFOLD_VARIANTS)
+    return expected or None
+
+
+def _run_exhibits(args: argparse.Namespace, wanted: list[str],
+                  recorder=None) -> int:
     if args.json:
         from repro.eval.jsonout import exhibit_json
         for name in wanted:
             print(json.dumps(exhibit_json(name, args.events,
-                                          jobs=args.jobs),
+                                          jobs=args.jobs,
+                                          recorder=recorder),
                              sort_keys=True))
         return 0
 
@@ -86,12 +130,14 @@ def _run(args: argparse.Namespace) -> int:
     if "table4" in wanted:
         from repro.eval.table4 import format_table4, run_table4
         print("== Table 4: execution statistics, cases A-E ==")
-        print(format_table4(run_table4(jobs=args.jobs)))
+        print(format_table4(run_table4(jobs=args.jobs,
+                                       recorder=recorder)))
         print()
     if "dynfold" in wanted:
         from repro.eval.table4 import format_dynfold, run_dynfold
         print("== Dynamic-confidence folding on the Table-4 cases ==")
-        print(format_dynfold(run_dynfold(jobs=args.jobs)))
+        print(format_dynfold(run_dynfold(jobs=args.jobs,
+                                         recorder=recorder)))
         print()
     if "figures" in wanted:
         from repro.eval.figures import nextpc_datapath_cases, pipeline_structure

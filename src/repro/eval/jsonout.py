@@ -82,7 +82,8 @@ def _table4_case_row(case_name: str) -> dict[str, Any]:
     }
 
 
-def table4_json(jobs: int | None = None) -> dict[str, Any]:
+def table4_json(jobs: int | None = None,
+                recorder=None) -> dict[str, Any]:
     """Table 4 with a per-site attribution section per case.
 
     Each case runs once with an attribution sink attached (sinks do not
@@ -91,23 +92,27 @@ def table4_json(jobs: int | None = None) -> dict[str, Any]:
     per-branch-site breakdown the aggregate rows cannot show. ``jobs``
     fans the cases out over worker processes with an ordered merge —
     the emitted document is byte-identical to the serial one.
+    ``recorder`` collects out-of-band campaign telemetry.
     """
     from repro.eval.parallel import map_ordered
     from repro.eval.table4 import CASE_DEFINITIONS
 
     rows = map_ordered(_table4_case_row,
-                       [case.name for case in CASE_DEFINITIONS], jobs)
+                       [case.name for case in CASE_DEFINITIONS], jobs,
+                       recorder=recorder,
+                       labeler=lambda name: f"table4/{name}")
     reference = rows[0]["metrics"]["cycles"]
     for row in rows:
         row["relative_performance"] = reference / row["metrics"]["cycles"]
     return {"exhibit": "table4", "rows": rows}
 
 
-def dynfold_json(jobs: int | None = None) -> dict[str, Any]:
+def dynfold_json(jobs: int | None = None,
+                 recorder=None) -> dict[str, Any]:
     """The dynamic-fold exhibit: Table-4 cases × fold-policy variants."""
     from repro.eval.table4 import run_dynfold
     rows = []
-    for row in run_dynfold(jobs=jobs):
+    for row in run_dynfold(jobs=jobs, recorder=recorder):
         rows.append({
             "case": row.case.name,
             "variant": row.label,
@@ -143,18 +148,20 @@ def branch_stats_json() -> dict[str, Any]:
 
 
 def exhibit_json(name: str, synthetic_events: int = 100_000,
-                 jobs: int | None = None) -> dict[str, Any]:
+                 jobs: int | None = None,
+                 recorder=None) -> dict[str, Any]:
     """The JSON document for one exhibit name (as the CLI spells it).
 
     ``jobs`` parallelises exhibits built from independent simulations
-    (currently table4); the other exhibits ignore it.
+    (currently table4/dynfold) and ``recorder`` collects campaign
+    telemetry for them; the other exhibits ignore both.
     """
     builders = {
         "table1": lambda: table1_json(synthetic_events),
         "table2": table2_json,
         "table3": table3_json,
-        "table4": lambda: table4_json(jobs),
-        "dynfold": lambda: dynfold_json(jobs),
+        "table4": lambda: table4_json(jobs, recorder),
+        "dynfold": lambda: dynfold_json(jobs, recorder),
         "figures": figures_json,
         "branch-stats": branch_stats_json,
     }

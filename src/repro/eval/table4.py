@@ -86,16 +86,21 @@ def run_case(case: CaseDefinition, source: str = FIGURE3) -> PipelineStats:
 
 
 def run_table4(source: str = FIGURE3,
-               jobs: int | None = None) -> list[Table4Row]:
+               jobs: int | None = None,
+               recorder=None) -> list[Table4Row]:
     """Regenerate Table 4 (case A is the performance reference).
 
     ``jobs`` runs the five cases in worker processes (ordered merge,
-    byte-identical rows — see :mod:`repro.eval.parallel`).
+    byte-identical rows — see :mod:`repro.eval.parallel`). ``recorder``
+    (a :class:`~repro.obs.campaign.CampaignRecorder`) collects
+    out-of-band per-case telemetry without touching the rows.
     """
     from repro.eval.parallel import map_ordered, run_table4_case
     stats_list = map_ordered(run_table4_case,
                              [(case.name, source)
-                              for case in CASE_DEFINITIONS], jobs)
+                              for case in CASE_DEFINITIONS], jobs,
+                             recorder=recorder,
+                             labeler=lambda task: f"table4/{task[0]}")
     rows = [Table4Row(case, stats)
             for case, stats in zip(CASE_DEFINITIONS, stats_list)]
     reference = rows[0].stats.cycles
@@ -153,7 +158,8 @@ def run_dynfold_point(task: tuple[str, str, int | None, str]):
 
 
 def run_dynfold(source: str = FIGURE3,
-                jobs: int | None = None) -> list[DynfoldRow]:
+                jobs: int | None = None,
+                recorder=None) -> list[DynfoldRow]:
     """Run the dynamic-fold exhibit over every Table-4 case."""
     from repro.eval.parallel import map_ordered
     grid = [(case, label, confidence)
@@ -162,7 +168,9 @@ def run_dynfold(source: str = FIGURE3,
     stats_list = map_ordered(
         run_dynfold_point,
         [(case.name, label, confidence, source)
-         for case, label, confidence in grid], jobs)
+         for case, label, confidence in grid], jobs,
+        recorder=recorder,
+        labeler=lambda task: f"dynfold/{task[0]}/{task[1]}")
     rows = [DynfoldRow(case, label, confidence, stats)
             for (case, label, confidence), stats in zip(grid, stats_list)]
     reference = {row.case.name: row.stats.cycles

@@ -1,0 +1,476 @@
+"""Campaign-level observability: per-task records for multi-process runs.
+
+A *campaign* is any batch of independent tasks — a ``crisp-eval --jobs``
+sweep, a ``crisp-verify fuzz`` run, a baseline regeneration. Single runs
+already get run manifests and Perfetto traces; this module gives the
+batch the same treatment without perturbing it:
+
+* :class:`CampaignRecorder` collects one :class:`TaskRecord` per task —
+  wall-clock, worker identity, retries, failure triage, compile-cache
+  traffic, in-worker spans — **out of band**: records ride back from
+  worker processes alongside results (see :mod:`repro.eval.parallel`),
+  results themselves are untouched, so a recorded campaign's output is
+  byte-identical to an unrecorded one.
+* While the campaign runs, every record streams as one JSON line to an
+  optional stream (``crisp-obs tail`` follows it live, with an ETA).
+* At the end the recorder writes a **campaign manifest** (`schema` = 1,
+  ``kind`` = ``crisp-campaign-manifest``) summarising totals, and a
+  merged Perfetto trace with one track per worker plus a scheduler
+  track (:func:`repro.obs.spans.campaign_trace_events`).
+
+Stream line types (``crisp-obs tail`` consumes exactly these):
+
+* ``campaign-start`` — kind, expected task count, jobs, start time;
+* ``task`` — one finished task (the :meth:`TaskRecord.as_dict` fields);
+* ``event`` — ad-hoc progress (fuzz heartbeats, coverage snapshots);
+* ``campaign-end`` — the summary totals.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, IO
+
+from repro.obs.spans import (
+    SCHEDULER_TID,
+    Span,
+    SpanRecorder,
+    TrackSpans,
+    campaign_trace_events,
+    worker_track_label,
+)
+
+SCHEMA_VERSION = 1
+CAMPAIGN_KIND = "crisp-campaign-manifest"
+
+
+@dataclass
+class TaskRecord:
+    """Everything worth knowing about one finished (or lost) task."""
+
+    index: int  #: position in the submitted task list
+    label: str  #: human-readable task identity ("table4/D", "fuzz/...")
+    seed: int | None = None
+    worker: int = 0  #: worker slot (0-based; serial runs use slot 0)
+    pid: int = 0
+    started: float = 0.0  #: epoch seconds (in-worker clock)
+    wall: float = 0.0  #: in-worker execution seconds (excludes queueing)
+    retries: int = 0  #: redispatches before this outcome
+    failed: bool = False  #: True = persistent :class:`TaskFailure`
+    error: str | None = None
+    traceback: str | None = None
+    cache_hits: int = 0  #: progcache hits (memory + disk) during the task
+    cache_misses: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view (spans summarised, not inlined)."""
+        record: dict[str, Any] = {
+            "index": self.index, "label": self.label, "seed": self.seed,
+            "worker": self.worker, "pid": self.pid,
+            "started": self.started, "wall": round(self.wall, 6),
+            "retries": self.retries, "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.traceback is not None:
+            record["traceback"] = self.traceback
+        if self.extra:
+            record["extra"] = self.extra
+        if self.spans:
+            record["spans"] = [span.as_dict() for span in self.spans]
+        return record
+
+
+class CampaignRecorder:
+    """Collects task records and scheduler spans for one campaign.
+
+    ``stream`` (optional) receives one JSON line per record as the
+    campaign runs; ``expected_tasks`` powers the ETA in ``crisp-obs
+    tail``. The recorder itself never touches task results — it is
+    observation only.
+    """
+
+    def __init__(self, kind: str = "campaign", *,
+                 jobs: int | None = None,
+                 expected_tasks: int | None = None,
+                 stream: IO[str] | None = None,
+                 clock=time.time) -> None:
+        self.kind = kind
+        self.jobs = jobs
+        self.expected_tasks = expected_tasks
+        self.stream = stream
+        self._clock = clock
+        self.started = clock()
+        self.ended: float | None = None
+        self.tasks: list[TaskRecord] = []
+        self.events: list[dict[str, Any]] = []
+        self.scheduler = SpanRecorder(clock)
+        self._slots: dict[int, int] = {}
+        self._emit({"type": "campaign-start", "kind": kind,
+                    "started": self.started, "jobs": jobs,
+                    "expected_tasks": expected_tasks})
+
+    # ---- recording ---------------------------------------------------------
+
+    def worker_slot(self, pid: int) -> int:
+        """Stable 0-based slot for a worker process (first-seen order)."""
+        slot = self._slots.get(pid)
+        if slot is None:
+            slot = len(self._slots)
+            self._slots[pid] = slot
+        return slot
+
+    def task_done(self, record: TaskRecord) -> None:
+        """Record one finished task and stream it."""
+        self.tasks.append(record)
+        self._emit({"type": "task", **record.as_dict()})
+
+    def note(self, name: str, **fields: Any) -> None:
+        """Record an ad-hoc campaign event (heartbeat, coverage point)."""
+        event = {"type": "event", "name": name,
+                 "at": self._clock() - self.started, **fields}
+        self.events.append(event)
+        self._emit(event)
+
+    def finish(self) -> None:
+        """Close the campaign (idempotent) and stream the summary."""
+        if self.ended is None:
+            self.ended = self._clock()
+            self._emit({"type": "campaign-end", **self.totals()})
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        if self.stream is not None:
+            self.stream.write(json.dumps(record) + "\n")
+            self.stream.flush()
+
+    # ---- summaries ---------------------------------------------------------
+
+    @property
+    def workers_used(self) -> int:
+        return max(len(self._slots), 1)
+
+    def totals(self) -> dict[str, Any]:
+        """The headline numbers of the campaign so far."""
+        ended = self.ended if self.ended is not None else self._clock()
+        campaign_wall = max(ended - self.started, 1e-9)
+        task_wall = sum(record.wall for record in self.tasks)
+        failed = sum(1 for record in self.tasks if record.failed)
+        retried = sum(1 for record in self.tasks if record.retries)
+        hits = sum(record.cache_hits for record in self.tasks)
+        misses = sum(record.cache_misses for record in self.tasks)
+        lanes = self.workers_used
+        return {
+            "tasks": len(self.tasks),
+            "failed": failed,
+            "retried": retried,
+            "workers": lanes,
+            "campaign_wall": round(campaign_wall, 6),
+            "task_wall": round(task_wall, 6),
+            #: busy fraction of the worker lanes actually used
+            "parallel_efficiency": round(
+                task_wall / (campaign_wall * lanes), 4),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": round(hits / (hits + misses), 4)
+                if hits + misses else None,
+        }
+
+    def manifest(self) -> dict[str, Any]:
+        """The campaign manifest document (one JSON object)."""
+        from repro.obs.manifest import git_sha
+        self.finish()
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": CAMPAIGN_KIND,
+            "campaign": self.kind,
+            "git_sha": git_sha(),
+            "started": self.started,
+            "ended": self.ended,
+            "jobs": self.jobs,
+            "expected_tasks": self.expected_tasks,
+            "totals": self.totals(),
+            "tasks": [record.as_dict() for record in self.tasks],
+            "events": self.events,
+        }
+
+    # ---- the merged Perfetto trace -----------------------------------------
+
+    def trace_events(self) -> list[dict[str, Any]]:
+        """Merged campaign trace: scheduler track + one track per worker.
+
+        Worker tracks cover ``max(jobs, workers seen)`` slots, so a
+        ``--jobs 4`` campaign always renders four worker rows even if
+        the pool finished the work with fewer processes.
+        """
+        lanes = len(self._slots)
+        if self.jobs is not None:
+            lanes = max(lanes, self.jobs)
+        lanes = max(lanes, 1)
+        tracks = [TrackSpans(SCHEDULER_TID, "scheduler",
+                             list(self.scheduler.spans))]
+        by_slot: dict[int, list[Span]] = {slot: [] for slot in range(lanes)}
+        for record in self.tasks:
+            slot = record.worker if 0 <= record.worker < lanes else 0
+            by_slot[slot].append(Span(
+                record.label, record.started, record.started + record.wall,
+                "failure" if record.failed else "task",
+                (("index", record.index), ("retries", record.retries))))
+            for inner in record.spans:
+                by_slot[slot].append(inner)
+        for slot in range(lanes):
+            tracks.append(TrackSpans(slot + 1, worker_track_label(slot),
+                                     by_slot[slot]))
+        return campaign_trace_events(
+            tracks, self.started, process_name=f"crisp campaign: {self.kind}")
+
+    # ---- artefact writing --------------------------------------------------
+
+    def write_artifacts(self, prefix: str) -> dict[str, str]:
+        """Write ``<prefix>.json`` (manifest) and ``<prefix>_trace.json``.
+
+        Returns ``{"manifest": path, "trace": path}``. The JSONL stream
+        is the caller's (it was opened before the campaign started).
+        """
+        manifest_path = f"{prefix}.json"
+        trace_path = f"{prefix}_trace.json"
+        with open(manifest_path, "w", encoding="utf-8") as stream:
+            json.dump(self.manifest(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        with open(trace_path, "w", encoding="utf-8") as stream:
+            json.dump(self.trace_events(), stream)
+        return {"manifest": manifest_path, "trace": trace_path}
+
+
+def stream_path(prefix: str) -> str:
+    """The JSONL stream path for a ``--campaign-out`` prefix."""
+    return f"{prefix}.jsonl"
+
+
+def open_campaign(kind: str, prefix: str | None, *,
+                  jobs: int | None = None,
+                  expected_tasks: int | None = None
+                  ) -> tuple["CampaignRecorder | None", IO[str] | None]:
+    """CLI helper: a streaming recorder for ``--campaign-out PREFIX``.
+
+    Returns ``(None, None)`` when ``prefix`` is None so call sites can
+    pass the recorder straight through. The caller owns closing the
+    returned stream (after :func:`close_campaign`).
+    """
+    if prefix is None:
+        return None, None
+    stream = open(stream_path(prefix), "w", encoding="utf-8")
+    return CampaignRecorder(kind, jobs=jobs, expected_tasks=expected_tasks,
+                            stream=stream), stream
+
+
+def close_campaign(recorder: "CampaignRecorder | None",
+                   stream: IO[str] | None,
+                   prefix: str | None) -> dict[str, str] | None:
+    """CLI helper: finish the campaign and write its artefacts."""
+    if recorder is None or prefix is None:
+        return None
+    recorder.finish()
+    paths = recorder.write_artifacts(prefix)
+    if stream is not None:
+        stream.close()
+    paths["stream"] = stream_path(prefix)
+    return paths
+
+
+# ---- the rendered campaign report ------------------------------------------
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 120:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds:.2f} s"
+
+
+def render_campaign_report(manifest: dict[str, Any], *,
+                           slowest: int = 10) -> str:
+    """Markdown report for one campaign manifest."""
+    totals = manifest.get("totals", {})
+    tasks = manifest.get("tasks", [])
+    lines = [f"# Campaign report: {manifest.get('campaign', '?')}", ""]
+    lines.append(f"- git SHA: `{manifest.get('git_sha') or 'unknown'}`")
+    lines.append(f"- jobs requested: {manifest.get('jobs') or 'serial'}; "
+                 f"workers used: {totals.get('workers', 1)}")
+    lines.append(f"- tasks: {totals.get('tasks', 0)} "
+                 f"({totals.get('failed', 0)} failed, "
+                 f"{totals.get('retried', 0)} retried)")
+    lines.append(f"- campaign wall-clock: "
+                 f"{_format_seconds(totals.get('campaign_wall', 0.0))}; "
+                 f"summed task wall: "
+                 f"{_format_seconds(totals.get('task_wall', 0.0))}")
+    efficiency = totals.get("parallel_efficiency")
+    if efficiency is not None:
+        lines.append(f"- parallel efficiency: {100 * efficiency:.0f}% "
+                     f"of the used worker lanes busy")
+    hit_rate = totals.get("cache_hit_rate")
+    if hit_rate is not None:
+        lines.append(f"- progcache: {totals.get('cache_hits', 0)} hits / "
+                     f"{totals.get('cache_misses', 0)} misses "
+                     f"({100 * hit_rate:.0f}% hit rate)")
+    lines.append("")
+
+    if tasks:
+        ranked = sorted(tasks, key=lambda task: -task.get("wall", 0.0))
+        lines += [f"## Slowest tasks (top {min(slowest, len(ranked))} "
+                  f"of {len(ranked)})", "",
+                  "| # | task | wall | worker | retries | cache |",
+                  "|---|---|---|---|---|---|"]
+        for task in ranked[:slowest]:
+            cache = (f"{task.get('cache_hits', 0)}h/"
+                     f"{task.get('cache_misses', 0)}m")
+            lines.append(
+                f"| {task.get('index')} | {task.get('label')} "
+                f"| {_format_seconds(task.get('wall', 0.0))} "
+                f"| {task.get('worker')} | {task.get('retries', 0)} "
+                f"| {cache} |")
+        lines.append("")
+
+    failures = [task for task in tasks if task.get("failed")]
+    if failures:
+        lines += ["## Failures", ""]
+        for task in failures:
+            lines.append(f"### task {task.get('index')}: "
+                         f"{task.get('label')} "
+                         f"(seed {task.get('seed')}, "
+                         f"{task.get('retries', 0)} retries)")
+            lines.append("")
+            lines.append(f"`{task.get('error', 'unknown error')}`")
+            trace = task.get("traceback")
+            if trace:
+                lines += ["", "```", trace.rstrip(), "```"]
+            lines.append("")
+
+    retried = [task for task in tasks
+               if task.get("retries") and not task.get("failed")]
+    if retried:
+        lines += ["## Recovered retries", ""]
+        for task in retried:
+            lines.append(f"- task {task.get('index')} "
+                         f"({task.get('label')}): succeeded after "
+                         f"{task.get('retries')} redispatch(es)")
+        lines.append("")
+
+    coverage = [event for event in manifest.get("events", [])
+                if event.get("name") == "coverage"]
+    if coverage:
+        lines += ["## Coverage over time", "",
+                  "| t (s) | programs | cells | fraction |",
+                  "|---|---|---|---|"]
+        for event in coverage:
+            lines.append(f"| {event.get('at', 0.0):.1f} "
+                         f"| {event.get('programs', '-')} "
+                         f"| {event.get('cells', '-')} "
+                         f"| {100 * event.get('fraction', 0.0):.1f}% |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+HTML_SHELL = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>body{{font-family:monospace;max-width:72em;margin:2em auto;
+white-space:pre-wrap}}</style></head>
+<body>{body}</body></html>
+"""
+
+
+def render_campaign_html(manifest: dict[str, Any]) -> str:
+    """The same report wrapped in a minimal self-contained HTML page."""
+    import html as html_module
+    markdown = render_campaign_report(manifest)
+    return HTML_SHELL.format(
+        title=f"Campaign report: {manifest.get('campaign', '?')}",
+        body=html_module.escape(markdown))
+
+
+# ---- live progress (crisp-obs tail) ----------------------------------------
+
+
+@dataclass
+class StreamProgress:
+    """Running state while consuming a campaign JSONL stream."""
+
+    kind: str = "campaign"
+    expected: int | None = None
+    jobs: int | None = None
+    done: int = 0
+    failed: int = 0
+    retried: int = 0
+    task_wall: float = 0.0
+    finished: bool = False
+    totals: dict[str, Any] = field(default_factory=dict)
+
+    def eta_seconds(self, workers: int | None = None) -> float | None:
+        """Remaining-seconds estimate from the average task wall-clock."""
+        if not self.done or not self.expected:
+            return None
+        remaining = self.expected - self.done
+        if remaining <= 0:
+            return 0.0
+        lanes = workers or self.jobs or 1
+        if lanes == 0:  # --jobs 0 = one per CPU, unknown here
+            lanes = 1
+        return remaining * (self.task_wall / self.done) / max(lanes, 1)
+
+    def consume(self, record: dict[str, Any]) -> str | None:
+        """Fold one stream record in; return a progress line to print."""
+        kind = record.get("type")
+        if kind == "campaign-start":
+            self.kind = record.get("kind", self.kind)
+            self.expected = record.get("expected_tasks")
+            self.jobs = record.get("jobs")
+            total = f"/{self.expected}" if self.expected else ""
+            return (f"campaign {self.kind}: started "
+                    f"(jobs={self.jobs or 'serial'}, tasks{total})")
+        if kind == "task":
+            self.done += 1
+            self.task_wall += record.get("wall", 0.0)
+            if record.get("failed"):
+                self.failed += 1
+            if record.get("retries"):
+                self.retried += 1
+            total = f"/{self.expected}" if self.expected else ""
+            status = "FAIL" if record.get("failed") else "ok"
+            eta = self.eta_seconds()
+            eta_text = "" if eta is None else f"  eta {eta:.1f}s"
+            return (f"[{self.done}{total}] {record.get('label', '?')} "
+                    f"{status} {record.get('wall', 0.0):.2f}s "
+                    f"worker {record.get('worker', '?')}"
+                    f"{eta_text}")
+        if kind == "event":
+            fields = ", ".join(
+                f"{key}={value}" for key, value in sorted(record.items())
+                if key not in ("type", "name", "at"))
+            return f"event {record.get('name')}: {fields}"
+        if kind == "campaign-end":
+            self.finished = True
+            self.totals = {key: value for key, value in record.items()
+                           if key != "type"}
+            return (f"campaign {self.kind}: done — "
+                    f"{self.totals.get('tasks', self.done)} tasks, "
+                    f"{self.totals.get('failed', self.failed)} failed, "
+                    f"{_format_seconds(self.totals.get('campaign_wall', 0.0))}"
+                    f" wall")
+        return None
+
+
+def read_campaign(path: str) -> dict[str, Any]:
+    """Load a campaign manifest, validating kind and schema."""
+    with open(path, "r", encoding="utf-8") as stream:
+        document = json.load(stream)
+    if not isinstance(document, dict) \
+            or document.get("kind") != CAMPAIGN_KIND:
+        raise ValueError(f"{path}: not a {CAMPAIGN_KIND} document")
+    if document.get("schema", 1) > SCHEMA_VERSION:
+        raise ValueError(f"{path}: schema {document.get('schema')} is newer "
+                         f"than this reader (max {SCHEMA_VERSION})")
+    return document

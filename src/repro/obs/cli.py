@@ -14,9 +14,17 @@ Subcommands (bare flags still work and mean ``run``):
 * ``gate`` — the regression gate: re-measure the Table-4 cases (or load
   ``--current``), compare fold rate / issued CPI / prediction accuracy
   against ``--baseline`` and fail when any degrades past ``--threshold``.
+* ``report`` — render a campaign manifest (from ``--campaign-out``) as
+  a markdown (or ``--html``) report: totals, slowest tasks, failures
+  with replay context, recovered retries, coverage over time.
+* ``tail`` — follow a campaign's live JSONL stream with per-task
+  progress lines and an ETA.
+* ``trend`` — perf-trend analytics over the committed trajectory /
+  throughput documents and campaign manifests, with regression
+  detection.
 
-Exit codes: **0** success, **1** gate regression, **2** usage or
-input/output error.
+Exit codes: **0** success, **1** gate (or ``trend
+--fail-on-regression``) regression, **2** usage or input/output error.
 
 Examples::
 
@@ -26,6 +34,10 @@ Examples::
     python -m repro.obs.cli gate --baseline BENCH_obs_baseline.json \\
         --threshold 2% --update-trajectory BENCH_table4_trajectory.json
     python -m repro.obs.cli --table4-baseline BENCH_obs_baseline.json
+    python -m repro.obs.cli report --campaign campaign.json --html \\
+        --out report.html
+    python -m repro.obs.cli tail campaign.jsonl --follow
+    python -m repro.obs.cli trend
 """
 
 from __future__ import annotations
@@ -162,6 +174,11 @@ def _cmd_run(argv: list[str]) -> int:
                              "Manifests merge in case order, so the "
                              "document is byte-identical to a serial "
                              "run. Single-workload runs ignore it")
+    parser.add_argument("--campaign-out", metavar="PREFIX", default=None,
+                        help="with --table4-baseline: record campaign "
+                             "telemetry (PREFIX.json manifest, "
+                             "PREFIX.jsonl live stream, "
+                             "PREFIX_trace.json merged Perfetto trace)")
     parser.add_argument("--probes", action="store_true",
                         help="print the probe catalogue and exit")
     args = parser.parse_args(argv)
@@ -173,9 +190,22 @@ def _cmd_run(argv: list[str]) -> int:
         return EXIT_OK
 
     if args.table4_baseline:
-        from repro.obs.manifest import table4_baseline, write_manifest
-        write_manifest(args.table4_baseline, table4_baseline(jobs=args.jobs))
+        from repro.obs.campaign import close_campaign, open_campaign
+        from repro.obs.manifest import (baseline_labels, table4_baseline,
+                                        write_manifest)
+        recorder, stream = open_campaign(
+            "table4-baseline", args.campaign_out, jobs=args.jobs,
+            expected_tasks=len(baseline_labels()))
+        try:
+            write_manifest(args.table4_baseline,
+                           table4_baseline(jobs=args.jobs,
+                                           recorder=recorder))
+        finally:
+            paths = close_campaign(recorder, stream, args.campaign_out)
         print(f"wrote Table-4 baseline -> {args.table4_baseline}")
+        if paths is not None:
+            print(f"campaign artefacts: {paths['manifest']}, "
+                  f"{paths['trace']}, {paths['stream']}")
         return EXIT_OK
 
     from repro.obs.attrib import AttributionSink
@@ -380,6 +410,173 @@ def _cmd_gate(argv: list[str]) -> int:
     return EXIT_OK
 
 
+def _cmd_report(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs report",
+        description="Render a campaign manifest (--campaign-out) as a "
+                    "markdown or HTML report.")
+    parser.add_argument("--campaign", required=True, metavar="PATH",
+                        help="campaign manifest JSON "
+                             "(the PREFIX.json of --campaign-out)")
+    parser.add_argument("--html", action="store_true",
+                        help="emit a self-contained HTML page instead "
+                             "of markdown")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the report to a file instead of "
+                             "stdout")
+    parser.add_argument("--slowest", type=int, default=10, metavar="N",
+                        help="how many slowest tasks to list "
+                             "(default: 10)")
+    args = parser.parse_args(argv)
+
+    from repro.obs.campaign import (read_campaign, render_campaign_html,
+                                    render_campaign_report)
+    try:
+        manifest = read_campaign(args.campaign)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        parser.error(f"cannot read {args.campaign}: {error}")
+    report = (render_campaign_html(manifest) if args.html
+              else render_campaign_report(manifest, slowest=args.slowest))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(report if report.endswith("\n") else report + "\n")
+        print(f"wrote campaign report -> {args.out}")
+    else:
+        print(report)
+    return EXIT_OK
+
+
+def _cmd_tail(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs tail",
+        description="Follow a campaign's live JSONL stream "
+                    "(the PREFIX.jsonl of --campaign-out) with "
+                    "per-task progress and an ETA.")
+    parser.add_argument("stream", help="campaign JSONL stream path")
+    parser.add_argument("--follow", action="store_true",
+                        help="keep polling for new lines until the "
+                             "campaign-end record (or --timeout)")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        metavar="SECS", help="poll interval with "
+                                             "--follow (default: 0.5)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="give up following after this long")
+    args = parser.parse_args(argv)
+
+    import time as time_module
+
+    from repro.obs.campaign import StreamProgress
+
+    progress = StreamProgress()
+    deadline = (time_module.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    try:
+        stream = open(args.stream, "r", encoding="utf-8")
+    except OSError as error:
+        parser.error(f"cannot read {args.stream}: {error}")
+    with stream:
+        buffered = ""
+        while True:
+            chunk = stream.readline()
+            if chunk:
+                buffered += chunk
+                if not buffered.endswith("\n"):
+                    continue  # partial line from a live writer
+                line, buffered = buffered, ""
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                rendered = progress.consume(record)
+                if rendered:
+                    print(rendered, flush=True)
+                if progress.finished:
+                    return EXIT_OK
+                continue
+            if not args.follow:
+                return EXIT_OK
+            if deadline is not None \
+                    and time_module.monotonic() >= deadline:
+                print("tail: timeout before campaign-end", flush=True)
+                return EXIT_OK
+            time_module.sleep(args.interval)
+
+
+def _cmd_trend(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crisp-obs trend",
+        description="Perf-trend analytics over the committed trajectory/"
+                    "throughput documents and campaign manifests.")
+    parser.add_argument("--trajectory", metavar="PATH",
+                        default="BENCH_table4_trajectory.json",
+                        help="trajectory document (default: "
+                             "BENCH_table4_trajectory.json)")
+    parser.add_argument("--throughput", metavar="PATH",
+                        default="BENCH_throughput.json",
+                        help="throughput baseline (default: "
+                             "BENCH_throughput.json)")
+    parser.add_argument("--campaign", action="append", metavar="PATH",
+                        default=[],
+                        help="campaign manifest(s) to include "
+                             "(repeatable)")
+    parser.add_argument("--threshold", default="2%", metavar="PCT",
+                        help="regression threshold, e.g. 2%% or 0.02 "
+                             "(default: 2%%)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the machine-readable trend document")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the rendered report to a file")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any series regressed past the "
+                             "threshold")
+    args = parser.parse_args(argv)
+
+    import os
+
+    from repro.obs.diff import parse_threshold
+    from repro.obs.trend import render_trend_report, trend_document
+
+    try:
+        threshold = parse_threshold(args.threshold)
+    except ValueError as error:
+        parser.error(str(error))
+
+    def load_optional(path: str) -> dict | None:
+        """Default documents may be absent (fresh clone subsets)."""
+        if not os.path.exists(path):
+            return None
+        return _load_document(parser, path)
+
+    trajectory = load_optional(args.trajectory)
+    throughput = load_optional(args.throughput)
+    campaigns = []
+    from repro.obs.campaign import read_campaign
+    for path in args.campaign:
+        try:
+            campaigns.append(read_campaign(path))
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            parser.error(f"cannot read {path}: {error}")
+
+    document = trend_document(trajectory, throughput, campaigns, threshold)
+    if args.as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        report = render_trend_report(trajectory, throughput, campaigns,
+                                     threshold)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as stream:
+                stream.write(report)
+            print(f"wrote trend report -> {args.out}")
+        else:
+            print(report)
+    if args.fail_on_regression and document["regressions"]:
+        print(f"TREND REGRESSED: {len(document['regressions'])} series "
+              f"past {100 * threshold:g}%")
+        return EXIT_REGRESSION
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch ``crisp-obs`` subcommands (bare flags mean ``run``).
 
@@ -391,7 +588,9 @@ def main(argv: list[str] | None = None) -> int:
         import sys
         argv = sys.argv[1:]
     commands = {"run": _cmd_run, "annotate": _cmd_annotate,
-                "diff": _cmd_diff, "gate": _cmd_gate}
+                "diff": _cmd_diff, "gate": _cmd_gate,
+                "report": _cmd_report, "tail": _cmd_tail,
+                "trend": _cmd_trend}
     command = commands.get(argv[0]) if argv else None
     try:
         if command is not None:

@@ -168,10 +168,37 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, fraction: float) -> float:
+        """Bucket-resolution quantile estimate (e.g. ``0.99`` for p99).
+
+        Walks the cumulative bucket counts and returns the upper bound
+        of the bucket holding the requested rank, clamped to the
+        observed ``[low, high]`` range — so the estimate is exact for
+        single-bucket distributions and never overshoots the data. The
+        error is bounded by the power-of-two bucket width, which is
+        enough to read a latency distribution's tail shape.
+        """
+        if not self.count:
+            return 0.0
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        rank = fraction * self.count
+        cumulative = 0
+        for bucket in sorted(self.buckets):
+            cumulative += self.buckets[bucket]
+            if cumulative >= rank:
+                upper = 1.0 if bucket == 0 else float(2 ** bucket)
+                assert self.low is not None and self.high is not None
+                return min(max(upper, self.low), self.high)
+        return float(self.high)  # fraction == 1 with rounding slack
+
     def snapshot(self) -> dict[str, Any]:
         return {"kind": "histogram", "count": self.count,
                 "total": self.total, "mean": self.mean,
                 "low": self.low, "high": self.high,
+                "p50": self.percentile(0.50),
+                "p90": self.percentile(0.90),
+                "p99": self.percentile(0.99),
                 "buckets": {str(k): v
                             for k, v in sorted(self.buckets.items())}}
 

@@ -7,10 +7,12 @@ fold policy), the workload identity, the repository git SHA, the final
 snapshot. ``BENCH_obs_baseline.json`` (the perf-trajectory seed) is a
 list of these, one per Table-4 case.
 
-Schema (``schema`` = 2; version 1 lacked ``sites``)::
+Schema (``schema`` = 3; version 1 lacked ``sites``, version 2 lacked
+the histogram percentile fields ``p50``/``p90``/``p99`` inside
+``probes``)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "kind": "crisp-run-manifest",
       "workload": "figure3",
       "git_sha": "..." | null,
@@ -25,6 +27,10 @@ Schema (``schema`` = 2; version 1 lacked ``sites``)::
 counters of :class:`repro.obs.attrib.SiteStats`. Readers must treat the
 block as optional — version-1 documents (and unattributed runs) carry
 ``{}`` — which keeps `crisp-obs diff`/`gate` usable across versions.
+:func:`read_manifest` accepts every schema up to the current one
+(documents written before the percentile fields existed still load; the
+fields are simply absent) and rejects documents from a *newer* writer,
+where silent misreads would be possible.
 """
 
 from __future__ import annotations
@@ -38,8 +44,11 @@ from repro.obs.events import EventBus
 from repro.sim.cpu import CpuConfig, CrispCpu
 from repro.sim.stats import PipelineStats
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 MANIFEST_KIND = "crisp-run-manifest"
+
+#: kinds whose ``schema`` field follows the run-manifest versioning
+VERSIONED_KINDS = (MANIFEST_KIND, "crisp-bench-baseline")
 
 
 def git_sha() -> str | None:
@@ -108,9 +117,23 @@ def manifest_for_cpu(workload: str, cpu: CrispCpu,
 
 
 def read_manifest(path: str) -> dict[str, Any]:
-    """Load a manifest (or baseline/trajectory) JSON document."""
+    """Load a manifest (or baseline/trajectory) JSON document.
+
+    Older schemas load unchanged — a schema-2 document simply lacks the
+    histogram percentile fields schema 3 added — but a manifest written
+    by a *newer* schema than this reader knows is rejected, because its
+    fields could be silently misread.
+    """
     with open(path, "r", encoding="utf-8") as stream:
-        return json.load(stream)
+        document = json.load(stream)
+    if isinstance(document, dict) \
+            and document.get("kind") in VERSIONED_KINDS \
+            and isinstance(document.get("schema"), int) \
+            and document["schema"] > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {document['schema']} is newer than this "
+            f"reader (max {SCHEMA_VERSION})")
+    return document
 
 
 def write_manifest(path: str, manifest: dict[str, Any]) -> None:
@@ -167,7 +190,8 @@ def baseline_labels() -> list[str]:
     return labels
 
 
-def table4_baseline(jobs: int | None = None) -> dict[str, Any]:
+def table4_baseline(jobs: int | None = None,
+                    recorder=None) -> dict[str, Any]:
     """Manifests for the Table-4 cases A–E (plus the dynamic-fold
     exhibit points): the perf-trajectory seed.
 
@@ -176,11 +200,14 @@ def table4_baseline(jobs: int | None = None) -> dict[str, Any]:
     diff``) and the gate metrics ``crisp-obs gate`` checks. ``jobs``
     fans the cases out over worker processes; the merged document is
     byte-identical to a serial run (ordered merge, deterministic
-    simulation — see :mod:`repro.eval.parallel`).
+    simulation — see :mod:`repro.eval.parallel`). ``recorder`` collects
+    out-of-band campaign telemetry without touching the document.
     """
     from repro.eval.parallel import map_ordered
 
-    cases = map_ordered(_baseline_case, baseline_labels(), jobs)
+    cases = map_ordered(_baseline_case, baseline_labels(), jobs,
+                        recorder=recorder,
+                        labeler=lambda label: f"baseline/{label}")
     return {
         "schema": SCHEMA_VERSION,
         "kind": "crisp-bench-baseline",

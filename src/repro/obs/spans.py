@@ -1,0 +1,203 @@
+"""Lightweight begin/end spans with process/worker track identities.
+
+The per-cycle probes in :mod:`repro.obs.events` answer *microarchitectural*
+questions about one simulated run. Spans answer the *campaign* question:
+where did the wall-clock of a multi-process ``--jobs N`` sweep or fuzz run
+actually go? A span is one named interval of real time (epoch seconds, so
+spans recorded in different worker processes share a timeline), tagged
+with a category and optional structured args.
+
+Three pieces:
+
+* :class:`SpanRecorder` — an append-only list of finished spans with a
+  ``span(...)`` context manager and explicit ``begin``/``end`` for code
+  that cannot nest cleanly.
+* A per-process *active recorder* (:func:`activate` / :func:`current` /
+  the module-level :func:`span` helper). Worker code instruments
+  unconditionally via :func:`span`; when no campaign is recording the
+  helper is a shared no-op context, so the instrumented path costs one
+  global read per call site.
+* :func:`campaign_trace_events` — merge scheduler spans plus per-task
+  worker spans into one Chrome/Perfetto trace: ``tid 0`` is the
+  scheduler track, ``tid 1..N`` one track per worker slot. Time is
+  exported in microseconds relative to the campaign start, so a merged
+  campaign reads like a single process on ``ui.perfetto.dev``.
+
+Spans travel from worker processes back to the scheduler *by value*
+(frozen dataclasses of primitives inside the task envelope — see
+:mod:`repro.eval.parallel`), never through shared state, so recording
+cannot perturb the byte-identical-output guarantee of the parallel
+runner.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+#: the Perfetto "process" every campaign track lives under
+CAMPAIGN_PID = 1
+
+#: tid of the scheduler track; worker slot *k* renders as ``tid k + 1``
+SCHEDULER_TID = 0
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished interval: ``[start, end]`` in epoch seconds."""
+
+    name: str
+    start: float
+    end: float
+    category: str = "task"
+    args: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def args_dict(self) -> dict[str, Any]:
+        return dict(self.args)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "start": self.start, "end": self.end,
+                "category": self.category, **self.args_dict()}
+
+
+class SpanRecorder:
+    """Collects finished spans; cheap enough to create per task.
+
+    ``clock`` is injectable for tests; production code uses epoch time so
+    spans from different processes merge onto one timeline.
+    """
+
+    def __init__(self, clock=time.time) -> None:
+        self.spans: list[Span] = []
+        self._clock = clock
+
+    def begin(self) -> float:
+        """Start an interval; pass the returned timestamp to :meth:`end`."""
+        return self._clock()
+
+    def end(self, name: str, started: float, category: str = "task",
+            **args: Any) -> Span:
+        """Finish the interval opened at ``started`` and record it."""
+        span = Span(name, started, self._clock(), category,
+                    tuple(sorted(args.items())))
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "task",
+             **args: Any) -> Iterator[None]:
+        started = self._clock()
+        try:
+            yield
+        finally:
+            self.end(name, started, category, **args)
+
+
+# ---- the per-process active recorder ---------------------------------------
+
+_ACTIVE: SpanRecorder | None = None
+
+
+def activate(recorder: SpanRecorder) -> None:
+    """Make ``recorder`` the process's active span recorder."""
+    global _ACTIVE
+    _ACTIVE = recorder
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def current() -> SpanRecorder | None:
+    """The active recorder, or None when no campaign is recording."""
+    return _ACTIVE
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+def span(name: str, category: str = "task", **args: Any):
+    """Record a span on the active recorder; a shared no-op otherwise.
+
+    Worker code (fuzz tasks, sweep workers) calls this unconditionally;
+    the cost with no campaign recording is one module-global read.
+    """
+    if _ACTIVE is None:
+        return _NULL_CONTEXT
+    return _ACTIVE.span(name, category, **args)
+
+
+# ---- merged Perfetto export ------------------------------------------------
+
+
+@dataclass
+class TrackSpans:
+    """The spans destined for one timeline row of the merged trace."""
+
+    tid: int
+    label: str
+    spans: list[Span] = field(default_factory=list)
+
+
+def worker_track_label(slot: int) -> str:
+    return f"worker {slot}"
+
+
+def _metadata(tid: int, label: str) -> dict[str, Any]:
+    return {"ph": "M", "ts": 0, "pid": CAMPAIGN_PID, "tid": tid,
+            "name": "thread_name", "args": {"name": label}}
+
+
+def campaign_trace_events(tracks: Iterable[TrackSpans],
+                          origin: float,
+                          process_name: str = "crisp campaign"
+                          ) -> list[dict[str, Any]]:
+    """Merge per-track spans into Chrome Trace Event Format dicts.
+
+    ``origin`` (epoch seconds, normally the campaign start) becomes
+    ``ts == 0``; span timestamps are exported as integer microseconds
+    after it. Every track gets a ``thread_name`` metadata record even
+    when it recorded no spans, so a ``--jobs 4`` campaign always renders
+    four worker rows — idle workers are visible as empty tracks, not
+    absent ones.
+    """
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "ts": 0, "pid": CAMPAIGN_PID, "tid": 0,
+         "name": "process_name", "args": {"name": process_name}},
+    ]
+    track_list = list(tracks)
+    for track in track_list:
+        events.append(_metadata(track.tid, track.label))
+    for track in track_list:
+        for item in track.spans:
+            event: dict[str, Any] = {
+                "ph": "X",
+                "ts": max(0, round((item.start - origin) * 1e6)),
+                "dur": max(1, round(item.duration * 1e6)),
+                "pid": CAMPAIGN_PID,
+                "tid": track.tid,
+                "name": item.name,
+                "cat": item.category,
+            }
+            args = item.args_dict()
+            if args:
+                event["args"] = args
+            events.append(event)
+    return events

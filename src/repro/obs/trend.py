@@ -1,0 +1,276 @@
+"""Perf-trend analytics over the committed benchmark documents.
+
+The repository accumulates machine-readable perf history PR over PR:
+``BENCH_table4_trajectory.json`` (one entry of headline Table-4 metrics
+per repository state, appended by ``crisp-obs gate
+--update-trajectory``), ``BENCH_throughput.json`` (the kernel-throughput
+baseline) and, with this module's sibling :mod:`repro.obs.campaign`,
+campaign manifests. ``crisp-obs trend`` reads them together and answers
+the question the per-run gate cannot: *which way have the numbers been
+moving, and did the latest state regress against the best one ever
+recorded?*
+
+The gate (:mod:`repro.obs.diff`) compares exactly two states with a
+hard threshold; trend analysis looks at the whole series — direction of
+each metric per case, latest-vs-previous and latest-vs-best deltas —
+and renders a report with ASCII sparklines. Regression detection here is
+advisory by default (``crisp-obs trend --fail-on-regression`` promotes
+it to exit status 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.diff import GATE_METRICS
+
+#: metric name -> +1 when higher is better, -1 when lower is better.
+#: Extends the gate metrics with the trajectory's cycle counts and the
+#: throughput baseline's rates.
+TREND_DIRECTIONS: dict[str, int] = {
+    **GATE_METRICS,
+    "cycles": -1,
+    "cycles_per_sec": +1,
+    "speedup": +1,
+}
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """A compact shape-of-the-series rendering (empty for < 2 points)."""
+    if len(values) < 2:
+        return ""
+    low, high = min(values), max(values)
+    if math.isclose(low, high):
+        return _SPARK_GLYPHS[0] * len(values)
+    scale = (len(_SPARK_GLYPHS) - 1) / (high - low)
+    return "".join(_SPARK_GLYPHS[round((value - low) * scale)]
+                   for value in values)
+
+
+@dataclass
+class MetricSeries:
+    """One (case, metric) series across trajectory entries."""
+
+    case: str
+    metric: str
+    values: list[float] = field(default_factory=list)
+    shas: list[str | None] = field(default_factory=list)
+
+    @property
+    def direction(self) -> int:
+        return TREND_DIRECTIONS.get(self.metric, +1)
+
+    @property
+    def latest(self) -> float:
+        return self.values[-1]
+
+    @property
+    def best(self) -> float:
+        """The best value ever recorded (direction-aware)."""
+        return (max if self.direction > 0 else min)(self.values)
+
+    def _relative_worsening(self, reference: float) -> float:
+        """How much worse ``latest`` is than ``reference`` (>= 0)."""
+        worsening = (reference - self.latest) * self.direction
+        if worsening <= 0:
+            return 0.0
+        if reference == 0:
+            return math.inf
+        return worsening / abs(reference)
+
+    @property
+    def vs_previous(self) -> float:
+        """Relative worsening of the latest point vs the one before it."""
+        if len(self.values) < 2:
+            return 0.0
+        return self._relative_worsening(self.values[-2])
+
+    @property
+    def vs_best(self) -> float:
+        """Relative worsening of the latest point vs the best ever."""
+        return self._relative_worsening(self.best)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"case": self.case, "metric": self.metric,
+                "values": self.values, "latest": self.latest,
+                "best": self.best, "vs_previous": self.vs_previous,
+                "vs_best": self.vs_best}
+
+
+@dataclass(frozen=True)
+class TrendRegression:
+    """The latest trajectory point degraded a (case, metric) series."""
+
+    case: str
+    metric: str
+    reference: str  #: "previous" or "best"
+    baseline: float
+    latest: float
+    relative: float
+
+    def describe(self) -> str:
+        direction = ("fell" if TREND_DIRECTIONS.get(self.metric, 1) > 0
+                     else "rose")
+        percent = ("" if math.isinf(self.relative)
+                   else f" ({100 * self.relative:.2f}%)")
+        return (f"case {self.case}: {self.metric} {direction} vs "
+                f"{self.reference} {self.baseline:.4f} -> "
+                f"{self.latest:.4f}{percent}")
+
+
+def trajectory_series(document: dict) -> list[MetricSeries]:
+    """Per-(case, metric) series from a trajectory document.
+
+    Cases appear and disappear across entries as exhibits grow (the
+    dynfold points joined mid-history); each series holds only the
+    entries where its case was measured, in entry order.
+    """
+    if document.get("kind") != "crisp-bench-trajectory":
+        raise ValueError(
+            f"unsupported document kind {document.get('kind')!r}")
+    series: dict[tuple[str, str], MetricSeries] = {}
+    for entry in document.get("entries", []):
+        sha = entry.get("git_sha")
+        for case, metrics in sorted(entry.get("cases", {}).items()):
+            for metric, value in sorted(metrics.items()):
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    continue
+                key = (case, metric)
+                if key not in series:
+                    series[key] = MetricSeries(case, metric)
+                series[key].values.append(float(value))
+                series[key].shas.append(sha)
+    return [series[key] for key in sorted(series)]
+
+
+def detect_regressions(series: list[MetricSeries],
+                       threshold: float = 0.02) -> list[TrendRegression]:
+    """Series whose latest point is worse than previous or best.
+
+    A vs-best finding subsumes a vs-previous one for the same series, so
+    each (case, metric) contributes at most one regression — against the
+    stronger reference.
+    """
+    regressions: list[TrendRegression] = []
+    for item in series:
+        if item.vs_best > threshold:
+            regressions.append(TrendRegression(
+                item.case, item.metric, "best", item.best, item.latest,
+                item.vs_best))
+        elif item.vs_previous > threshold:
+            regressions.append(TrendRegression(
+                item.case, item.metric, "previous", item.values[-2],
+                item.latest, item.vs_previous))
+    return regressions
+
+
+def throughput_rows(document: dict) -> list[dict[str, Any]]:
+    """Flatten a ``crisp-bench-baseline`` throughput doc to report rows."""
+    rows = []
+    for case in document.get("cases", []):
+        label = case.get("extra", {}).get("case", case.get("workload", "?"))
+        for metric, value in sorted(case.get("metrics", {}).items()):
+            rows.append({"case": label, "metric": metric, "value": value})
+    return rows
+
+
+def campaign_rows(documents: list[dict]) -> list[dict[str, Any]]:
+    """Headline totals of each campaign manifest, for the report."""
+    rows = []
+    for document in documents:
+        totals = document.get("totals", {})
+        rows.append({
+            "campaign": document.get("campaign", "?"),
+            "tasks": totals.get("tasks", 0),
+            "failed": totals.get("failed", 0),
+            "retried": totals.get("retried", 0),
+            "campaign_wall": totals.get("campaign_wall", 0.0),
+            "parallel_efficiency": totals.get("parallel_efficiency"),
+            "cache_hit_rate": totals.get("cache_hit_rate"),
+        })
+    return rows
+
+
+def trend_document(trajectory: dict | None = None,
+                   throughput: dict | None = None,
+                   campaigns: list[dict] | None = None,
+                   threshold: float = 0.02) -> dict[str, Any]:
+    """The machine-readable trend analysis (``crisp-obs trend --json``)."""
+    series = trajectory_series(trajectory) if trajectory else []
+    regressions = detect_regressions(series, threshold)
+    return {
+        "kind": "crisp-trend-report",
+        "threshold": threshold,
+        "series": [item.as_dict() for item in series],
+        "regressions": [{"case": item.case, "metric": item.metric,
+                         "reference": item.reference,
+                         "baseline": item.baseline, "latest": item.latest,
+                         "relative": None if math.isinf(item.relative)
+                         else item.relative}
+                        for item in regressions],
+        "throughput": throughput_rows(throughput) if throughput else [],
+        "campaigns": campaign_rows(campaigns or []),
+    }
+
+
+def render_trend_report(trajectory: dict | None = None,
+                        throughput: dict | None = None,
+                        campaigns: list[dict] | None = None,
+                        threshold: float = 0.02) -> str:
+    """The human-readable markdown trend report."""
+    lines = ["# CRISP perf trend", ""]
+    series = trajectory_series(trajectory) if trajectory else []
+    regressions = detect_regressions(series, threshold)
+
+    if series:
+        entries = max(len(item.values) for item in series)
+        lines += [f"## Table-4 trajectory ({entries} entries)", "",
+                  "| case | metric | trend | latest | best | vs best |",
+                  "|---|---|---|---|---|---|"]
+        for item in series:
+            flag = " ⚠" if item.vs_best > threshold else ""
+            lines.append(
+                f"| {item.case} | {item.metric} | {sparkline(item.values)} "
+                f"| {item.latest:.4g} | {item.best:.4g} "
+                f"| {100 * item.vs_best:+.2f}%{flag} |")
+        lines.append("")
+
+    lines.append(f"## Regressions (> {100 * threshold:g}% vs best or "
+                 f"previous)")
+    lines.append("")
+    if regressions:
+        lines += [f"- {item.describe()}" for item in regressions]
+    else:
+        lines.append("none — every series is at or near its best "
+                     "recorded value")
+    lines.append("")
+
+    if throughput:
+        lines += ["## Kernel throughput baseline", "",
+                  "| case | metric | value |", "|---|---|---|"]
+        for row in throughput_rows(throughput):
+            lines.append(f"| {row['case']} | {row['metric']} "
+                         f"| {row['value']:g} |")
+        lines.append("")
+
+    if campaigns:
+        lines += ["## Recent campaigns", "",
+                  "| campaign | tasks | failed | retried | wall (s) "
+                  "| efficiency | cache hit rate |",
+                  "|---|---|---|---|---|---|---|"]
+        for row in campaign_rows(campaigns):
+            efficiency = ("-" if row["parallel_efficiency"] is None
+                          else f"{100 * row['parallel_efficiency']:.0f}%")
+            hit_rate = ("-" if row["cache_hit_rate"] is None
+                        else f"{100 * row['cache_hit_rate']:.0f}%")
+            lines.append(
+                f"| {row['campaign']} | {row['tasks']} | {row['failed']} "
+                f"| {row['retried']} | {row['campaign_wall']:.1f} "
+                f"| {efficiency} | {hit_rate} |")
+        lines.append("")
+    return "\n".join(lines)

@@ -123,8 +123,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     failures: list[ProgramReport] = []
     lost: list[TaskFailure] = []
     ran = 0
-    deadline = (time.monotonic() + args.budget
+    started = time.monotonic()
+    deadline = (started + args.budget
                 if args.budget is not None else None)
+    # ETA target: the fixed program count in plain mode, the hard cap
+    # in budget/coverage modes (where the real stop is time/coverage)
+    expected = (args.programs if args.budget is None
+                and args.target_coverage is None else None)
 
     if args.dyn_confidence:
         dyn_mix = tuple(None if value < 0 else value
@@ -132,12 +137,36 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         dyn_mix = _DYN_MIX
 
+    from repro.obs.campaign import close_campaign, open_campaign
+    recorder, campaign_stream = open_campaign(
+        "crisp-verify fuzz", args.campaign_out,
+        jobs=args.jobs, expected_tasks=expected)
+
+    def heartbeat() -> None:
+        """One progress line per batch on stderr (stdout stays stable)."""
+        if args.no_heartbeat:
+            return
+        agreements = ran - len(failures) - len(lost)
+        rate = agreements / ran if ran else 0.0
+        elapsed = time.monotonic() - started
+        if deadline is not None:
+            eta_text = f"budget left {max(deadline - time.monotonic(), 0.0):.0f}s"
+        elif expected and ran < expected:
+            eta_text = f"eta {(expected - ran) * elapsed / ran:.0f}s"
+        else:
+            eta_text = f"elapsed {elapsed:.0f}s"
+        print(f"fuzz: {ran} programs  agree {rate:.1%}  "
+              f"coverage {coverage.fraction():.1%}  {eta_text}",
+              file=sys.stderr, flush=True)
+
     def run_batch(count: int) -> None:
         nonlocal ran
         batch = _tasks(args.seed, ran, count, profiles,
                        stress=not args.no_stress,
                        dyn_mix=dyn_mix, inject=args.inject)
-        for report in map_ordered(run_fuzz_task, batch, jobs=args.jobs):
+        for report in map_ordered(
+                run_fuzz_task, batch, jobs=args.jobs, recorder=recorder,
+                labeler=lambda task: f"fuzz/{task.profile}/{task.seed}"):
             if isinstance(report, TaskFailure):
                 # A worker crashed (twice) on this task; the campaign
                 # continues but the lost point is visible and fatal.
@@ -149,16 +178,31 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             if not report.ok:
                 failures.append(report)
         ran += count
+        if recorder is not None:
+            recorder.note("coverage", programs=ran,
+                          disagreements=len(failures),
+                          cells=coverage.total_hit(),
+                          fraction=round(coverage.fraction(), 4))
+        heartbeat()
 
-    if args.target_coverage is not None:
-        while (coverage.fraction() < args.target_coverage
-               and ran < args.max_programs):
-            run_batch(min(_BATCH, args.max_programs - ran))
-    elif deadline is not None:
-        while time.monotonic() < deadline and ran < args.max_programs:
-            run_batch(min(_BATCH, args.max_programs - ran))
-    else:
-        run_batch(args.programs)
+    try:
+        if args.target_coverage is not None:
+            while (coverage.fraction() < args.target_coverage
+                   and ran < args.max_programs):
+                run_batch(min(_BATCH, args.max_programs - ran))
+        elif deadline is not None:
+            while time.monotonic() < deadline and ran < args.max_programs:
+                run_batch(min(_BATCH, args.max_programs - ran))
+        else:
+            # batched (identical task list to a single call — tasks are
+            # generated by absolute index) so heartbeats appear live
+            while ran < args.programs:
+                run_batch(min(_BATCH, args.programs - ran))
+    finally:
+        paths = close_campaign(recorder, campaign_stream, args.campaign_out)
+        if paths is not None:
+            print(f"campaign artefacts: {paths['manifest']}, "
+                  f"{paths['trace']}, {paths['stream']}", file=sys.stderr)
 
     print(f"programs: {ran}")
     print(f"profiles: {', '.join(profiles)}")
@@ -309,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "static policy; default cycles static,1,2,3)")
     fuzz.add_argument("--inject", choices=INJECT_MODES, default=None,
                       help="misprediction fault injection in both kernels")
+    fuzz.add_argument("--campaign-out", metavar="PREFIX", default=None,
+                      help="record campaign telemetry: PREFIX.json "
+                           "(manifest), PREFIX.jsonl (live stream for "
+                           "'crisp-obs tail'), PREFIX_trace.json (merged "
+                           "Perfetto trace). The fuzz results are "
+                           "untouched")
+    fuzz.add_argument("--no-heartbeat", action="store_true",
+                      help="suppress the per-batch progress line on "
+                           "stderr")
     fuzz.set_defaults(func=cmd_fuzz)
 
     replay = sub.add_parser("replay", help="re-check corpus .s files")

@@ -332,15 +332,27 @@ class ProgramReport:
 
 
 def run_fuzz_task(task: FuzzTask) -> ProgramReport:
-    """Module-level worker: pure function of the task (process-safe)."""
-    source = generate_source(task.seed, task.profile)
-    try:
-        program = assemble(source)
-    except AssemblyError as exc:
-        return ProgramReport(task.seed, task.profile, ok=False,
-                             mismatches=[f"assemble: {exc}"], source=source)
-    mismatches, oracle = run_differential(
-        program, task_policy(task), stress=task.stress, inject=task.inject)
+    """Module-level worker: pure function of the task (process-safe).
+
+    The generate/assemble and differential phases are wrapped in
+    :func:`repro.obs.spans.span` sub-spans — no-ops normally, rendered
+    inside the task's slice on the worker track when the scheduler runs
+    a campaign recording (``--campaign-out``).
+    """
+    from repro.obs.spans import span
+
+    with span("generate", seed=task.seed, profile=task.profile):
+        source = generate_source(task.seed, task.profile)
+        try:
+            program = assemble(source)
+        except AssemblyError as exc:
+            return ProgramReport(task.seed, task.profile, ok=False,
+                                 mismatches=[f"assemble: {exc}"],
+                                 source=source)
+    with span("differential", seed=task.seed):
+        mismatches, oracle = run_differential(
+            program, task_policy(task), stress=task.stress,
+            inject=task.inject)
     report = ProgramReport(task.seed, task.profile, ok=not mismatches,
                            mismatches=mismatches,
                            parcels=program_parcels(program),

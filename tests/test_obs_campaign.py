@@ -1,0 +1,424 @@
+"""Campaign observability: spans, recorder, retry telemetry, trend."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.eval.parallel import TaskFailure, map_ordered
+from repro.obs.campaign import (
+    CampaignRecorder,
+    StreamProgress,
+    TaskRecord,
+    read_campaign,
+    render_campaign_html,
+    render_campaign_report,
+)
+from repro.obs.events import EventBus
+from repro.obs.spans import (
+    SCHEDULER_TID,
+    SpanRecorder,
+    TrackSpans,
+    campaign_trace_events,
+    current,
+    span,
+)
+
+
+# ---- histogram percentiles (manifest schema 3) -----------------------------
+
+
+class TestHistogramPercentiles:
+    def _histogram(self, values):
+        bus = EventBus()
+        histogram = bus.histogram("latency")
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert self._histogram([]).percentile(0.5) == 0.0
+
+    def test_fraction_outside_unit_interval_rejected(self):
+        histogram = self._histogram([1, 2, 3])
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+
+    def test_single_bucket_distribution_is_exact(self):
+        histogram = self._histogram([7] * 100)
+        for fraction in (0.5, 0.9, 0.99):
+            assert histogram.percentile(fraction) == 7
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        # 90 values in bucket 0 (<=1), 10 in bucket 4 (9..16]
+        histogram = self._histogram([1] * 90 + [10] * 10)
+        assert histogram.percentile(0.50) == 1
+        assert histogram.percentile(0.90) == 1
+        # p99 lands in the tail bucket; its upper bound 16 is clamped
+        # to the observed high
+        assert histogram.percentile(0.99) == 10
+
+    def test_snapshot_carries_percentile_fields(self):
+        snapshot = self._histogram([1, 2, 4, 8]).snapshot()
+        for key in ("p50", "p90", "p99"):
+            assert key in snapshot
+        assert snapshot["p99"] <= snapshot["high"]
+
+    def test_manifest_schema_versioning(self, tmp_path):
+        from repro.obs.manifest import (SCHEMA_VERSION, MANIFEST_KIND,
+                                        read_manifest, write_manifest)
+        assert SCHEMA_VERSION == 3
+        old = tmp_path / "old.json"
+        write_manifest(str(old), {"schema": 2, "kind": MANIFEST_KIND,
+                                  "metrics": {}})
+        assert read_manifest(str(old))["schema"] == 2  # older still loads
+        newer = tmp_path / "newer.json"
+        write_manifest(str(newer), {"schema": SCHEMA_VERSION + 1,
+                                    "kind": MANIFEST_KIND})
+        with pytest.raises(ValueError, match="newer"):
+            read_manifest(str(newer))
+
+
+# ---- the span API ----------------------------------------------------------
+
+
+class TestSpans:
+    def test_span_is_noop_without_active_recorder(self):
+        assert current() is None
+        with span("work", detail=1):
+            pass  # must not raise, must not record anywhere
+        assert current() is None
+
+    def test_recorder_collects_nested_spans(self):
+        ticks = iter([0.0, 1.0, 2.0, 3.0])
+        recorder = SpanRecorder(clock=lambda: next(ticks))
+        with recorder.span("outer"):
+            with recorder.span("inner", step=1):
+                pass
+        names = [item.name for item in recorder.spans]
+        assert names == ["inner", "outer"]  # closed innermost-first
+        inner, outer = recorder.spans
+        assert inner.duration == 1.0 and outer.duration == 3.0
+        assert inner.args_dict() == {"step": 1}
+
+    def test_trace_events_have_worker_and_scheduler_tracks(self):
+        recorder = SpanRecorder(clock=iter([10.0, 10.5]).__next__)
+        with recorder.span("job"):
+            pass
+        tracks = [TrackSpans(SCHEDULER_TID, "scheduler", []),
+                  TrackSpans(1, "worker 0", list(recorder.spans))]
+        events = campaign_trace_events(tracks, origin=10.0)
+        names = {event["args"]["name"] for event in events
+                 if event.get("name") == "thread_name"}
+        assert names == {"scheduler", "worker 0"}
+        slices = [event for event in events if event["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["ts"] == 0 and slices[0]["dur"] == 500_000
+
+
+# ---- recording does not perturb results ------------------------------------
+
+
+def _double(value):
+    return value * 2
+
+
+class _FlakyWorker:
+    """Raises on the first call per flag file, then succeeds."""
+
+    def __init__(self, flag):
+        self.flag = flag
+
+    def __call__(self, task):
+        import os
+        if not os.path.exists(self.flag):
+            with open(self.flag, "w", encoding="utf-8"):
+                pass
+            raise RuntimeError(f"transient crash on {task}")
+        return task
+
+
+class _Seeded:
+    """A task object with the attributes records pick up."""
+
+    def __init__(self, seed, payload):
+        self.seed = seed
+        self.payload = payload
+
+
+def _always_fails(task):
+    raise ValueError(f"cannot process seed {task.seed}")
+
+
+class TestRecordingIsOutOfBand:
+    def test_serial_results_identical_with_recorder(self):
+        plain = map_ordered(_double, [1, 2, 3])
+        recorder = CampaignRecorder("test")
+        recorded = map_ordered(_double, [1, 2, 3], recorder=recorder)
+        assert recorded == plain
+        assert len(recorder.tasks) == 3
+        assert [record.index for record in recorder.tasks] == [0, 1, 2]
+
+    def test_parallel_results_identical_with_recorder(self):
+        plain = map_ordered(_double, list(range(8)), jobs=2)
+        recorder = CampaignRecorder("test", jobs=2)
+        recorded = map_ordered(_double, list(range(8)), jobs=2,
+                               recorder=recorder)
+        assert recorded == plain == [2 * n for n in range(8)]
+        assert len(recorder.tasks) == 8
+
+    def test_table4_rows_identical_with_recorder(self):
+        from repro.eval.table4 import format_table4, run_table4
+        plain = format_table4(run_table4())
+        recorder = CampaignRecorder("table4")
+        recorded = format_table4(run_table4(recorder=recorder))
+        assert recorded == plain
+        assert [record.label for record in recorder.tasks] == \
+            ["table4/A", "table4/B", "table4/C", "table4/D", "table4/E"]
+        assert all(record.wall > 0 for record in recorder.tasks)
+
+
+# ---- retry and failure telemetry -------------------------------------------
+
+
+class TestRetryTelemetry:
+    def test_crashed_then_retried_task_has_retries_one(self, tmp_path):
+        worker = _FlakyWorker(str(tmp_path / "crashed.flag"))
+        recorder = CampaignRecorder("test")
+        results = map_ordered(worker, ["only"], recorder=recorder)
+        assert results == ["only"]
+        assert len(recorder.tasks) == 1  # one task, not one per attempt
+        record = recorder.tasks[0]
+        assert record.retries == 1 and not record.failed
+        assert recorder.totals()["retried"] == 1
+
+    def test_persistent_failure_carries_replay_context(self):
+        recorder = CampaignRecorder("test")
+        task = _Seeded(seed=1234, payload="x")
+        results = map_ordered(_always_fails, [task], recorder=recorder)
+        assert isinstance(results[0], TaskFailure)
+        record = recorder.tasks[0]
+        assert record.failed and record.seed == 1234
+        assert "cannot process seed 1234" in record.error
+        assert "ValueError" in record.traceback
+        assert "_always_fails" in record.traceback
+        # the merged TaskFailure itself also carries the task and trace
+        assert results[0].task is task
+        assert "ValueError" in results[0].traceback
+
+
+# ---- the campaign manifest and merged trace --------------------------------
+
+
+def _sample_recorder(stream=None):
+    ticks = iter(float(n) for n in range(100))
+    recorder = CampaignRecorder("sample", jobs=4, expected_tasks=3,
+                                stream=stream, clock=lambda: next(ticks))
+    recorder.task_done(TaskRecord(
+        index=0, label="t/0", seed=7, worker=recorder.worker_slot(100),
+        pid=100, started=0.5, wall=0.5, cache_hits=1))
+    recorder.task_done(TaskRecord(
+        index=1, label="t/1", worker=recorder.worker_slot(101), pid=101,
+        started=1.0, wall=1.0, retries=1))
+    recorder.task_done(TaskRecord(
+        index=2, label="t/2", worker=recorder.worker_slot(100), pid=100,
+        started=2.0, wall=0.25, retries=1, failed=True,
+        error="BoomError: lost",
+        traceback="Traceback ...\nBoomError: lost"))
+    recorder.note("coverage", programs=3, cells=10, fraction=0.5)
+    return recorder
+
+
+class TestCampaignManifest:
+    def test_manifest_totals(self):
+        recorder = _sample_recorder()
+        manifest = recorder.manifest()
+        assert manifest["kind"] == "crisp-campaign-manifest"
+        totals = manifest["totals"]
+        assert totals["tasks"] == 3
+        assert totals["failed"] == 1
+        assert totals["retried"] == 2  # the failed task also retried
+        assert totals["workers"] == 2
+        assert totals["cache_hits"] == 1
+
+    def test_trace_renders_one_track_per_requested_job(self):
+        # jobs=4 but only two pids seen: idle lanes still render, so a
+        # --jobs 4 trace always shows four worker rows
+        events = _sample_recorder().trace_events()
+        names = sorted(event["args"]["name"] for event in events
+                       if event.get("name") == "thread_name")
+        assert names == ["scheduler", "worker 0", "worker 1", "worker 2",
+                         "worker 3"]
+        slices = [event for event in events if event["ph"] == "X"]
+        assert len(slices) == 3
+        categories = {event["name"]: event["cat"] for event in slices}
+        assert categories["t/2"] == "failure"
+
+    def test_stream_and_tail_progress(self):
+        stream = io.StringIO()
+        recorder = _sample_recorder(stream)
+        recorder.finish()
+        lines = [json.loads(line)
+                 for line in stream.getvalue().splitlines()]
+        assert [line["type"] for line in lines] == \
+            ["campaign-start", "task", "task", "task", "event",
+             "campaign-end"]
+        progress = StreamProgress()
+        rendered = [progress.consume(line) for line in lines]
+        assert progress.finished
+        assert progress.done == 3 and progress.failed == 1
+        assert "[1/3] t/0 ok" in rendered[1]
+        assert "FAIL" in rendered[3]
+        assert "eta" in rendered[1]
+
+    def test_artifacts_round_trip(self, tmp_path):
+        recorder = _sample_recorder()
+        prefix = str(tmp_path / "camp")
+        paths = recorder.write_artifacts(prefix)
+        manifest = read_campaign(paths["manifest"])
+        assert manifest["totals"]["tasks"] == 3
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a"):
+            read_campaign(str(wrong))
+        newer = tmp_path / "newer.json"
+        newer.write_text(json.dumps(
+            {"kind": "crisp-campaign-manifest", "schema": 99}))
+        with pytest.raises(ValueError, match="newer"):
+            read_campaign(str(newer))
+
+    def test_report_sections(self):
+        manifest = _sample_recorder().manifest()
+        report = render_campaign_report(manifest)
+        assert "## Slowest tasks" in report
+        assert "## Failures" in report
+        assert "BoomError: lost" in report
+        assert "## Recovered retries" in report
+        assert "## Coverage over time" in report
+        html = render_campaign_html(manifest)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "BoomError: lost" in html
+
+
+# ---- trend analytics -------------------------------------------------------
+
+
+def _trajectory(values_by_entry):
+    return {"kind": "crisp-bench-trajectory",
+            "entries": [{"git_sha": f"sha{i}",
+                         "cases": {"D": {"issued_cpi": value}}}
+                        for i, value in enumerate(values_by_entry)]}
+
+
+class TestTrend:
+    def test_regression_against_best(self):
+        from repro.obs.trend import detect_regressions, trajectory_series
+        series = trajectory_series(_trajectory([1.00, 1.01, 1.10]))
+        regressions = detect_regressions(series, threshold=0.02)
+        assert len(regressions) == 1
+        assert regressions[0].reference == "best"
+        assert "issued_cpi rose" in regressions[0].describe()
+
+    def test_flat_series_is_clean(self):
+        from repro.obs.trend import detect_regressions, trajectory_series
+        series = trajectory_series(_trajectory([1.01, 1.01, 1.01]))
+        assert detect_regressions(series, threshold=0.02) == []
+
+    def test_improvement_is_not_a_regression(self):
+        from repro.obs.trend import detect_regressions, trajectory_series
+        series = trajectory_series(_trajectory([1.10, 1.05, 1.00]))
+        assert detect_regressions(series, threshold=0.02) == []
+
+    def test_trend_document_and_report(self):
+        from repro.obs.trend import render_trend_report, trend_document
+        campaigns = [_sample_recorder().manifest()]
+        document = trend_document(_trajectory([1.0, 1.2]), None,
+                                  campaigns, threshold=0.02)
+        assert document["kind"] == "crisp-trend-report"
+        assert len(document["regressions"]) == 1
+        report = render_trend_report(_trajectory([1.0, 1.2]), None,
+                                     campaigns, threshold=0.02)
+        assert "## Regressions" in report
+        assert "sample" in report  # the campaign row
+        assert "⚠" in report
+
+    def test_sparkline_shape(self):
+        from repro.obs.trend import sparkline
+        assert sparkline([1.0]) == ""
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3 and line[0] == "▁" and line[-1] == "█"
+
+
+# ---- CLI integration -------------------------------------------------------
+
+
+class TestCampaignCli:
+    def test_eval_table4_campaign_stdout_byte_identical(self, tmp_path,
+                                                        capsys):
+        from repro.eval.cli import main
+        assert main(["table4"]) == 0
+        plain = capsys.readouterr().out
+        prefix = str(tmp_path / "camp")
+        assert main(["table4", "--jobs", "2",
+                     "--campaign-out", prefix]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain  # byte-identical exhibit
+        assert "campaign artefacts" in captured.err  # paths on stderr
+        manifest = read_campaign(prefix + ".json")
+        assert manifest["totals"]["tasks"] == 5
+        trace = json.loads((tmp_path / "camp_trace.json").read_text())
+        worker_tracks = [event for event in trace
+                         if event.get("name") == "thread_name"
+                         and event["args"]["name"].startswith("worker")]
+        assert len(worker_tracks) >= 2  # one per requested job
+        assert (tmp_path / "camp.jsonl").exists()
+
+    def test_obs_report_and_tail_cli(self, tmp_path, capsys):
+        from repro.obs.cli import main
+        stream_file = tmp_path / "camp.jsonl"
+        with open(stream_file, "w", encoding="utf-8") as stream:
+            recorder = _sample_recorder(stream)
+            recorder.finish()
+            recorder.write_artifacts(str(tmp_path / "camp"))
+        assert main(["report", "--campaign",
+                     str(tmp_path / "camp.json")]) == 0
+        assert "# Campaign report: sample" in capsys.readouterr().out
+        assert main(["tail", str(stream_file)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign sample: started" in out
+        assert "campaign sample: done" in out
+
+    def test_obs_trend_cli_fail_on_regression(self, tmp_path, capsys):
+        from repro.obs.cli import main
+        from repro.obs.manifest import write_manifest
+        path = tmp_path / "trajectory.json"
+        write_manifest(str(path), _trajectory([1.0, 1.2]))
+        assert main(["trend", "--trajectory", str(path),
+                     "--throughput", str(tmp_path / "absent.json")]) == 0
+        assert "⚠" in capsys.readouterr().out
+        assert main(["trend", "--trajectory", str(path),
+                     "--throughput", str(tmp_path / "absent.json"),
+                     "--fail-on-regression"]) == 1
+
+    def test_verify_fuzz_campaign_and_heartbeat(self, tmp_path, capsys):
+        from repro.verify.cli import main
+        prefix = str(tmp_path / "fuzz")
+        assert main(["fuzz", "--programs", "4", "--no-stress",
+                     "--campaign-out", prefix,
+                     "--corpus-dir", str(tmp_path / "corpus")]) == 0
+        captured = capsys.readouterr()
+        assert "fuzz: 4 programs" in captured.err  # the heartbeat line
+        assert "coverage" in captured.err
+        manifest = read_campaign(prefix + ".json")
+        assert manifest["totals"]["tasks"] == 4
+        coverage_events = [event for event in manifest["events"]
+                           if event["name"] == "coverage"]
+        assert coverage_events and coverage_events[-1]["programs"] == 4
+        # worker sub-spans (generate/differential) made it into records
+        labels = {item["name"] for task in manifest["tasks"]
+                  for item in task.get("spans", [])}
+        assert {"generate", "differential"} <= labels
