@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-throughput eval report examples obs \
-	obs-overhead campaign-overhead gate annotate trend fuzz fuzz-inject \
-	clean
+.PHONY: install test bench bench-throughput bench-blockspec eval report \
+	examples obs obs-overhead campaign-overhead gate annotate trend fuzz \
+	fuzz-inject fuzz-engines clean
 
 install:
 	pip install -e .
@@ -39,6 +39,10 @@ campaign-overhead:
 bench-throughput:
 	$(PYTHON) -m pytest benchmarks/bench_sim_throughput.py -q -s
 
+bench-blockspec:
+	$(PYTHON) -m pytest benchmarks/bench_sim_throughput.py -q -s \
+		-k blockspec
+
 gate:
 	$(PYTHON) -m repro.obs.cli gate --baseline BENCH_obs_baseline.json \
 		--threshold 2% --update-trajectory BENCH_table4_trajectory.json
@@ -58,6 +62,11 @@ fuzz-inject:
 		--inject always-wrong --coverage-out fuzz_coverage_inject.json \
 		--campaign-out fuzz_campaign_inject
 
+# 4-way differential: reference / ideal / stress / blockspec trace tier
+fuzz-engines:
+	$(PYTHON) -m repro.verify.cli fuzz --seed 2 --budget 60 --jobs 0 \
+		--engine all --coverage-out fuzz_coverage_engines.json
+
 examples:
 	@for example in examples/*.py; do \
 		echo "== $$example =="; \
@@ -69,6 +78,7 @@ clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info
 	rm -f obs_trace.json obs_run.json obs_metrics.jsonl \
 		fuzz_coverage.json fuzz_coverage_inject.json \
+		fuzz_coverage_engines.json \
 		fuzz_campaign.json fuzz_campaign.jsonl fuzz_campaign_trace.json \
 		fuzz_campaign_inject.json fuzz_campaign_inject.jsonl \
 		fuzz_campaign_inject_trace.json \

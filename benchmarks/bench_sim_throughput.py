@@ -1,6 +1,6 @@
 """Guard: the fast dispatch kernel actually is fast.
 
-Three arms, all simulating Table-4 case E (spreading + prediction, no
+Four arms, all simulating Table-4 case E (spreading + prediction, no
 folding — the heaviest EU-side case):
 
 * **reference** — :mod:`repro.sim.reference`, the retained pre-PR
@@ -8,13 +8,16 @@ folding — the heaviest EU-side case):
   allocation, unconditional probe updates;
 * **fast** — the production kernel on a disabled bus (the
   un-instrumented path sweeps and tables use);
-* **instrumented** — the production kernel on a default live bus.
+* **instrumented** — the production kernel on a default live bus;
+* **blockspec** — the block-specializing trace tier
+  (:mod:`repro.sim.blockspec`): hot steady-state loops JIT-compiled to
+  generated Python, deopting to the fast kernel everywhere else.
 
-The acceptance bar is ``fast >= 2.5 x reference`` in cycles/sec. The
-parallel runner has a second bar — ``--jobs 4`` sweep wall-clock at
-least 2x the serial path — which only makes sense on a multi-core host
-and is skipped elsewhere; its *correctness* half (byte-identical Table-4
-JSON) runs everywhere.
+The acceptance bars are ``fast >= 2.5 x reference`` and ``blockspec >=
+2.0 x fast`` in cycles/sec. The parallel runner has a third bar —
+``--jobs 4`` sweep wall-clock at least 2x the serial path — which only
+makes sense on a multi-core host and is skipped elsewhere; its
+*correctness* half (byte-identical Table-4 JSON) runs everywhere.
 
 ``BENCH_SMOKE=1`` (the CI setting) trims repetitions so the whole file
 finishes in seconds; thresholds are unchanged.
@@ -27,6 +30,7 @@ Run as a script to (re)record the committed throughput baseline::
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import time
@@ -42,6 +46,7 @@ from repro.sim.reference import run_reference
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 REPETITIONS = 2 if SMOKE else 3
 MIN_KERNEL_SPEEDUP = 2.5
+MIN_BLOCKSPEC_SPEEDUP = 2.0
 MIN_PARALLEL_SPEEDUP = 2.0
 PARALLEL_JOBS = 4
 
@@ -66,30 +71,59 @@ def _cycles_per_sec(run, repetitions: int = REPETITIONS) -> float:
 
 
 def measure_throughput() -> dict[str, float]:
-    """cycles/sec for the three arms on Table-4 case E."""
+    """cycles/sec for the four arms on Table-4 case E."""
     program, config = _case_e()
+    bconfig = dataclasses.replace(config, engine="blockspec")
     arms = {
         "reference": lambda: run_reference(program, config),
         "fast": lambda: run_cycle_accurate(
             program, config, obs=EventBus(enabled=False)),
         "instrumented": lambda: run_cycle_accurate(program, config),
+        "blockspec": lambda: run_cycle_accurate(
+            program, bconfig, obs=EventBus(enabled=False)),
     }
-    for run in arms.values():  # warm every arm once
+    for run in arms.values():  # warm every arm once (incl. trace JIT)
         run()
     return {name: _cycles_per_sec(run) for name, run in arms.items()}
+
+
+def _print_results(results: dict[str, float]) -> None:
+    for name, value in results.items():
+        print(f"  {name:<13} {value:>12,.0f} cyc/s")
 
 
 def test_fast_kernel_speedup():
     results = measure_throughput()
     speedup = results["fast"] / results["reference"]
-    print(f"\n  reference     {results['reference']:>12,.0f} cyc/s")
-    print(f"  fast          {results['fast']:>12,.0f} cyc/s")
-    print(f"  instrumented  {results['instrumented']:>12,.0f} cyc/s")
+    print()
+    _print_results(results)
     print(f"  speedup       {speedup:>12.2f}x  "
           f"(floor {MIN_KERNEL_SPEEDUP:.1f}x)")
     assert speedup >= MIN_KERNEL_SPEEDUP, (
         f"fast kernel is only {speedup:.2f}x the reference "
         f"(floor {MIN_KERNEL_SPEEDUP:.1f}x)")
+
+
+def test_blockspec_tier_speedup():
+    """The trace tier must be worth its complexity: >= 2x the fast
+    kernel on the steady-state-heavy case E, with identical stats."""
+    program, config = _case_e()
+    bconfig = dataclasses.replace(config, engine="blockspec")
+    fast = run_cycle_accurate(program, config,
+                              obs=EventBus(enabled=False))
+    blockspec = run_cycle_accurate(program, bconfig,
+                                   obs=EventBus(enabled=False))
+    assert blockspec.stats.as_dict() == fast.stats.as_dict()
+
+    results = measure_throughput()
+    speedup = results["blockspec"] / results["fast"]
+    print()
+    _print_results(results)
+    print(f"  speedup       {speedup:>12.2f}x  "
+          f"(floor {MIN_BLOCKSPEC_SPEEDUP:.1f}x)")
+    assert speedup >= MIN_BLOCKSPEC_SPEEDUP, (
+        f"blockspec tier is only {speedup:.2f}x the fast kernel "
+        f"(floor {MIN_BLOCKSPEC_SPEEDUP:.1f}x)")
 
 
 def test_parallel_output_byte_identical():
@@ -162,6 +196,13 @@ def baseline_document() -> dict:
         "extra": {"case": "throughput_speedup", "bench": "sim_throughput"},
         "metrics": {"speedup": round(
             results["fast"] / results["reference"], 3)},
+    })
+    cases.append({
+        "workload": "table4/case_E/blockspec_speedup",
+        "extra": {"case": "throughput_blockspec_speedup",
+                  "bench": "sim_throughput"},
+        "metrics": {"speedup": round(
+            results["blockspec"] / results["fast"], 3)},
     })
     return {
         "schema": SCHEMA_VERSION,

@@ -35,6 +35,12 @@ def main(argv: list[str] | None = None) -> int:
                              "many independent simulations (table4); "
                              "0 = one per CPU. Output is byte-identical "
                              "to a serial run")
+    parser.add_argument("--engine", choices=("fast", "blockspec"),
+                        default="fast",
+                        help="simulation tier for table4/dynfold "
+                             "(blockspec JITs hot traces to generated "
+                             "Python; exhibits are byte-identical "
+                             "either way)")
     parser.add_argument("--campaign-out", metavar="PREFIX", default=None,
                         help="record campaign telemetry for multi-"
                              "simulation exhibits (table4, dynfold): "
@@ -108,7 +114,8 @@ def _run_exhibits(args: argparse.Namespace, wanted: list[str],
         for name in wanted:
             print(json.dumps(exhibit_json(name, args.events,
                                           jobs=args.jobs,
-                                          recorder=recorder),
+                                          recorder=recorder,
+                                          engine=args.engine),
                              sort_keys=True))
         return 0
 
@@ -131,13 +138,15 @@ def _run_exhibits(args: argparse.Namespace, wanted: list[str],
         from repro.eval.table4 import format_table4, run_table4
         print("== Table 4: execution statistics, cases A-E ==")
         print(format_table4(run_table4(jobs=args.jobs,
-                                       recorder=recorder)))
+                                       recorder=recorder,
+                                       engine=args.engine)))
         print()
     if "dynfold" in wanted:
         from repro.eval.table4 import format_dynfold, run_dynfold
         print("== Dynamic-confidence folding on the Table-4 cases ==")
         print(format_dynfold(run_dynfold(jobs=args.jobs,
-                                         recorder=recorder)))
+                                         recorder=recorder,
+                                         engine=args.engine)))
         print()
     if "figures" in wanted:
         from repro.eval.figures import nextpc_datapath_cases, pipeline_structure

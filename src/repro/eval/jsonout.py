@@ -58,8 +58,11 @@ def table3_json() -> dict[str, Any]:
     }
 
 
-def _table4_case_row(case_name: str) -> dict[str, Any]:
-    """One attributed Table-4 JSON row (parallel-runner worker)."""
+def _table4_case_row(task: str | tuple[str, str]) -> dict[str, Any]:
+    """One attributed Table-4 JSON row (parallel-runner worker).
+
+    ``task`` is a bare case name or ``(case_name, engine)``.
+    """
     from repro.eval.table4 import (
         CASE_DEFINITIONS,
         PAPER_TABLE4,
@@ -67,8 +70,9 @@ def _table4_case_row(case_name: str) -> dict[str, Any]:
     )
     from repro.obs.attrib import attribute_run
 
+    case_name, engine = (task, "fast") if isinstance(task, str) else task
     case = next(c for c in CASE_DEFINITIONS if c.name == case_name)
-    program, config = case_program_config(case)
+    program, config = case_program_config(case, engine=engine)
     cpu, table = attribute_run(program, config)
     return {
         "case": case.name,
@@ -83,7 +87,8 @@ def _table4_case_row(case_name: str) -> dict[str, Any]:
 
 
 def table4_json(jobs: int | None = None,
-                recorder=None) -> dict[str, Any]:
+                recorder=None,
+                engine: str = "fast") -> dict[str, Any]:
     """Table 4 with a per-site attribution section per case.
 
     Each case runs once with an attribution sink attached (sinks do not
@@ -98,9 +103,10 @@ def table4_json(jobs: int | None = None,
     from repro.eval.table4 import CASE_DEFINITIONS
 
     rows = map_ordered(_table4_case_row,
-                       [case.name for case in CASE_DEFINITIONS], jobs,
+                       [(case.name, engine) for case in CASE_DEFINITIONS],
+                       jobs,
                        recorder=recorder,
-                       labeler=lambda name: f"table4/{name}")
+                       labeler=lambda task: f"table4/{task[0]}")
     reference = rows[0]["metrics"]["cycles"]
     for row in rows:
         row["relative_performance"] = reference / row["metrics"]["cycles"]
@@ -108,11 +114,12 @@ def table4_json(jobs: int | None = None,
 
 
 def dynfold_json(jobs: int | None = None,
-                 recorder=None) -> dict[str, Any]:
+                 recorder=None,
+                 engine: str = "fast") -> dict[str, Any]:
     """The dynamic-fold exhibit: Table-4 cases × fold-policy variants."""
     from repro.eval.table4 import run_dynfold
     rows = []
-    for row in run_dynfold(jobs=jobs, recorder=recorder):
+    for row in run_dynfold(jobs=jobs, recorder=recorder, engine=engine):
         rows.append({
             "case": row.case.name,
             "variant": row.label,
@@ -149,19 +156,22 @@ def branch_stats_json() -> dict[str, Any]:
 
 def exhibit_json(name: str, synthetic_events: int = 100_000,
                  jobs: int | None = None,
-                 recorder=None) -> dict[str, Any]:
+                 recorder=None,
+                 engine: str = "fast") -> dict[str, Any]:
     """The JSON document for one exhibit name (as the CLI spells it).
 
     ``jobs`` parallelises exhibits built from independent simulations
     (currently table4/dynfold) and ``recorder`` collects campaign
-    telemetry for them; the other exhibits ignore both.
+    telemetry for them; the other exhibits ignore both. ``engine``
+    selects the simulation tier for those same exhibits (documents are
+    byte-identical across tiers).
     """
     builders = {
         "table1": lambda: table1_json(synthetic_events),
         "table2": table2_json,
         "table3": table3_json,
-        "table4": lambda: table4_json(jobs, recorder),
-        "dynfold": lambda: dynfold_json(jobs, recorder),
+        "table4": lambda: table4_json(jobs, recorder, engine),
+        "dynfold": lambda: dynfold_json(jobs, recorder, engine),
         "figures": figures_json,
         "branch-stats": branch_stats_json,
     }

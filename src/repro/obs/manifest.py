@@ -72,6 +72,7 @@ def config_dict(config: CpuConfig) -> dict[str, Any]:
         "mem_latency": config.mem_latency,
         "decode_latency": config.decode_latency,
         "prefetch_depth": config.prefetch_depth,
+        "engine": getattr(config, "engine", "fast"),
         "fold_policy": {
             "enabled": policy.enabled,
             "body_lengths": sorted(policy.body_lengths),

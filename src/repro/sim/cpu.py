@@ -46,6 +46,15 @@ class CpuConfig:
     #: fault injection mode (None or "always-wrong"); see
     #: :mod:`repro.sim.dynfold`
     inject: str | None = None
+    #: execution engine tier: "fast" (per-cycle kernel) or "blockspec"
+    #: (trace-compiled hot loops; falls back to the per-cycle kernel
+    #: outside steady state and entirely under dynamic-fold policies) —
+    #: both are bit-identical in results; see :mod:`repro.sim.blockspec`
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fast", "blockspec"):
+            raise ValueError(f"unknown engine {self.engine!r}")
 
 
 class CrispCpu:
@@ -86,6 +95,7 @@ class CrispCpu:
         self._p_miss_latency = self.obs.histogram("icache.miss.latency")
         self._miss_address: int | None = None  #: demand miss being timed
         self._miss_cycle = 0
+        self._blockspec = None  #: lazily-built BlockSpecEngine
         # cold start: the PDU begins decoding at the entry point
         self.pdu.demand(program.entry)
 
@@ -98,6 +108,9 @@ class CrispCpu:
         """Advance the machine by one clock cycle."""
         self.pdu.tick()
 
+        # one probe-guard read per cycle, not one per stage probe: the
+        # enabled/sink state cannot change mid-cycle
+        obs_on = self._obs_on
         fetched = None
         if self.eu.ir_next_pc is not None:
             address = self.eu.ir_next_pc
@@ -105,13 +118,13 @@ class CrispCpu:
             if entry is not None:
                 fetched = entry
                 if address == self._miss_address:
-                    if self._obs_on:
+                    if obs_on:
                         self._p_miss_latency.observe(
                             self.stats.cycles - self._miss_cycle)
                     self._miss_address = None
             else:
                 self.stats.icache_misses += 1
-                if self._obs_on:
+                if obs_on:
                     if self._obs_sinks:
                         self._p_demand_miss.inc(site=address)
                     else:
@@ -122,7 +135,7 @@ class CrispCpu:
                 self.pdu.demand(address)
         if fetched is not None:
             self.stats.icache_hits += 1
-            if self._obs_on:
+            if obs_on:
                 self._p_demand_hit.add()
 
         self.eu.tick(fetched)
@@ -150,6 +163,12 @@ class CrispCpu:
         ``max_cycles`` overrides ``config.max_cycles`` when given.
         """
         limit = self.config.max_cycles if max_cycles is None else max_cycles
+        if self.config.engine == "blockspec" and self.dyn is None:
+            # dynamic-fold policies carry shadow records through the
+            # latches, which the trace compiler never admits — running
+            # them through the per-cycle loop keeps --engine trivially
+            # bit-identical across the whole config space
+            return self._run_blockspec(limit)
         eu = self.eu
         step = self.step
         for _ in range(limit):
@@ -157,6 +176,32 @@ class CrispCpu:
                 eu.flush_execution()  # idempotent: batch already folded
                 return self.stats
             step()
+        eu.flush_execution()
+        raise self._watchdog_error(limit)
+
+    def _run_blockspec(self, limit: int) -> PipelineStats:
+        """The blockspec run loop: per-cycle steps interleaved with
+        compiled-trace bursts whenever the machine reaches a traced
+        steady state. The cycle budget is shared exactly — a trace burst
+        consumes its cycle count from the same ``limit``, and traces are
+        bounded so the watchdog semantics match the per-cycle loop."""
+        from repro.sim.blockspec import BlockSpecEngine
+        if self._blockspec is None:
+            self._blockspec = BlockSpecEngine(self)
+        try_trace = self._blockspec.try_trace
+        eu = self.eu
+        step = self.step
+        steps = 0
+        while steps < limit:
+            if eu.halted:
+                eu.flush_execution()
+                return self.stats
+            consumed = try_trace(limit - steps)
+            if consumed:
+                steps += consumed
+                continue
+            step()
+            steps += 1
         eu.flush_execution()
         raise self._watchdog_error(limit)
 

@@ -138,6 +138,7 @@ class ExecutionUnit:
                         fetched: StageSlot | None) -> None:
         """Clear the valid bits of every stage younger than ``slot``."""
         seen = False
+        obs_on = self._obs_on  # one guard read, not one per stage
         for candidate in (self.rr, self.or_, self.ir, fetched):
             if candidate is slot:
                 seen = True
@@ -145,7 +146,7 @@ class ExecutionUnit:
             if seen and candidate is not None and candidate.valid:
                 candidate.valid = False
                 self.stats.squashed_slots += 1
-                if self._obs_on:
+                if obs_on:
                     self._p_squash.add()
 
     def flush_execution(self) -> None:
@@ -366,6 +367,10 @@ class ExecutionUnit:
         that was waiting on it (including one folded into the compare)."""
         flag = self.state.flag
         stats = self.stats
+        # probe-guard state cannot change mid-resolution: read it once
+        # here instead of once per dependent stage
+        obs_on = self._obs_on
+        obs_sinks = self._obs_sinks
         for slot in (self.rr, self.or_, self.ir, fetched):
             if slot is None or not slot.valid or slot.resolved:
                 continue
@@ -403,8 +408,8 @@ class ExecutionUnit:
                 stats.recovery_flush_cycles += penalty
                 self._dyn.untrain(shadow.site)
                 self._dyn.note_flush(shadow.site)
-            if self._obs_on:
-                if self._obs_sinks:
+            if obs_on:
+                if obs_sinks:
                     site = entry._branch_pc
                     self._p_mispredict.inc(stage=stage, folded=True,
                                            site=site)

@@ -30,6 +30,9 @@ class DecodedICache:
         self._lines: list[DecodedEntry | None] = [None] * entries
         self.hits = 0
         self.misses = 0
+        #: bumped on every content change; lets the blockspec engine
+        #: skip line-by-line residency revalidation between fills
+        self.generation = 0
         self._obs_on = obs.enabled  #: skip probe updates on a disabled bus
         self._p_fills = obs.counter("icache.fills")
         self._p_evictions = obs.counter("icache.conflict_evictions")
@@ -61,10 +64,12 @@ class DecodedICache:
                 self._p_evictions.add()
             self._p_fills.add()
         self._lines[index] = entry
+        self.generation += 1
 
     def invalidate(self) -> None:
         """Clear every line (machine reset)."""
         self._lines = [None] * self.size
+        self.generation += 1
 
     @property
     def hit_rate(self) -> float:

@@ -83,6 +83,9 @@ class ProgramCache:
         self.disk_hits = 0
         self.evictions = 0
         self.quarantined = 0
+        #: blockspec trace-compiler telemetry (see repro.sim.blockspec)
+        self.blocks_compiled = 0
+        self.generated_bytes = 0
         self._p_quarantined = (obs.counter("progcache.quarantined")
                                if obs is not None else None)
 
@@ -97,8 +100,11 @@ class ProgramCache:
             self.hits += 1
             return value
         value = self._disk_load(key)
-        if value is _MISSING:
-            self.misses += 1
+        if value is _MISSING or value is _QUARANTINED:
+            # a quarantined entry is already counted by `quarantined`;
+            # counting it as a miss too would double-book the rebuild
+            if value is _MISSING:
+                self.misses += 1
             value = build()
             self._disk_store(key, value)
         else:
@@ -123,6 +129,7 @@ class ProgramCache:
         """Drop the in-memory tier (and the disk tier when ``disk``)."""
         self._entries.clear()
         self.hits = self.misses = self.disk_hits = self.evictions = 0
+        self.blocks_compiled = self.generated_bytes = 0
         if disk and self.disk_dir and os.path.isdir(self.disk_dir):
             for name in os.listdir(self.disk_dir):
                 if name.endswith(".pkl"):
@@ -135,7 +142,9 @@ class ProgramCache:
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses, "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
-                "quarantined": self.quarantined}
+                "quarantined": self.quarantined,
+                "blocks_compiled": self.blocks_compiled,
+                "generated_bytes": self.generated_bytes}
 
     # ---- disk tier ---------------------------------------------------------
     #
@@ -171,7 +180,7 @@ class ProgramCache:
         if (not sep or len(digest) != 64
                 or hashlib.sha256(payload).hexdigest().encode() != digest):
             self._quarantine(key)
-            return _MISSING
+            return _QUARANTINED
         try:
             return pickle.loads(payload)
         except (pickle.UnpicklingError, EOFError, AttributeError,
@@ -206,6 +215,10 @@ class _Missing:
 
 
 _MISSING = _Missing()
+
+#: distinct from a plain miss so quarantined loads are not *also*
+#: counted as misses (the rebuild still happens either way)
+_QUARANTINED = _Missing()
 
 _default: ProgramCache | None = None
 

@@ -4,7 +4,9 @@ Subcommands:
 
 ``fuzz``
     Generate programs and run the 3-way differential check
-    (fast kernel vs reference kernel vs architectural oracle) on each.
+    (fast kernel vs reference kernel vs architectural oracle) on each;
+    ``--engine blockspec``/``--engine all`` widen it to 4-way by adding
+    the trace-compiled blockspec tier as a bitwise arm.
     Stops after ``--programs`` N, or at ``--target-coverage`` F, or at a
     ``--budget`` wall-clock limit (CI mode; program count then depends
     on machine speed, everything else stays seed-deterministic).
@@ -67,18 +69,30 @@ def _confidence_policy(confidence: int | None) -> FoldPolicy | None:
 def _tasks(seed: int, start: int, count: int, profiles: list[str],
            stress: bool,
            dyn_mix: tuple[int | None, ...] = _DYN_MIX,
-           inject: str | None = None) -> list[FuzzTask]:
+           inject: str | None = None,
+           engine: str = "fast") -> list[FuzzTask]:
     return [FuzzTask(seed=seed * 1_000_003 + index,
                      profile=profiles[index % len(profiles)],
                      stress=stress,
                      dyn_confidence=dyn_mix[index % len(dyn_mix)],
-                     inject=inject)
+                     inject=inject, engine=engine)
             for index in range(start, start + count)]
+
+
+def _task_engine(choice: str) -> str:
+    """CLI ``--engine`` value -> per-task engine matrix.
+
+    ``blockspec`` and ``all`` both run the 4-way check (the blockspec
+    arm is always compared *against* the fast kernel, so there is no
+    standalone-blockspec mode); ``fast`` keeps the 3-way check.
+    """
+    return "fast" if choice == "fast" else "blockspec"
 
 
 def _still_failing(source: str, stress: bool,
                    dyn_confidence: int | None = None,
-                   inject: str | None = None) -> bool:
+                   inject: str | None = None,
+                   engine: str = "fast") -> bool:
     try:
         program = assemble(source)
     except Exception:
@@ -86,7 +100,9 @@ def _still_failing(source: str, stress: bool,
     try:
         mismatches, _ = run_differential(
             program, _confidence_policy(dyn_confidence),
-            stress=stress, max_cycles=1_000_000, inject=inject)
+            stress=stress, max_cycles=1_000_000, inject=inject,
+            engines=(("fast", "blockspec") if engine == "blockspec"
+                     else ("fast",)))
     except Exception:
         return False
     return bool(mismatches)
@@ -98,7 +114,8 @@ def _shrink_and_save(report: ProgramReport, corpus_dir: Path) -> Path:
     def still_failing(src: str) -> bool:
         return _still_failing(src, stress=True,
                               dyn_confidence=report.dyn_confidence,
-                              inject=report.inject)
+                              inject=report.inject,
+                              engine=report.engine)
 
     minimal = shrink_source(report.source, still_failing)
     if not still_failing(minimal):
@@ -163,7 +180,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         nonlocal ran
         batch = _tasks(args.seed, ran, count, profiles,
                        stress=not args.no_stress,
-                       dyn_mix=dyn_mix, inject=args.inject)
+                       dyn_mix=dyn_mix, inject=args.inject,
+                       engine=_task_engine(args.engine))
         for report in map_ordered(
                 run_fuzz_task, batch, jobs=args.jobs, recorder=recorder,
                 labeler=lambda task: f"fuzz/{task.profile}/{task.seed}"):
@@ -262,7 +280,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
             continue
         mismatches, oracle = run_differential(
             program, _confidence_policy(args.dyn_confidence),
-            stress=not args.no_stress, inject=args.inject)
+            stress=not args.no_stress, inject=args.inject,
+            engines=(("fast", "blockspec")
+                     if _task_engine(args.engine) == "blockspec"
+                     else ("fast",)))
         if mismatches:
             print(f"{name}: DISAGREE ({len(mismatches)} mismatches)")
             for line in mismatches:
@@ -353,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "static policy; default cycles static,1,2,3)")
     fuzz.add_argument("--inject", choices=INJECT_MODES, default=None,
                       help="misprediction fault injection in both kernels")
+    fuzz.add_argument("--engine", choices=("fast", "blockspec", "all"),
+                      default="fast",
+                      help="engine matrix: 'blockspec'/'all' add the "
+                           "trace-compiled tier as a fourth bitwise arm")
     fuzz.add_argument("--campaign-out", metavar="PREFIX", default=None,
                       help="record campaign telemetry: PREFIX.json "
                            "(manifest), PREFIX.jsonl (live stream for "
@@ -371,6 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="replay under FoldPolicy.dynamic(N)")
     replay.add_argument("--inject", choices=INJECT_MODES, default=None)
+    replay.add_argument("--engine", choices=("fast", "blockspec", "all"),
+                        default="fast",
+                        help="as for fuzz: widen the engine matrix")
     replay.set_defaults(func=cmd_replay)
 
     cover = sub.add_parser("coverage", help="oracle-only coverage sweep")

@@ -1,4 +1,7 @@
-"""Three-way differential execution: fast kernel vs reference vs oracle.
+"""Differential execution: fast kernel vs reference vs oracle — and,
+with ``engines=("fast", "blockspec")``, a fourth arm running the
+trace-compiled blockspec tier (see :mod:`repro.sim.blockspec`), which
+must be bitwise identical to the fast kernel in every regime.
 
 Two comparison regimes are run per program:
 
@@ -33,6 +36,7 @@ On top of both, the runner validates the decode layer itself:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.asm.assembler import AssemblyError, assemble
@@ -165,6 +169,24 @@ def _compare_kernels(label: str, fast: CrispCpu, ref: ReferenceCpu,
             out.append(f"{label} state.{attr}: fast {a} != reference {b}")
 
 
+def _compare_engines(label: str, fast: CrispCpu, other: CrispCpu,
+                     out: list[str]) -> None:
+    """Bitwise fast-vs-blockspec comparison: full stats + arch state."""
+    fast_stats = fast.stats.as_dict()
+    other_stats = other.stats.as_dict()
+    if fast_stats != other_stats:
+        for key in sorted(set(fast_stats) | set(other_stats)):
+            a, b = fast_stats.get(key), other_stats.get(key)
+            if a != b:
+                out.append(f"{label} stats.{key}: fast {a} != blockspec {b}")
+    if fast.memory.snapshot() != other.memory.snapshot():
+        out.append(f"{label} memory: fast != blockspec")
+    for attr in ("accum", "flag", "sp"):
+        a, b = getattr(fast.state, attr), getattr(other.state, attr)
+        if a != b:
+            out.append(f"{label} state.{attr}: fast {a} != blockspec {b}")
+
+
 def _compare_arch(label: str, fast: CrispCpu,
                   oracle: OracleResult, out: list[str]) -> None:
     if fast.memory.snapshot() != oracle.memory:
@@ -184,6 +206,7 @@ def run_differential(program: Program,
                      check_attribution: bool = True,
                      max_cycles: int = 5_000_000,
                      inject: str | None = None,
+                     engines: tuple[str, ...] = ("fast",),
                      ) -> tuple[list[str], OracleResult | None]:
     """Run all three implementations; return (mismatches, oracle result).
 
@@ -200,9 +223,18 @@ def run_differential(program: Program,
     executed / folded) must still be oracle-exact — injected recoveries
     refetch the verified-correct path, so they may only add cycles,
     never instructions.
+
+    ``engines`` widens the matrix: with ``"blockspec"`` included, a
+    fourth arm runs the trace-compiled tier under the same ideal and
+    stress configurations and must be bitwise identical to the fast
+    kernel — full ``PipelineStats``, attribution table, every memory
+    byte. (Under dynamic-fold policies the blockspec engine falls back
+    to the per-cycle loop, so the check is exercised across the whole
+    policy mix either way.)
     """
     if policy is None:
         policy = FoldPolicy.crisp()
+    blockspec = "blockspec" in engines
     mismatches: list[str] = []
 
     oracle: OracleResult | None = None
@@ -260,6 +292,17 @@ def run_differential(program: Program,
             f"{fast.stats.zero_cost_overrides} below oracle correct-path "
             f"count {oracle.zero_cost_overrides}")
 
+    if blockspec:
+        bconfig = dataclasses.replace(config, engine="blockspec")
+        bcpu = CrispCpu(program, bconfig)
+        bcpu.warm_cache()
+        try:
+            bcpu.run(max_cycles)
+        except _EXEC_ERRORS as exc:
+            mismatches.append(f"ideal blockspec kernel failed: {exc}")
+        else:
+            _compare_engines("ideal", fast, bcpu, mismatches)
+
     mismatches.extend(check_nextpc_invariants(program, policy))
 
     if check_attribution:
@@ -267,6 +310,19 @@ def run_differential(program: Program,
         mismatches.extend(
             f"attribution: {problem}"
             for problem in table.reconcile(cpu.stats))
+        if blockspec:
+            # with an attribution sink attached the blockspec engine
+            # deoptimizes every cycle, so the table must come out
+            # identical — this pins the sink guard itself
+            bcpu2, btable = attribute_run(
+                program, dataclasses.replace(config, engine="blockspec"),
+                max_cycles=max_cycles)
+            mismatches.extend(
+                f"blockspec attribution: {problem}"
+                for problem in btable.reconcile(bcpu2.stats))
+            if btable.as_dict() != table.as_dict():
+                mismatches.append(
+                    "attribution table: fast != blockspec")
 
     if stress:
         sconfig = stress_config(policy, inject=inject)
@@ -287,6 +343,17 @@ def run_differential(program: Program,
                     mismatches.append(
                         f"stress {key}: kernel {got} != oracle {want}")
             _compare_arch("stress", sfast, oracle, mismatches)
+            if blockspec:
+                sbcpu = CrispCpu(
+                    program, dataclasses.replace(sconfig,
+                                                 engine="blockspec"))
+                try:
+                    sbcpu.run(max_cycles)
+                except _EXEC_ERRORS as exc:
+                    mismatches.append(
+                        f"stress blockspec kernel failed: {exc}")
+                else:
+                    _compare_engines("stress", sfast, sbcpu, mismatches)
 
     return mismatches, oracle
 
@@ -305,6 +372,9 @@ class FuzzTask:
     #: static CRISP policy when set
     dyn_confidence: int | None = None
     inject: str | None = None  #: misprediction fault-injection mode
+    #: "fast" = the 3-way check; "blockspec" adds the trace-compiled
+    #: engine as a fourth bitwise arm
+    engine: str = "fast"
 
 
 def task_policy(task: FuzzTask) -> FoldPolicy | None:
@@ -325,6 +395,7 @@ class ProgramReport:
     parcels: int = 0
     dyn_confidence: int | None = None  #: regime the task ran under
     inject: str | None = None
+    engine: str = "fast"  #: engine matrix the task was checked under
     branch_cells: list[tuple[str, bool, str, str, str]] = \
         field(default_factory=list)
     body_cells: list[tuple[str, bool]] = field(default_factory=list)
@@ -349,15 +420,17 @@ def run_fuzz_task(task: FuzzTask) -> ProgramReport:
             return ProgramReport(task.seed, task.profile, ok=False,
                                  mismatches=[f"assemble: {exc}"],
                                  source=source)
+    engines = (("fast", "blockspec") if task.engine == "blockspec"
+               else ("fast",))
     with span("differential", seed=task.seed):
         mismatches, oracle = run_differential(
             program, task_policy(task), stress=task.stress,
-            inject=task.inject)
+            inject=task.inject, engines=engines)
     report = ProgramReport(task.seed, task.profile, ok=not mismatches,
                            mismatches=mismatches,
                            parcels=program_parcels(program),
                            dyn_confidence=task.dyn_confidence,
-                           inject=task.inject)
+                           inject=task.inject, engine=task.engine)
     if oracle is not None:
         report.branch_cells = [
             (record.opcode, record.folded, record.outcome, record.interlock,

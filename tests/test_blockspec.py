@@ -1,0 +1,275 @@
+"""The block-specializing trace tier (:mod:`repro.sim.blockspec`).
+
+The tier is an *optimization*, so almost every test here is a parity
+test: for any program and configuration, ``engine="blockspec"`` must
+produce bit-identical results to the fast per-cycle kernel — the full
+``PipelineStats`` dict (including per-opcode execution counts), every
+memory byte, and the architectural registers. The rest pins down the
+deopt machinery: dynamic-fold configs never trace, attached sinks force
+the per-cycle path, the watchdog budget stays exact, hopeless heads
+stop being probed, and on-disk trace payloads are reproducible across
+processes.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.policy import FoldPolicy
+from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
+from repro.obs.events import EventBus
+from repro.sim.blockspec import (
+    HOT_THRESHOLD,
+    MAX_VARIANTS,
+    clear_compiled_traces,
+)
+from repro.sim.cpu import CpuConfig, CrispCpu, run_cycle_accurate
+from repro.sim.progcache import default_cache, reset_default
+from repro.sim.semantics import SimulationHungError
+from repro.workloads import get_workload
+
+HOT_LOOP = Path(__file__).parent / "corpus" / "branch_hot_loop.s"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(monkeypatch):
+    """Isolate the compile cache and the in-process trace cache."""
+    monkeypatch.delenv("CRISP_CACHE_DIR", raising=False)
+    reset_default()
+    clear_compiled_traces()
+    yield
+    reset_default()
+    clear_compiled_traces()
+
+
+def _finished(program, config):
+    cpu = CrispCpu(program, config, obs=EventBus(enabled=False))
+    cpu.warm_cache()
+    cpu.run()
+    return cpu
+
+
+def _assert_parity(program, config):
+    fast = _finished(program, config)
+    blockspec = _finished(
+        program, dataclasses.replace(config, engine="blockspec"))
+    assert blockspec.stats.as_dict() == fast.stats.as_dict()
+    assert blockspec.memory.snapshot() == fast.memory.snapshot()
+    assert blockspec.state.accum == fast.state.accum
+    assert blockspec.state.sp == fast.state.sp
+    assert blockspec.state.flag == fast.state.flag
+    return fast, blockspec
+
+
+class TestEngineConfig:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            CpuConfig(engine="turbo")
+
+    def test_known_engines_accepted(self):
+        assert CpuConfig(engine="fast").engine == "fast"
+        assert CpuConfig(engine="blockspec").engine == "blockspec"
+
+
+class TestParity:
+    @pytest.mark.parametrize("case", CASE_DEFINITIONS,
+                             ids=[c.name for c in CASE_DEFINITIONS])
+    def test_table4_cases_bit_identical(self, case):
+        program, config = case_program_config(case)
+        _assert_parity(program, config)
+
+    @pytest.mark.parametrize("workload",
+                             ["sieve", "fib", "collatz", "strings"])
+    def test_workloads_bit_identical(self, workload):
+        program = get_workload(workload).compiled()
+        _assert_parity(program, CpuConfig())
+
+    def test_traces_actually_run_on_case_e(self):
+        """The parity tests must not pass vacuously: on the loop-heavy
+        case E the tier must enter compiled traces and the compile must
+        be visible in the program-cache counters."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        cache = default_cache()
+        _, blockspec = _assert_parity(program, config)
+        engine = blockspec._blockspec
+        assert engine is not None
+        assert any(trace is not None for trace in engine.traces.values())
+        assert cache.blocks_compiled >= 1
+        assert cache.generated_bytes > 0
+
+    def test_variant_cap_holds(self):
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        blockspec = _finished(
+            program, dataclasses.replace(config, engine="blockspec"))
+        variants = blockspec._blockspec.head_variants
+        assert variants and all(count <= MAX_VARIANTS
+                                for count in variants.values())
+
+
+class TestDeopt:
+    def test_dynamic_fold_configs_never_trace(self):
+        """Dynamic-confidence folding is shadow-driven state the trace
+        compiler refuses; the dispatch must fall back to the plain
+        stepping loop (and stay bit-identical doing so)."""
+        program = assemble(HOT_LOOP.read_text())
+        config = CpuConfig(fold_policy=FoldPolicy.dynamic(confidence=2))
+        fast = _finished(program, config)
+        blockspec = _finished(
+            program, dataclasses.replace(config, engine="blockspec"))
+        assert blockspec.stats.as_dict() == fast.stats.as_dict()
+        assert blockspec._blockspec is None  # plain loop: tier unused
+
+    def test_attached_sinks_force_per_cycle_path(self):
+        """Per-event attribution needs per-cycle probes, so attaching a
+        sink must deopt — and the attributed table must equal fast's."""
+        from repro.obs.attrib import attribute_run
+
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "D"))
+        cpu, table = attribute_run(program, config)
+        bcpu, btable = attribute_run(
+            program, dataclasses.replace(config, engine="blockspec"))
+        assert btable.as_dict() == table.as_dict()
+        assert bcpu.stats.as_dict() == cpu.stats.as_dict()
+
+    def test_watchdog_budget_stays_exact(self):
+        """A trace burst consumes cycles from the same budget as the
+        stepping loop, so exhaustion fires at the identical point —
+        same error, same final cycle count as the fast engine."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        limit = 2000  # case E needs ~9.8k cycles: both engines must trip
+        observed = {}
+        for engine in ("fast", "blockspec"):
+            cpu = CrispCpu(program,
+                           dataclasses.replace(config, engine=engine),
+                           obs=EventBus(enabled=False))
+            cpu.warm_cache()
+            with pytest.raises(SimulationHungError):
+                cpu.run(limit)
+            observed[engine] = cpu.stats.cycles
+        assert observed["blockspec"] == observed["fast"]
+
+    def test_hopeless_heads_stop_probing(self):
+        """A head rejected MAX_VARIANTS times is marked dead (heat -1)
+        so the hot loop stops paying the lookup; heat for live heads
+        saturates at the threshold instead of growing unboundedly."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        blockspec = _finished(
+            program, dataclasses.replace(config, engine="blockspec"))
+        heat = blockspec._blockspec.heat
+        assert all(count == -1 or count <= HOT_THRESHOLD + 1
+                   for count in heat.values())
+
+
+class TestDifferentialAndInjection:
+    def test_hot_loop_4way_under_fault_injection(self):
+        """The committed hot-loop corpus program must survive the full
+        4-way differential with every fold forced down the recovery
+        path (recoveries are a deopt point, not a trace state)."""
+        from repro.verify.runner import run_differential
+
+        program = assemble(HOT_LOOP.read_text())
+        mismatches, oracle = run_differential(
+            program, engines=("fast", "blockspec"), inject="always-wrong")
+        assert mismatches == []
+        assert oracle is not None and oracle.halted
+
+    def test_corpus_4way_clean(self):
+        from repro.verify.runner import run_differential
+
+        for path in sorted(HOT_LOOP.parent.glob("*.s")):
+            program = assemble(path.read_text())
+            mismatches, _oracle = run_differential(
+                program, engines=("fast", "blockspec"))
+            assert mismatches == [], path.name
+
+
+_WORKER = """
+import dataclasses, json, sys
+from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
+from repro.obs.events import EventBus
+from repro.sim.cpu import CrispCpu
+
+case = next(c for c in CASE_DEFINITIONS if c.name == "E")
+program, config = case_program_config(case)
+cpu = CrispCpu(program, dataclasses.replace(config, engine="blockspec"),
+               obs=EventBus(enabled=False))
+cpu.warm_cache()
+cpu.run()
+print(json.dumps(cpu.stats.as_dict(), sort_keys=True))
+"""
+
+
+class TestCrossProcessDeterminism:
+    def test_disk_payloads_and_runs_bit_identical(self, tmp_path):
+        """Two fresh processes compiling the same trace must write
+        byte-identical disk payloads (same content hash => same
+        generated source) and report identical run stats — a
+        nondeterministic emitter would poison the shared cache tier."""
+        outputs, payloads = [], []
+        for i in range(2):
+            cache_dir = tmp_path / f"proc{i}"
+            env = dict(os.environ, CRISP_CACHE_DIR=str(cache_dir))
+            result = subprocess.run(
+                [sys.executable, "-c", _WORKER], env=env,
+                capture_output=True, text=True, check=True)
+            outputs.append(json.loads(result.stdout))
+            payloads.append({path.name: path.read_bytes()
+                             for path in sorted(cache_dir.glob("*.pkl"))})
+        assert outputs[0] == outputs[1]
+        assert payloads[0].keys() == payloads[1].keys()
+        assert payloads[0] == payloads[1]
+
+    def test_second_process_loads_traces_from_disk(self, tmp_path):
+        """Sharing one cache dir, the second process must serve the
+        blockspec payload from the disk tier instead of recompiling."""
+        probe = _WORKER + (
+            "from repro.sim.progcache import default_cache\n"
+            "stats = default_cache().stats()\n"
+            "print(stats['disk_hits'], stats['blocks_compiled'])\n")
+        env = dict(os.environ, CRISP_CACHE_DIR=str(tmp_path))
+        first = subprocess.run([sys.executable, "-c", probe], env=env,
+                               capture_output=True, text=True, check=True)
+        second = subprocess.run([sys.executable, "-c", probe], env=env,
+                                capture_output=True, text=True, check=True)
+        assert first.stdout.splitlines()[0] == second.stdout.splitlines()[0]
+        disk_hits, compiled = map(int, second.stdout.split()[-2:])
+        assert disk_hits >= 1
+        assert compiled == 0  # everything came from the disk tier
+
+
+class TestCacheInvalidation:
+    def test_icache_generation_tracks_fills_and_invalidation(self):
+        program = get_workload("fib").compiled()
+        cpu = CrispCpu(program, obs=EventBus(enabled=False))
+        start = cpu.icache.generation
+        cpu.run()
+        assert cpu.icache.generation > start
+        filled = cpu.icache.generation
+        cpu.icache.invalidate()
+        assert cpu.icache.generation == filled + 1
+
+    def test_stale_generation_forces_revalidation(self):
+        """After an icache invalidation the cached ``gen_ok`` stamp no
+        longer matches, so the trace must re-prove residency (and fail,
+        since the lines are gone) instead of running stale."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        cpu = _finished(
+            program, dataclasses.replace(config, engine="blockspec"))
+        engine = cpu._blockspec
+        trace = next(t for t in engine.traces.values() if t is not None)
+        assert trace.gen_ok == cpu.icache.generation
+        cpu.icache.invalidate()
+        assert trace.gen_ok != cpu.icache.generation
+        assert engine._validate(trace) is False

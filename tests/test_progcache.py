@@ -106,13 +106,16 @@ class TestDiskStore:
         assert [i.opcode for i in again.instructions] \
             == [i.opcode for i in program.instructions]
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_rebuilds_without_double_count(self, tmp_path):
+        """A quarantined entry is counted once, by ``quarantined`` —
+        not also as a miss (the two counters partition rebuild causes)."""
         cache = ProgramCache(disk_dir=str(tmp_path))
         key = cache_key("compile", "junk")
         (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
         assert cache.get_or_build(key, lambda: "rebuilt") == "rebuilt"
         assert cache.disk_hits == 0
-        assert cache.misses == 1
+        assert cache.quarantined == 1
+        assert cache.misses == 0
         # and the rebuild replaced the corrupt file
         fresh = ProgramCache(disk_dir=str(tmp_path))
         assert fresh.get_or_build(key, lambda: "no") == "rebuilt"
