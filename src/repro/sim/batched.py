@@ -1,0 +1,560 @@
+"""Batched lock-step simulation: the ``batched`` engine tier.
+
+Campaign-scale experiments — a 1000-seed fuzz round, a Table-4 config
+sweep, a statistical timing study that re-runs one program hundreds of
+times — all share one shape: many *independent* simulations whose
+results are consumed together. Until now every one of them paid a full
+interpreter loop. This module runs a whole batch through one scheduler
+that advances all instances in lock-step supersteps, holding **one
+array per architectural/pipeline field across all instances** (numpy
+when available, a pure-Python column store otherwise, so the dependency
+stays strictly optional).
+
+The design splits the batch along two axes:
+
+* **Cohorts.** The simulator is deterministic and closed (no external
+  input once a run starts), so two instances with the same *trajectory
+  key* — program image, machine configuration, cycle budget, cache
+  warm-up — are provably on bit-identical trajectories. A cohort
+  advances **one leader** on the fast per-cycle kernel; every follower
+  tracks the leader through the batch arrays and is finalized from the
+  leader's end state, bit-identically (fresh :class:`PipelineStats`
+  per instance, shared read-only memory snapshot). This is where the
+  vector win comes from: a 256-instance case-E batch is one leader run
+  plus 255 array broadcasts.
+* **Masks.** Every instance has a row in the ``active`` mask. Instances
+  whose behaviour the lock-step common path does not model **peel off**
+  and are finalized individually by the fast kernel, bit-identically:
+  dynamic-fold configs (``"fold"``) and fault-injection configs
+  (``"flush"``) at batch build time — their shadow/recovery machinery
+  is per-run predictor state the common path refuses, exactly like the
+  blockspec tier — and instances with an interrupt schedule
+  (``"interrupt"``). In-flight, a cohort leaves the common path when it
+  halts (``"retire"``), exhausts its cycle budget (``"watchdog"``,
+  with the same diagnostic :class:`SimulationHungError` the fast
+  kernel raises) or faults (``"fault"``, e.g. a division by zero).
+
+Every superstep advances each live cohort by at most ``quantum``
+cycles, then scatters the leader's live counters into the arrays, so
+ragged batches retire progressively and a campaign heartbeat can read
+aggregate progress with one vectorized reduction
+(:meth:`BatchResult.totals`).
+
+``CpuConfig(engine="batched")`` on a single :class:`CrispCpu` routes
+through :func:`run_single` — the same quantum-sliced loop, bit-identical
+to the fast kernel's ``run`` including the watchdog firing point —
+while dynamic-fold configs fall back to the plain stepping loop (the
+dispatch mirrors the blockspec tier).
+
+Correctness is enforced by ``tests/test_batched.py`` (per-case bitwise
+parity, peel-off semantics, ragged batches), the 5-way differential
+(``crisp-verify fuzz --engine all``) and the throughput floor in
+``benchmarks/bench_sim_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.obs.events import EventBus
+from repro.sim.cpu import CpuConfig, CrispCpu
+from repro.sim.semantics import SimulationError
+from repro.sim.stats import ExecutionStats, PipelineStats
+
+try:  # optional acceleration; the column store below is the contract
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: cycles a cohort leader advances per lock-step superstep
+DEFAULT_QUANTUM = 4096
+
+#: peel-off reasons an instance can leave the lock-step common path for
+PEEL_FOLD = "fold"  #: dynamic-fold policy: per-run predictor state
+PEEL_FLUSH = "flush"  #: fault injection: forced recovery flushes
+PEEL_INTERRUPT = "interrupt"  #: per-instance interrupt schedule
+PEEL_RETIRE = "retire"  #: halted normally
+PEEL_WATCHDOG = "watchdog"  #: cycle budget exhausted
+PEEL_FAULT = "fault"  #: architectural fault (e.g. division by zero)
+
+#: the integer counters of :class:`PipelineStats`, one batch column each
+STAT_FIELDS = (
+    "cycles", "issued_instructions", "executed_instructions",
+    "folded_branches", "mispredictions", "misprediction_penalty_cycles",
+    "zero_cost_overrides", "dynamic_folds", "folded_mispredicts",
+    "recovery_flush_cycles", "icache_misses", "icache_hits",
+    "stall_cycles", "squashed_slots",
+)
+
+#: architectural scalar fields, one batch column each (``flag`` as 0/1)
+ARCH_FIELDS = ("accum", "sp", "flag")
+
+#: pipeline-front fields: the EU's next fetch address (-1 once retired)
+PIPE_FIELDS = ("fetch_pc",)
+
+
+class BatchArrays:
+    """One array per simulated field across all batch instances.
+
+    The numpy backend holds one ``int64`` vector per field plus a bool
+    ``active`` mask; the pure-Python backend holds plain lists with the
+    same interface, so every caller is backend-agnostic and the numpy
+    dependency stays optional. Columns are scattered into at superstep
+    boundaries (cohort rows share one scalar, so updates are broadcast
+    writes, not per-instance Python loops) and reduced with one
+    vectorized ``sum`` per field for campaign aggregates.
+    """
+
+    FIELDS = STAT_FIELDS + ARCH_FIELDS + PIPE_FIELDS
+
+    def __init__(self, size: int, numpy: bool | None = None) -> None:
+        if numpy is None:
+            numpy = HAVE_NUMPY
+        if numpy and not HAVE_NUMPY:
+            raise RuntimeError("numpy backend requested but numpy is "
+                               "not installed (pip install numpy, or "
+                               "the 'batched' extra)")
+        self.size = size
+        self.backend = "numpy" if numpy else "python"
+        if numpy:
+            self.active = _np.zeros(size, dtype=bool)
+            self._columns = {name: _np.zeros(size, dtype=_np.int64)
+                            for name in self.FIELDS}
+        else:
+            self.active = [False] * size
+            self._columns = {name: [0] * size for name in self.FIELDS}
+
+    # ---- writes ------------------------------------------------------------
+
+    def activate(self, rows: list[int]) -> None:
+        if self.backend == "numpy":
+            self.active[rows] = True
+        else:
+            for row in rows:
+                self.active[row] = True
+
+    def deactivate(self, rows: list[int]) -> None:
+        if self.backend == "numpy":
+            self.active[rows] = False
+        else:
+            for row in rows:
+                self.active[row] = False
+
+    def broadcast(self, name: str, rows: list[int], value: int) -> None:
+        """Scatter one scalar into every row of a column (cohort write)."""
+        column = self._columns[name]
+        if self.backend == "numpy":
+            column[rows] = value
+        else:
+            for row in rows:
+                column[row] = value
+
+    def scatter_row(self, row: int, values: dict[str, int]) -> None:
+        for name, value in values.items():
+            self._columns[name][row] = value
+
+    # ---- reads -------------------------------------------------------------
+
+    def column(self, name: str):
+        return self._columns[name]
+
+    def value(self, name: str, row: int) -> int:
+        return int(self._columns[name][row])
+
+    def row(self, row: int) -> dict[str, int]:
+        return {name: int(column[row])
+                for name, column in self._columns.items()}
+
+    def active_count(self) -> int:
+        if self.backend == "numpy":
+            return int(self.active.sum())
+        return sum(1 for live in self.active if live)
+
+    def totals(self) -> dict[str, int]:
+        """One vectorized reduction per field across the whole batch."""
+        if self.backend == "numpy":
+            return {name: int(column.sum())
+                    for name, column in self._columns.items()}
+        return {name: sum(column)
+                for name, column in self._columns.items()}
+
+
+# ---- batch description -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One simulation instance: everything needed to run it, by value.
+
+    ``warm`` pre-decodes the program into the decoded cache before the
+    first cycle (the differential runner's ideal regime); ``interrupts``
+    is a schedule of ``(cycle, vector)`` pairs delivered when the
+    machine's cycle counter reaches each cycle — part of the trajectory,
+    so an instance carrying one peels off to individual execution.
+    """
+
+    program: Program
+    config: CpuConfig
+    max_cycles: int | None = None
+    warm: bool = False
+    interrupts: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass
+class InstanceResult:
+    """One finalized instance, bit-identical to a fast-kernel run."""
+
+    index: int
+    stats: PipelineStats
+    memory: dict[int, int]  #: read-only snapshot (shared within a cohort)
+    accum: int = 0
+    sp: int = 0
+    flag: bool = False
+    interrupts_taken: int = 0
+    error: SimulationError | ZeroDivisionError | None = None
+    #: how the instance left the common path ("retire"/"watchdog"/...)
+    peel: str = PEEL_RETIRE
+    #: leader instance this result was replicated from (None = simulated)
+    shared_with: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def clone_stats(stats: PipelineStats) -> PipelineStats:
+    """An independent, value-equal copy of one run's statistics."""
+    execution = ExecutionStats(
+        instructions=stats.execution.instructions,
+        opcode_counts=Counter(stats.execution.opcode_counts),
+        branches=stats.execution.branches,
+        conditional_branches=stats.execution.conditional_branches,
+        taken_branches=stats.execution.taken_branches,
+        one_parcel_branches=stats.execution.one_parcel_branches)
+    copied = dataclasses.replace(stats, execution=execution)
+    return copied
+
+
+def instance_key(item: BatchItem) -> tuple:
+    """The trajectory key: instances sharing it are bit-identical.
+
+    The simulator is deterministic and closed, so the key only needs
+    the program content, the machine configuration (engine tier
+    normalized away — the leader always runs the fast kernel), the
+    cycle budget, warm-up, and the interrupt schedule.
+    """
+    program = item.program
+    image = tuple(sorted(program.parcel_image().items()))
+    data = tuple(sorted(program.data_image().items()))
+    config = dataclasses.replace(item.config, engine="fast")
+    return (image, data, program.entry, program.stack_top, config,
+            item.max_cycles, item.warm, item.interrupts)
+
+
+# ---- execution -------------------------------------------------------------
+
+
+def _build_cpu(item: BatchItem) -> CrispCpu:
+    config = (item.config if item.config.engine == "fast"
+              else dataclasses.replace(item.config, engine="fast"))
+    cpu = CrispCpu(item.program, config, obs=EventBus(enabled=False))
+    if item.warm:
+        cpu.warm_cache()
+    return cpu
+
+
+def _run_individual(item: BatchItem, index: int, peel: str) -> InstanceResult:
+    """Finalize one peeled-off instance with the fast kernel."""
+    cpu = _build_cpu(item)
+    error: SimulationError | ZeroDivisionError | None = None
+    try:
+        if item.interrupts:
+            _run_with_interrupts(cpu, item)
+        else:
+            cpu.run(item.max_cycles)
+    except (SimulationError, ZeroDivisionError) as exc:
+        error = exc
+    return InstanceResult(
+        index=index, stats=cpu.stats, memory=cpu.memory.snapshot(),
+        accum=cpu.state.accum, sp=cpu.state.sp, flag=cpu.state.flag,
+        interrupts_taken=cpu.interrupts_taken, error=error, peel=peel)
+
+
+def _run_with_interrupts(cpu: CrispCpu, item: BatchItem) -> None:
+    """The fast run loop with an interrupt schedule folded in.
+
+    Interrupts are raised when the cycle counter reaches each scheduled
+    cycle — the same observable behaviour as a driver calling
+    :meth:`CrispCpu.interrupt` at that point of a manual stepping loop.
+    """
+    limit = (cpu.config.max_cycles if item.max_cycles is None
+             else item.max_cycles)
+    pending = sorted(item.interrupts)
+    cursor = 0
+    eu = cpu.eu
+    step = cpu.step
+    for _ in range(limit):
+        if eu.halted:
+            eu.flush_execution()
+            return
+        while cursor < len(pending) \
+                and cpu.stats.cycles >= pending[cursor][0]:
+            cpu.interrupt(pending[cursor][1])
+            cursor += 1
+        step()
+    eu.flush_execution()
+    raise cpu._watchdog_error(limit)
+
+
+class _Cohort:
+    """A set of instances sharing one trajectory; the leader simulates."""
+
+    __slots__ = ("rows", "item", "cpu", "limit", "taken", "error", "peel")
+
+    def __init__(self, rows: list[int], item: BatchItem) -> None:
+        self.rows = rows  #: batch indices, leader first
+        self.item = item
+        self.cpu = _build_cpu(item)
+        self.limit = (self.cpu.config.max_cycles if item.max_cycles is None
+                      else item.max_cycles)
+        self.taken = 0  #: budgeted steps consumed so far
+        self.error: SimulationError | ZeroDivisionError | None = None
+        self.peel: str | None = None
+
+    def advance(self, quantum: int) -> None:
+        """One lock-step superstep: at most ``quantum`` budgeted cycles.
+
+        Reproduces the fast kernel's run-loop semantics exactly: halt is
+        observed *before* a step, and a program that halts on its very
+        last budgeted cycle still trips the watchdog — so the budget
+        exhaustion point, the diagnostic error and the final counters
+        are all bit-identical to ``CrispCpu.run(limit)``.
+        """
+        cpu = self.cpu
+        eu = cpu.eu
+        step = cpu.step
+        budget = min(quantum, self.limit - self.taken)
+        n = 0
+        try:
+            while n < budget:
+                if eu.halted:
+                    break
+                step()
+                n += 1
+        except (SimulationError, ZeroDivisionError) as exc:
+            self.taken += n
+            self.error = exc
+            self.peel = PEEL_FAULT
+            return
+        self.taken += n
+        if n < budget or (eu.halted and self.taken < self.limit):
+            eu.flush_execution()
+            self.peel = PEEL_RETIRE
+        elif self.taken >= self.limit:
+            eu.flush_execution()
+            self.error = cpu._watchdog_error(self.limit)
+            self.peel = PEEL_WATCHDOG
+
+
+@dataclass
+class BatchResult:
+    """All finalized instances plus the batch-level array view."""
+
+    instances: list[InstanceResult]
+    arrays: BatchArrays
+    cohorts: int = 0  #: distinct trajectories simulated
+    peeled: dict[str, int] = field(default_factory=dict)
+    leader_cycles: int = 0  #: cycles actually stepped by leaders
+    supersteps: int = 0
+
+    def totals(self) -> dict[str, int]:
+        """Vectorized whole-campaign reductions (one per field)."""
+        return self.arrays.totals()
+
+    @property
+    def aggregate_cycles(self) -> int:
+        """Total simulated cycles credited across all instances."""
+        return self.totals()["cycles"]
+
+    @property
+    def shared_cycles(self) -> int:
+        """Cycles delivered by cohort sharing rather than stepping."""
+        return self.aggregate_cycles - self.leader_cycles
+
+
+class BatchedSimulator:
+    """Advance N independent simulations in lock-step supersteps."""
+
+    def __init__(self, items: list[BatchItem] | tuple[BatchItem, ...],
+                 *, quantum: int = DEFAULT_QUANTUM,
+                 numpy: bool | None = None) -> None:
+        self.items = list(items)
+        self.quantum = quantum
+        self.arrays = BatchArrays(len(self.items), numpy=numpy)
+        self._results: list[InstanceResult | None] = [None] * len(self.items)
+        self._peel_counts: Counter[str] = Counter()
+        self._individual: list[tuple[int, str]] = []
+        self.cohorts: list[_Cohort] = []
+        by_key: dict[tuple, _Cohort] = {}
+        for index, item in enumerate(self.items):
+            peel = self._build_time_peel(item)
+            if peel is not None:
+                self._individual.append((index, peel))
+                continue
+            key = instance_key(item)
+            cohort = by_key.get(key)
+            if cohort is None:
+                cohort = _Cohort([index], item)
+                by_key[key] = cohort
+                self.cohorts.append(cohort)
+            else:
+                cohort.rows.append(index)
+
+    @staticmethod
+    def _build_time_peel(item: BatchItem) -> str | None:
+        """Why an instance can never join the lock-step common path."""
+        if item.config.fold_policy.dynamic_fold:
+            return PEEL_FOLD
+        if item.config.inject is not None:
+            return PEEL_FLUSH
+        if item.interrupts:
+            return PEEL_INTERRUPT
+        return None
+
+    # ---- the lock-step loop ------------------------------------------------
+
+    def run(self) -> BatchResult:
+        arrays = self.arrays
+        # instances outside the common path: finalized individually by
+        # the fast kernel, bit-identically, before lock-step starts
+        for index, peel in self._individual:
+            result = _run_individual(self.items[index], index, peel)
+            self._results[index] = result
+            self._peel_counts[peel] += 1
+            self._scatter_final(result)
+        live = list(self.cohorts)
+        for cohort in live:
+            arrays.activate(cohort.rows)
+        supersteps = 0
+        leader_cycles = 0
+        while live:
+            supersteps += 1
+            still = []
+            for cohort in live:
+                before = cohort.cpu.stats.cycles
+                cohort.advance(self.quantum)
+                leader_cycles += cohort.cpu.stats.cycles - before
+                self._scatter_live(cohort)
+                if cohort.peel is None:
+                    still.append(cohort)
+                else:
+                    self._finalize_cohort(cohort)
+                    arrays.deactivate(cohort.rows)
+            live = still
+        return BatchResult(
+            instances=[result for result in self._results
+                       if result is not None],
+            arrays=arrays, cohorts=len(self.cohorts),
+            peeled=dict(self._peel_counts),
+            leader_cycles=leader_cycles, supersteps=supersteps)
+
+    # ---- array bookkeeping -------------------------------------------------
+
+    def _scatter_live(self, cohort: _Cohort) -> None:
+        """Broadcast the leader's live counters to every cohort row."""
+        arrays = self.arrays
+        rows = cohort.rows
+        cpu = cohort.cpu
+        stats = cpu.stats
+        for name in STAT_FIELDS:
+            arrays.broadcast(name, rows, getattr(stats, name))
+        arrays.broadcast("accum", rows, cpu.state.accum)
+        arrays.broadcast("sp", rows, cpu.state.sp)
+        arrays.broadcast("flag", rows, int(cpu.state.flag))
+        fetch = cpu.eu.ir_next_pc
+        arrays.broadcast("fetch_pc", rows,
+                         -1 if cpu.eu.halted or fetch is None else fetch)
+
+    def _scatter_final(self, result: InstanceResult) -> None:
+        values = {name: getattr(result.stats, name) for name in STAT_FIELDS}
+        values["accum"] = result.accum
+        values["sp"] = result.sp
+        values["flag"] = int(result.flag)
+        values["fetch_pc"] = -1
+        self.arrays.scatter_row(result.index, values)
+
+    # ---- finalization ------------------------------------------------------
+
+    def _finalize_cohort(self, cohort: _Cohort) -> None:
+        """Materialize the leader's end state for every cohort member.
+
+        The leader's own row keeps its live objects; every follower gets
+        an independent :class:`PipelineStats` clone and shares the
+        read-only memory snapshot — bit-identical by construction, since
+        followers are on the same deterministic trajectory.
+        """
+        assert cohort.peel is not None
+        cpu = cohort.cpu
+        snapshot = cpu.memory.snapshot()
+        leader = cohort.rows[0]
+        self._peel_counts[cohort.peel] += len(cohort.rows)
+        for row in cohort.rows:
+            stats = cpu.stats if row == leader else clone_stats(cpu.stats)
+            result = InstanceResult(
+                index=row, stats=stats, memory=snapshot,
+                accum=cpu.state.accum, sp=cpu.state.sp,
+                flag=cpu.state.flag,
+                interrupts_taken=cpu.interrupts_taken,
+                error=cohort.error, peel=cohort.peel,
+                shared_with=None if row == leader else leader)
+            self._results[row] = result
+            self._scatter_final(result)
+
+
+def run_batch(items: list[BatchItem] | tuple[BatchItem, ...],
+              *, quantum: int = DEFAULT_QUANTUM,
+              numpy: bool | None = None) -> BatchResult:
+    """Run a whole batch in lock-step and return every finalized instance."""
+    return BatchedSimulator(items, quantum=quantum, numpy=numpy).run()
+
+
+# ---- single-instance dispatch (CpuConfig(engine="batched")) ----------------
+
+
+def run_single(cpu: CrispCpu, limit: int,
+               quantum: int = DEFAULT_QUANTUM) -> PipelineStats:
+    """The batched tier's run loop for one machine: quantum-sliced
+    stepping with the fast kernel's exact halt/watchdog semantics.
+
+    ``CrispCpu.run`` dispatches here for ``engine="batched"`` (except
+    dynamic-fold configs, which take the plain stepping loop — same
+    fallback contract as the blockspec tier). A batch of one is the
+    degenerate lock-step campaign, so a plain ``crisp-sim --engine
+    batched`` run exercises the same superstep accounting the campaign
+    scheduler relies on.
+    """
+    eu = cpu.eu
+    step = cpu.step
+    taken = 0
+    while taken < limit:
+        if eu.halted:
+            eu.flush_execution()
+            return cpu.stats
+        budget = min(quantum, limit - taken)
+        n = 0
+        while n < budget:
+            if eu.halted:
+                break
+            step()
+            n += 1
+        taken += n
+        # a mid-quantum halt loops back to the outer check, which
+        # returns — unless the budget is already exhausted, in which
+        # case the watchdog fires exactly like the fast kernel's loop
+    eu.flush_execution()
+    raise cpu._watchdog_error(limit)

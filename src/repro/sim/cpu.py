@@ -46,14 +46,16 @@ class CpuConfig:
     #: fault injection mode (None or "always-wrong"); see
     #: :mod:`repro.sim.dynfold`
     inject: str | None = None
-    #: execution engine tier: "fast" (per-cycle kernel) or "blockspec"
+    #: execution engine tier: "fast" (per-cycle kernel), "blockspec"
     #: (trace-compiled hot loops; falls back to the per-cycle kernel
-    #: outside steady state and entirely under dynamic-fold policies) —
-    #: both are bit-identical in results; see :mod:`repro.sim.blockspec`
+    #: outside steady state and entirely under dynamic-fold policies) or
+    #: "batched" (the lock-step campaign tier's quantum-sliced loop;
+    #: same dynamic-fold fallback) — all bit-identical in results; see
+    #: :mod:`repro.sim.blockspec` and :mod:`repro.sim.batched`
     engine: str = "fast"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("fast", "blockspec"):
+        if self.engine not in ("fast", "blockspec", "batched"):
             raise ValueError(f"unknown engine {self.engine!r}")
 
 
@@ -169,6 +171,12 @@ class CrispCpu:
             # them through the per-cycle loop keeps --engine trivially
             # bit-identical across the whole config space
             return self._run_blockspec(limit)
+        if self.config.engine == "batched" and self.dyn is None:
+            # the lock-step campaign tier's single-instance loop; the
+            # dynamic-fold fallback mirrors blockspec (shadow records
+            # are per-run predictor state the common path refuses)
+            from repro.sim.batched import run_single
+            return run_single(self, limit)
         eu = self.eu
         step = self.step
         for _ in range(limit):

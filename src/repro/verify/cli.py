@@ -5,8 +5,13 @@ Subcommands:
 ``fuzz``
     Generate programs and run the 3-way differential check
     (fast kernel vs reference kernel vs architectural oracle) on each;
-    ``--engine blockspec``/``--engine all`` widen it to 4-way by adding
-    the trace-compiled blockspec tier as a bitwise arm.
+    ``--engine blockspec``/``--engine batched`` widen it to 4-way by
+    adding that tier as a bitwise arm; ``--engine all`` runs the full
+    5-way matrix. With the batched arm in play and no worker pool, the
+    whole round's batched regimes run through **one** lock-step
+    :class:`~repro.sim.batched.BatchedSimulator` (identical programs
+    collapse into shared cohorts) — reports stay byte-identical to
+    per-task execution. Coverage is reported per engine arm.
     Stops after ``--programs`` N, or at ``--target-coverage`` F, or at a
     ``--budget`` wall-clock limit (CI mode; program count then depends
     on machine speed, everything else stays seed-deterministic).
@@ -17,7 +22,10 @@ Subcommands:
 ``coverage``
     Oracle-only sweep: report which opcode × fold-class × outcome ×
     interlock × fold-verify cells a seed/profile mix reaches, without
-    running the cycle kernels.
+    running the cycle kernels. ``--engine`` picks the matrix the
+    tallies are broken down over: one line per engine arm, with the
+    native/fallback split made explicit so a tier-specific coverage
+    hole can't hide behind the fast arm's totals.
 
 ``--jobs N`` fans tasks out over processes via
 :func:`repro.eval.parallel.map_ordered`; results are merged in task
@@ -40,17 +48,19 @@ from pathlib import Path
 
 from repro.asm.assembler import AssemblyError, assemble
 from repro.core.policy import FoldPolicy
-from repro.eval.parallel import TaskFailure, map_ordered
+from repro.eval.parallel import TaskFailure, effective_jobs, map_ordered
 from repro.sim.dynfold import INJECT_MODES
 from repro.verify.coverage import CoverageMap, total_reachable
 from repro.verify.generator import PROFILES, generate_source
 from repro.verify.oracle import OracleError, run_oracle
 from repro.verify.runner import (
+    ENGINE_MATRIX,
     FuzzTask,
     ProgramReport,
     program_parcels,
     run_differential,
     run_fuzz_task,
+    run_fuzz_tasks_batched,
 )
 from repro.verify.shrink import shrink_source
 
@@ -80,13 +90,53 @@ def _tasks(seed: int, start: int, count: int, profiles: list[str],
 
 
 def _task_engine(choice: str) -> str:
-    """CLI ``--engine`` value -> per-task engine matrix.
+    """CLI ``--engine`` value -> per-task engine matrix key.
 
-    ``blockspec`` and ``all`` both run the 4-way check (the blockspec
-    arm is always compared *against* the fast kernel, so there is no
-    standalone-blockspec mode); ``fast`` keeps the 3-way check.
+    Every choice names a :data:`~repro.verify.runner.ENGINE_MATRIX`
+    row; each extra arm is always compared *against* the fast kernel,
+    so there is no standalone-blockspec or standalone-batched mode.
     """
-    return "fast" if choice == "fast" else "blockspec"
+    return choice
+
+
+class _EngineCoverage:
+    """Per-engine cell tallies: what each arm of the matrix compared.
+
+    Every cell a task reaches is compared on every arm of its matrix —
+    under dynamic-fold policies the blockspec/batched tiers fall back
+    to the per-cycle loop, but the arm still runs and is still checked
+    bitwise. The *native* subset excludes those fallback policies, so
+    a hole in a tier's own machinery (traces, lock-step cohorts) can't
+    hide behind the fallback path's share of the total.
+    """
+
+    def __init__(self, engines: tuple[str, ...]) -> None:
+        self.engines = engines
+        self.compared = {engine: CoverageMap() for engine in engines}
+        self.native = {engine: CoverageMap() for engine in engines}
+
+    def add(self, branch_records, body_records,
+            dyn_confidence: int | None) -> None:
+        for engine in self.engines:
+            self.compared[engine].add_records(branch_records, body_records)
+            if engine == "fast" or dyn_confidence is None:
+                self.native[engine].add_records(branch_records,
+                                                body_records)
+
+    def lines(self) -> list[str]:
+        out = []
+        for engine in self.engines:
+            compared = self.compared[engine]
+            native_hit = self.native[engine].total_hit()
+            fallback_only = compared.total_hit() - native_hit
+            text = (f"coverage[{engine}]: {compared.total_hit()}"
+                    f"/{total_reachable()} cells compared "
+                    f"({compared.fraction():.1%})")
+            if fallback_only:
+                text += (f" — {native_hit} native, {fallback_only} "
+                         f"via per-cycle fallback")
+            out.append(text)
+        return out
 
 
 def _still_failing(source: str, stress: bool,
@@ -101,8 +151,7 @@ def _still_failing(source: str, stress: bool,
         mismatches, _ = run_differential(
             program, _confidence_policy(dyn_confidence),
             stress=stress, max_cycles=1_000_000, inject=inject,
-            engines=(("fast", "blockspec") if engine == "blockspec"
-                     else ("fast",)))
+            engines=ENGINE_MATRIX[engine])
     except Exception:
         return False
     return bool(mismatches)
@@ -136,7 +185,13 @@ def _shrink_and_save(report: ProgramReport, corpus_dir: Path) -> Path:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     profiles = args.profile or list(PROFILES)
+    matrix = ENGINE_MATRIX[_task_engine(args.engine)]
+    # the lock-step scheduler is serial by construction; with a worker
+    # pool each task runs its own two-instance batches instead (the
+    # reports are byte-identical either way)
+    lockstep = "batched" in matrix and effective_jobs(args.jobs) == 1
     coverage = CoverageMap()
+    engine_cover = _EngineCoverage(matrix)
     failures: list[ProgramReport] = []
     lost: list[TaskFailure] = []
     ran = 0
@@ -182,17 +237,30 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                        stress=not args.no_stress,
                        dyn_mix=dyn_mix, inject=args.inject,
                        engine=_task_engine(args.engine))
-        for report in map_ordered(
+        if lockstep:
+            reports, lockstep_result = run_fuzz_tasks_batched(batch)
+            if recorder is not None:
+                recorder.note(
+                    "batched",
+                    instances=lockstep_result.arrays.size,
+                    cohorts=lockstep_result.cohorts,
+                    supersteps=lockstep_result.supersteps,
+                    shared_cycles=lockstep_result.shared_cycles,
+                    peeled=lockstep_result.peeled)
+        else:
+            reports = map_ordered(
                 run_fuzz_task, batch, jobs=args.jobs, recorder=recorder,
-                labeler=lambda task: f"fuzz/{task.profile}/{task.seed}"):
+                labeler=lambda task: f"fuzz/{task.profile}/{task.seed}")
+        for report in reports:
             if isinstance(report, TaskFailure):
                 # A worker crashed (twice) on this task; the campaign
                 # continues but the lost point is visible and fatal.
                 lost.append(report)
                 continue
-            coverage.add_records(
-                [_Cell(*cell) for cell in report.branch_cells],
-                report.body_cells)
+            cells = [_Cell(*cell) for cell in report.branch_cells]
+            coverage.add_records(cells, report.body_cells)
+            engine_cover.add(cells, report.body_cells,
+                             report.dyn_confidence)
             if not report.ok:
                 failures.append(report)
         ran += count
@@ -233,6 +301,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"after {failure.attempts} attempts: {failure.error}")
     print(f"coverage: {coverage.total_hit()}/{total_reachable()} "
           f"reachable cells ({coverage.fraction():.1%})")
+    for line in engine_cover.lines():
+        print(line)
     for cell in coverage.missing():
         print(f"  missing: {'/'.join(cell)}")
     for cell in coverage.missing_fold_verify():
@@ -281,9 +351,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         mismatches, oracle = run_differential(
             program, _confidence_policy(args.dyn_confidence),
             stress=not args.no_stress, inject=args.inject,
-            engines=(("fast", "blockspec")
-                     if _task_engine(args.engine) == "blockspec"
-                     else ("fast",)))
+            engines=ENGINE_MATRIX[_task_engine(args.engine)])
         if mismatches:
             print(f"{name}: DISAGREE ({len(mismatches)} mismatches)")
             for line in mismatches:
@@ -309,10 +377,12 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     else:
         dyn_mix = _DYN_MIX
     coverage = CoverageMap()
+    engine_cover = _EngineCoverage(ENGINE_MATRIX[_task_engine(args.engine)])
     for index in range(args.programs):
         seed = args.seed * 1_000_003 + index
         profile = profiles[index % len(profiles)]
-        policy = _confidence_policy(dyn_mix[index % len(dyn_mix)])
+        confidence = dyn_mix[index % len(dyn_mix)]
+        policy = _confidence_policy(confidence)
         try:
             program = assemble(generate_source(seed, profile))
             result = run_oracle(program, policy)
@@ -321,9 +391,12 @@ def cmd_coverage(args: argparse.Namespace) -> int:
                   f"program: {exc}", file=sys.stderr)
             return 1
         coverage.add_records(result.branches, result.body_records)
+        engine_cover.add(result.branches, result.body_records, confidence)
     print(f"programs: {args.programs}")
     print(f"coverage: {coverage.total_hit()}/{total_reachable()} "
           f"reachable cells ({coverage.fraction():.1%})")
+    for line in engine_cover.lines():
+        print(line)
     for cell, count in sorted(coverage.cells.items()):
         print(f"  {'/'.join(cell)}: {count}")
     for cell in coverage.missing():
@@ -374,10 +447,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "static policy; default cycles static,1,2,3)")
     fuzz.add_argument("--inject", choices=INJECT_MODES, default=None,
                       help="misprediction fault injection in both kernels")
-    fuzz.add_argument("--engine", choices=("fast", "blockspec", "all"),
+    fuzz.add_argument("--engine",
+                      choices=("fast", "blockspec", "batched", "all"),
                       default="fast",
-                      help="engine matrix: 'blockspec'/'all' add the "
-                           "trace-compiled tier as a fourth bitwise arm")
+                      help="engine matrix: 'blockspec'/'batched' add "
+                           "that tier as a fourth bitwise arm, 'all' "
+                           "runs the 5-way matrix")
     fuzz.add_argument("--campaign-out", metavar="PREFIX", default=None,
                       help="record campaign telemetry: PREFIX.json "
                            "(manifest), PREFIX.jsonl (live stream for "
@@ -396,7 +471,8 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="replay under FoldPolicy.dynamic(N)")
     replay.add_argument("--inject", choices=INJECT_MODES, default=None)
-    replay.add_argument("--engine", choices=("fast", "blockspec", "all"),
+    replay.add_argument("--engine",
+                        choices=("fast", "blockspec", "batched", "all"),
                         default="fast",
                         help="as for fuzz: widen the engine matrix")
     replay.set_defaults(func=cmd_replay)
@@ -408,6 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
     cover.add_argument("--dyn-confidence", action="append", type=int,
                        metavar="N",
                        help="as for fuzz: pin the fold-policy mix")
+    cover.add_argument("--engine",
+                       choices=("fast", "blockspec", "batched", "all"),
+                       default="fast",
+                       help="engine matrix to break the cell tallies "
+                            "down over (one line per arm, with the "
+                            "native/fallback split)")
     cover.add_argument("--json", metavar="FILE")
     cover.set_defaults(func=cmd_coverage)
     return parser

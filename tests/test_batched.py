@@ -1,0 +1,351 @@
+"""The lock-step batch tier (:mod:`repro.sim.batched`).
+
+The tier's contract is stronger than "fast": every instance of a batch
+must finish **bit-identical** to an independent fast-kernel run of the
+same (program, config, budget) — the full ``PipelineStats`` dict
+(per-opcode counts included), every memory byte, and the architectural
+registers — no matter how the batch is shaped (ragged sizes, shared
+cohorts, numpy or pure-Python arrays) or how an instance leaves the
+common path (retire, watchdog, dynamic-fold/injection/interrupt
+peel-off). The rest pins the mask bookkeeping itself: cohort dedup,
+peel reasons, array totals, and the quantum-sliced single-instance
+loop behind ``CpuConfig(engine="batched")``.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.policy import FoldPolicy
+from repro.eval.table4 import CASE_DEFINITIONS, case_program_config
+from repro.obs.events import EventBus
+from repro.sim.batched import (
+    BatchArrays,
+    BatchItem,
+    BatchedSimulator,
+    HAVE_NUMPY,
+    PEEL_FLUSH,
+    PEEL_FOLD,
+    PEEL_INTERRUPT,
+    PEEL_RETIRE,
+    PEEL_WATCHDOG,
+    run_batch,
+)
+from repro.sim.cpu import CpuConfig, CrispCpu
+from repro.sim.semantics import SimulationHungError
+from repro.workloads import get_workload
+
+HOT_LOOP = Path(__file__).parent / "corpus" / "branch_hot_loop.s"
+
+
+def _fast(program, config, max_cycles=None, warm=False):
+    cpu = CrispCpu(program, config, obs=EventBus(enabled=False))
+    if warm:
+        cpu.warm_cache()
+    cpu.run(max_cycles)
+    return cpu
+
+
+def _assert_instance_matches(instance, fast_cpu):
+    assert instance.error is None
+    assert instance.stats.as_dict() == fast_cpu.stats.as_dict()
+    assert instance.memory == fast_cpu.memory.snapshot()
+    assert instance.accum == fast_cpu.state.accum
+    assert instance.sp == fast_cpu.state.sp
+    assert instance.flag == fast_cpu.state.flag
+
+
+class TestEngineConfig:
+    def test_batched_engine_accepted(self):
+        assert CpuConfig(engine="batched").engine == "batched"
+
+    def test_unknown_engine_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            CpuConfig(engine="vector")
+
+
+class TestParity:
+    @pytest.mark.parametrize("case", CASE_DEFINITIONS,
+                             ids=[c.name for c in CASE_DEFINITIONS])
+    def test_table4_cases_bit_identical(self, case):
+        program, config = case_program_config(case)
+        fast = _fast(program, config, warm=True)
+        result = run_batch([BatchItem(program, config, warm=True)])
+        _assert_instance_matches(result.instances[0], fast)
+
+    @pytest.mark.parametrize("workload",
+                             ["sieve", "fib", "collatz", "strings"])
+    def test_workloads_bit_identical(self, workload):
+        program = get_workload(workload).compiled()
+        fast = _fast(program, CpuConfig())
+        result = run_batch([BatchItem(program, CpuConfig())])
+        _assert_instance_matches(result.instances[0], fast)
+
+    def test_engine_batched_single_run_bit_identical(self):
+        """``CpuConfig(engine="batched")`` on one machine dispatches the
+        quantum-sliced loop, which must be invisible in the results."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        fast = _fast(program, config, warm=True)
+        batched = _fast(program,
+                        dataclasses.replace(config, engine="batched"),
+                        warm=True)
+        assert batched.stats.as_dict() == fast.stats.as_dict()
+        assert batched.memory.snapshot() == fast.memory.snapshot()
+        assert batched.state.accum == fast.state.accum
+
+
+class TestRaggedBatches:
+    """Mixed programs/configs at awkward sizes: every instance must
+    still match its own independent fast-kernel run."""
+
+    @pytest.mark.parametrize("size", [1, 7, 256])
+    def test_ragged_sizes(self, size):
+        cases = [case_program_config(case) for case in CASE_DEFINITIONS]
+        items = [BatchItem(*cases[index % len(cases)], warm=True)
+                 for index in range(size)]
+        result = run_batch(items)
+        assert len(result.instances) == size
+        expected = [_fast(program, config, warm=True)
+                    for program, config in cases]
+        for index, instance in enumerate(result.instances):
+            assert instance.index == index
+            _assert_instance_matches(instance,
+                                     expected[index % len(cases)])
+
+    def test_cohort_dedup_shares_one_leader(self):
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        item = BatchItem(program, config, warm=True)
+        result = run_batch([item] * 256)
+        assert result.cohorts == 1
+        leaders = [i for i in result.instances if i.shared_with is None]
+        followers = [i for i in result.instances
+                     if i.shared_with is not None]
+        assert len(leaders) == 1 and len(followers) == 255
+        assert all(f.shared_with == leaders[0].index for f in followers)
+        # followers share the read-only memory snapshot but own their
+        # stats objects (value-equal, not identity-shared)
+        assert all(f.memory is leaders[0].memory for f in followers)
+        assert all(f.stats is not leaders[0].stats for f in followers)
+        assert result.shared_cycles == 255 * leaders[0].stats.cycles
+
+    def test_distinct_configs_do_not_share(self):
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        other = dataclasses.replace(config, icache_entries=16)
+        result = run_batch([BatchItem(program, config, warm=True),
+                            BatchItem(program, other, warm=True)])
+        assert result.cohorts == 2
+        assert (result.instances[0].stats.as_dict()
+                != result.instances[1].stats.as_dict())
+
+
+class TestPeelOff:
+    def test_dynamic_fold_peels_at_build_time(self):
+        program = assemble(HOT_LOOP.read_text())
+        config = CpuConfig(fold_policy=FoldPolicy.dynamic(confidence=2))
+        fast = _fast(program, config, warm=True)
+        result = run_batch([BatchItem(program, config, warm=True)] * 2)
+        assert result.peeled == {PEEL_FOLD: 2}
+        assert result.cohorts == 0  # never entered the common path
+        for instance in result.instances:
+            assert instance.peel == PEEL_FOLD
+            _assert_instance_matches(instance, fast)
+
+    def test_injection_peels_as_flush(self):
+        program = assemble(HOT_LOOP.read_text())
+        config = CpuConfig(inject="always-wrong")
+        fast = _fast(program, config, warm=True)
+        result = run_batch([BatchItem(program, config, warm=True)])
+        assert result.peeled == {PEEL_FLUSH: 1}
+        _assert_instance_matches(result.instances[0], fast)
+        assert result.instances[0].stats.mispredictions > 0
+
+    def test_interrupt_schedule_peels_and_matches_manual_loop(self):
+        # the canonical handler program from the interrupt suite
+        program_text = """
+        .entry main
+        .word count, 0
+        .word ticks, 0
+        .word saved_acc, 0
+
+handler:
+        mov saved_acc, Accum
+        add ticks, $1
+        mov Accum, saved_acc
+        reti
+
+main:
+loop:   add count, $1
+        cmp.s< count, $50
+        iftjmpy loop
+        halt
+"""
+        program = assemble(program_text)
+        vector = program.symbols["handler"]
+        # manual stepping loop: a driver delivering at cycles 40 and 90
+        manual = CrispCpu(program, obs=EventBus(enabled=False))
+        schedule = [(40, vector), (90, vector)]
+        cursor = 0
+        while not manual.halted:
+            while (cursor < len(schedule)
+                   and manual.stats.cycles >= schedule[cursor][0]):
+                manual.interrupt(schedule[cursor][1])
+                cursor += 1
+            manual.step()
+        manual.eu.flush_execution()
+        result = run_batch([BatchItem(program, CpuConfig(),
+                                      interrupts=((40, vector),
+                                                  (90, vector)))])
+        instance = result.instances[0]
+        assert result.peeled == {PEEL_INTERRUPT: 1}
+        assert instance.peel == PEEL_INTERRUPT
+        assert instance.interrupts_taken == 2 == manual.interrupts_taken
+        _assert_instance_matches(instance, manual)
+
+    def test_watchdog_peels_with_exact_budget(self):
+        """Budget exhaustion must fire at the identical point as the
+        fast kernel — same diagnostic error, same final counters (the
+        fast loop trips even when halt lands on the last budgeted
+        cycle, and the watchdog's ring-buffer sampling steps are part
+        of the observable stats)."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        limit = 2000  # case E needs ~9.8k cycles
+        fast = CrispCpu(program, config, obs=EventBus(enabled=False))
+        fast.warm_cache()
+        with pytest.raises(SimulationHungError) as excinfo:
+            fast.run(limit)
+        result = run_batch(
+            [BatchItem(program, config, max_cycles=limit, warm=True)] * 3)
+        assert result.peeled == {PEEL_WATCHDOG: 3}
+        for instance in result.instances:
+            assert isinstance(instance.error, SimulationHungError)
+            assert instance.error.max_cycles == limit
+            assert str(instance.error) == str(excinfo.value)
+            assert instance.stats.as_dict() == fast.stats.as_dict()
+            assert not instance.ok
+
+    def test_engine_batched_watchdog_budget_stays_exact(self):
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        observed = {}
+        for engine in ("fast", "batched"):
+            cpu = CrispCpu(program,
+                           dataclasses.replace(config, engine=engine),
+                           obs=EventBus(enabled=False))
+            cpu.warm_cache()
+            with pytest.raises(SimulationHungError):
+                cpu.run(2000)
+            observed[engine] = cpu.stats.cycles
+        assert observed["batched"] == observed["fast"]
+
+    def test_retirement_is_progressive(self):
+        """A short program retires while a long cohort keeps stepping:
+        the short one's mask row must drop without disturbing the
+        long one's trajectory."""
+        short = get_workload("fib").compiled()
+        long_program, long_config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        result = run_batch([BatchItem(short, CpuConfig()),
+                            BatchItem(long_program, long_config,
+                                      warm=True)])
+        assert result.peeled == {PEEL_RETIRE: 2}
+        _assert_instance_matches(result.instances[0],
+                                 _fast(short, CpuConfig()))
+        _assert_instance_matches(
+            result.instances[1], _fast(long_program, long_config,
+                                       warm=True))
+
+    def test_dynamic_fold_engine_batched_falls_back_cleanly(self):
+        """``engine="batched"`` + dynamic fold runs the plain stepping
+        loop (the lock-step dispatch refuses shadow state), exactly
+        like the blockspec tier's fallback — and stays bit-identical."""
+        program = assemble(HOT_LOOP.read_text())
+        config = CpuConfig(fold_policy=FoldPolicy.dynamic(confidence=2))
+        fast = _fast(program, config, warm=True)
+        batched = _fast(program,
+                        dataclasses.replace(config, engine="batched"),
+                        warm=True)
+        assert batched.stats.as_dict() == fast.stats.as_dict()
+
+
+class TestBackends:
+    def test_python_fallback_is_bit_identical(self):
+        """The pure-Python column store must be indistinguishable from
+        the numpy backend in every result and every aggregate."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "D"))
+        items = [BatchItem(program, config, warm=True)] * 5
+        python = run_batch(items, numpy=False)
+        assert python.arrays.backend == "python"
+        fast = _fast(program, config, warm=True)
+        for instance in python.instances:
+            _assert_instance_matches(instance, fast)
+        if HAVE_NUMPY:
+            numpy = run_batch(items, numpy=True)
+            assert numpy.arrays.backend == "numpy"
+            assert numpy.totals() == python.totals()
+            for a, b in zip(numpy.instances, python.instances):
+                assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_totals_are_columnwise_sums(self):
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "A"))
+        result = run_batch([BatchItem(program, config, warm=True)] * 4)
+        totals = result.totals()
+        per_instance = [i.stats for i in result.instances]
+        assert totals["cycles"] == sum(s.cycles for s in per_instance)
+        assert totals["issued_instructions"] == sum(
+            s.issued_instructions for s in per_instance)
+        assert result.aggregate_cycles == totals["cycles"]
+
+    def test_arrays_mask_bookkeeping(self):
+        arrays = BatchArrays(4, numpy=False)
+        assert arrays.active_count() == 0
+        arrays.activate([0, 2])
+        assert arrays.active_count() == 2
+        arrays.broadcast("cycles", [0, 2], 7)
+        assert arrays.column("cycles") == [7, 0, 7, 0]
+        arrays.deactivate([0])
+        assert arrays.active_count() == 1
+        arrays.scatter_row(1, {"cycles": 3, "accum": -2})
+        assert arrays.value("cycles", 1) == 3
+        assert arrays.totals()["cycles"] == 17
+
+    def test_numpy_request_without_numpy_raises(self, monkeypatch):
+        import repro.sim.batched as batched_module
+        monkeypatch.setattr(batched_module, "HAVE_NUMPY", False)
+        with pytest.raises(RuntimeError, match="numpy backend"):
+            BatchArrays(2, numpy=True)
+
+    def test_quantum_choice_is_invisible(self):
+        """Superstep size is a scheduling knob, never a semantic one."""
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "E"))
+        item = BatchItem(program, config, warm=True)
+        small = run_batch([item] * 2, quantum=129)
+        large = run_batch([item] * 2, quantum=1 << 20)
+        assert small.supersteps > large.supersteps
+        for a, b in zip(small.instances, large.instances):
+            assert a.stats.as_dict() == b.stats.as_dict()
+            assert a.memory == b.memory
+
+
+class TestBuildTimeClassification:
+    def test_build_time_peel_reasons(self):
+        program, config = case_program_config(
+            next(c for c in CASE_DEFINITIONS if c.name == "A"))
+        sim = BatchedSimulator([
+            BatchItem(program, config),
+            BatchItem(program, CpuConfig(
+                fold_policy=FoldPolicy.dynamic(confidence=1))),
+            BatchItem(program, CpuConfig(inject="always-wrong")),
+            BatchItem(program, config, interrupts=((10, 0),)),
+        ])
+        assert len(sim.cohorts) == 1
+        assert [(index, reason) for index, reason in sim._individual] \
+            == [(1, PEEL_FOLD), (2, PEEL_FLUSH), (3, PEEL_INTERRUPT)]
